@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation (beyond the paper): sparse sub-page storage policy. The
+ * MNM stores sparse overlay pages compactly in power-of-two
+ * sub-pages (Sec. V-C); this sweep compares initial sizes and growth
+ * factors against "always allocate a full page", measuring pool
+ * storage against the relocation write cost the compaction trades
+ * for it.
+ */
+
+#include "bench_common.hh"
+#include "harness/system.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+
+using namespace nvo;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::benchConfig(argc, argv);
+    Config wcfg = bench::forWorkload(cfg, "vacation");
+
+    std::printf("Ablation — sparse sub-page policy (vacation)\n");
+    TablePrinter table({"init/grow", "pool-MB", "reloc-MB",
+                        "nvm-MB"},
+                       12);
+    table.printHeader();
+
+    struct Policy
+    {
+        unsigned init, growth;
+        const char *label;
+    };
+    const Policy policies[] = {
+        {1, 2, "1/x2"}, {4, 4, "4/x4"}, {16, 4, "16/x4"},
+        {64, 4, "64(full)"}};
+
+    for (const auto &pol : policies) {
+        Config c = wcfg;
+        c.set("mnm.subpage_init_lines", std::uint64_t(pol.init));
+        c.set("mnm.subpage_growth", std::uint64_t(pol.growth));
+        System sys(c, "nvoverlay", "vacation");
+        sys.run();
+        auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+        std::uint64_t pool_bytes = 0;
+        for (unsigned o = 0; o < scheme.backend().numOmcs(); ++o)
+            pool_bytes += scheme.backend().pool(o).bytesAllocated();
+        table.printRow(
+            {pol.label, TablePrinter::num(pool_bytes / 1e6, 2),
+             TablePrinter::num(
+                 sys.stats().extra["subpage_reloc_bytes"] / 1e6, 2),
+             TablePrinter::num(
+                 sys.stats().totalNvmWriteBytes() / 1e6, 1)});
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation (beyond the paper): versioned-domain width. The paper
+ * fixes VDs at 2 cores + shared L2 (Sec. III-B); this sweep varies
+ * cores-per-VD from 1 to 8 on a sharing-heavy workload to expose the
+ * trade-off: small VDs synchronize epochs often (more Lamport
+ * advances, more context dumps), large VDs make epoch advance a
+ * heavier, less local event and track versions at coarser grain.
+ */
+
+#include "bench_common.hh"
+#include "harness/system.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+
+using namespace nvo;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::benchConfig(argc, argv);
+    Config wcfg = bench::forWorkload(cfg, "vacation");
+
+    std::printf("Ablation — cores per versioned domain (vacation)\n");
+    TablePrinter table({"cores/VD", "cycles", "advances", "lamport",
+                        "nvm-MB", "rec-epoch"},
+                       11);
+    table.printHeader();
+
+    for (unsigned width : {1u, 2u, 4u, 8u}) {
+        Config c = wcfg;
+        c.set("sys.cores_per_vd", std::uint64_t(width));
+        System sys(c, "nvoverlay", "vacation");
+        sys.run();
+        auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+        table.printRow(
+            {std::to_string(width),
+             std::to_string(sys.stats().cycles),
+             std::to_string(sys.stats().epochAdvances),
+             std::to_string(sys.stats().lamportAdvances),
+             TablePrinter::num(
+                 sys.stats().totalNvmWriteBytes() / 1e6, 1),
+             std::to_string(scheme.backend().recEpoch())});
+    }
+    return 0;
+}

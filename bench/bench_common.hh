@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: the scaled
+ * default run length, per-workload op multipliers (so heavyweight
+ * kernels finish in comparable wall time), and row helpers.
+ *
+ * Every bench accepts NVO_OPS / NVO_EPOCH_STORES / NVO_SEED
+ * environment overrides and "key=value" command-line arguments.
+ */
+
+#ifndef NVO_BENCH_BENCH_COMMON_HH
+#define NVO_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/table_printer.hh"
+
+namespace nvo
+{
+namespace bench
+{
+
+/** Default measured ops per thread for figure benches (scaled-down
+ *  runs; see DESIGN.md on scaling). */
+constexpr std::uint64_t defaultOps = 6000;
+
+/** Heavier kernels get fewer ops so every cell costs similar time. */
+inline std::uint64_t
+opsFor(const std::string &workload, std::uint64_t base)
+{
+    if (workload == "kmeans")
+        return base / 8;
+    if (workload == "labyrinth")
+        return base / 4;   // very long path commits per op
+    if (workload == "rbtree" || workload == "genome")
+        return base / 2;
+    return base;
+}
+
+inline Config
+benchConfig(int argc, char **argv)
+{
+    setQuiet(true);
+    Config cfg = defaultConfig();
+    cfg.set("wl.ops", defaultOps);
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    applyOverrides(cfg, args);
+    return cfg;
+}
+
+inline Config
+forWorkload(Config cfg, const std::string &workload)
+{
+    cfg.set("wl.ops", opsFor(workload, cfg.getU64("wl.ops",
+                                                  defaultOps)));
+    return cfg;
+}
+
+} // namespace bench
+} // namespace nvo
+
+#endif // NVO_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 14: sensitivity to epoch size on ART — normalized cycles
+ * (vs the no-snapshot baseline) and NVM write bytes (vs NVOverlay)
+ * for PiCL, PiCL-L2, and NVOverlay at nominal epoch sizes of 500 K,
+ * 1 M, 2 M, and 4 M store uops.
+ *
+ * Expected shape: NVOverlay insensitive (most write backs come from
+ * coherence and capacity evictions, not tag walks); PiCL's write
+ * amplification drops as epochs grow (fewer walks, fewer log
+ * entries).
+ */
+
+#include "bench_common.hh"
+
+using namespace nvo;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::benchConfig(argc, argv);
+    const std::uint64_t sizes[] = {500'000, 1'000'000, 2'000'000,
+                                   4'000'000};
+
+    std::printf("Figure 14 — Epoch-size sensitivity (ART, "
+                "ops/thread=%llu)\n",
+                static_cast<unsigned long long>(
+                    cfg.getU64("wl.ops", bench::defaultOps)));
+    TablePrinter table({"epoch", "picl-cyc", "picl2-cyc", "nvo-cyc",
+                        "picl-wr", "picl2-wr", "nvo-GB"},
+                       11);
+    table.printHeader();
+
+    for (std::uint64_t ep : sizes) {
+        Config wcfg = bench::forWorkload(cfg, "art");
+        wcfg.set("epoch.stores_global", ep);
+        auto base = runExperiment(wcfg, "none", "art");
+        auto nvo = runExperiment(wcfg, "nvoverlay", "art");
+        auto picl = runExperiment(wcfg, "picl", "art");
+        auto picl2 = runExperiment(wcfg, "picl-l2", "art");
+        double nb =
+            static_cast<double>(nvo.stats.totalNvmWriteBytes());
+        table.printRow(
+            {std::to_string(ep / 1000) + "K",
+             TablePrinter::num(
+                 double(picl.stats.cycles) / base.stats.cycles, 2),
+             TablePrinter::num(
+                 double(picl2.stats.cycles) / base.stats.cycles, 2),
+             TablePrinter::num(
+                 double(nvo.stats.cycles) / base.stats.cycles, 2),
+             TablePrinter::num(picl.stats.totalNvmWriteBytes() / nb,
+                               2),
+             TablePrinter::num(picl2.stats.totalNvmWriteBytes() / nb,
+                               2),
+             TablePrinter::num(nb / 1e9, 3)});
+    }
+    return 0;
+}

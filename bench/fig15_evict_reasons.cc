@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 15: decomposition of NVM write-back triggers on ART —
+ * capacity evictions, coherence/log traffic, and tag walks — for
+ * PiCL, PiCL-L2, and NVOverlay, with and without the tag walker.
+ *
+ * Expected shape: PiCL variants lean heavily on the walker (~50% of
+ * writes), NVOverlay distributes write backs over coherence and
+ * capacity evictions (~90%) with the walker contributing ~10%.
+ */
+
+#include "bench_common.hh"
+
+using namespace nvo;
+
+namespace
+{
+
+void
+printRow(TablePrinter &table, const std::string &label,
+         const RunStats &st)
+{
+    auto reason = [&](EvictReason r) {
+        return st.evictReason[static_cast<std::size_t>(r)];
+    };
+    double total = 0;
+    for (auto c : st.evictReason)
+        total += static_cast<double>(c);
+    if (total == 0)
+        total = 1;
+    auto pct = [&](double v) {
+        return TablePrinter::num(100.0 * v / total, 1);
+    };
+    table.printRow(
+        {label, pct(static_cast<double>(reason(EvictReason::Capacity))),
+         pct(static_cast<double>(reason(EvictReason::Coherence)) +
+             static_cast<double>(reason(EvictReason::StoreEvict))),
+         pct(static_cast<double>(reason(EvictReason::TagWalk))),
+         pct(static_cast<double>(
+             reason(EvictReason::EpochFlush)))});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::benchConfig(argc, argv);
+    Config wcfg = bench::forWorkload(cfg, "art");
+
+    std::printf("Figure 15 — Evict-reason decomposition, ART "
+                "(%% of write-back triggers)\n");
+    TablePrinter table({"config", "capacity", "coh/log", "tag-walk",
+                        "flush"},
+                       11);
+
+    std::printf("\n(a) with tag walker\n");
+    table.printHeader();
+    for (const char *scheme : {"picl", "picl-l2", "nvoverlay"}) {
+        auto r = runExperiment(wcfg, scheme, "art");
+        printRow(table, scheme, r.stats);
+    }
+
+    std::printf("\n(b) without tag walker\n");
+    table.printHeader();
+    for (const char *scheme : {"picl", "picl-l2", "nvoverlay"}) {
+        Config c = wcfg;
+        c.set("picl.walker_enabled", "false");
+        c.set("nvo.walker_enabled", "false");
+        auto r = runExperiment(c, scheme, "art");
+        printRow(table, scheme, r.stats);
+    }
+    return 0;
+}

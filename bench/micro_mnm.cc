@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the MNM hot paths: per-
+ * epoch table insertion, master-table insert/lookup, page-pool
+ * allocation, and OMC buffer insertion — the operations on the OMC's
+ * critical path for every version write back.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "nvoverlay/epoch_table.hh"
+#include "nvoverlay/master_table.hh"
+#include "nvoverlay/omc_buffer.hh"
+#include "nvoverlay/page_pool.hh"
+
+namespace
+{
+
+using namespace nvo;
+
+constexpr Addr poolBase = 1ull << 40;
+
+void
+BM_EpochTableInsert(benchmark::State &state)
+{
+    PagePool pool(poolBase, 1ull << 30);
+    EpochTable table(1, pool, EpochTable::Params{});
+    EpochTable::Sinks sinks;
+    LineData content;
+    Rng rng(1);
+    SeqNo seq = 0;
+    for (auto _ : state) {
+        Addr a = lineAlign(rng.below(1ull << 28));
+        benchmark::DoNotOptimize(
+            table.insert(a, ++seq, content, sinks));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochTableInsert);
+
+void
+BM_EpochTableLookup(benchmark::State &state)
+{
+    PagePool pool(poolBase, 1ull << 30);
+    EpochTable table(1, pool, EpochTable::Params{});
+    EpochTable::Sinks sinks;
+    LineData content;
+    Rng fill(2);
+    for (int i = 0; i < 100000; ++i)
+        table.insert(lineAlign(fill.below(1ull << 26)), i, content,
+                     sinks);
+    Rng rng(3);
+    for (auto _ : state) {
+        Addr a = lineAlign(rng.below(1ull << 26));
+        benchmark::DoNotOptimize(table.lookupNvm(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochTableLookup);
+
+void
+BM_MasterTableInsert(benchmark::State &state)
+{
+    MasterTable mt;
+    Rng rng(4);
+    for (auto _ : state) {
+        Addr a = lineAlign(rng.below(1ull << 30));
+        benchmark::DoNotOptimize(mt.insert(a, poolBase, 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MasterTableInsert);
+
+void
+BM_MasterTableLookup(benchmark::State &state)
+{
+    MasterTable mt;
+    Rng fill(5);
+    for (int i = 0; i < 200000; ++i)
+        mt.insert(lineAlign(fill.below(1ull << 28)), poolBase + i, 1);
+    Rng rng(6);
+    for (auto _ : state) {
+        Addr a = lineAlign(rng.below(1ull << 28));
+        benchmark::DoNotOptimize(mt.lookup(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MasterTableLookup);
+
+void
+BM_PagePoolAllocFree(benchmark::State &state)
+{
+    PagePool pool(poolBase, 1ull << 26);
+    unsigned lines = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        Addr a = pool.allocLines(lines);
+        benchmark::DoNotOptimize(a);
+        pool.freeLines(a, lines);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PagePoolAllocFree)->Arg(1)->Arg(4)->Arg(64);
+
+void
+BM_OmcBufferInsert(benchmark::State &state)
+{
+    OmcBuffer buf(OmcBuffer::Params{});
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr a = lineAlign(rng.below(1ull << 24));
+        benchmark::DoNotOptimize(buf.insert(a, 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OmcBufferInsert);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Table II: print the resolved simulated configuration.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int
+main()
+{
+    nvo::Config cfg = nvo::defaultConfig();
+    nvo::applyOverrides(cfg);
+    std::printf("Table II — Simulated Configuration\n");
+    std::printf("%-28s %s\n", "key", "value");
+    for (const auto &kv : cfg.dump())
+        std::printf("%-28s %s\n", kv.first.c_str(),
+                    kv.second.c_str());
+    return 0;
+}

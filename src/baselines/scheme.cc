@@ -1,0 +1,36 @@
+#include "baselines/scheme.hh"
+
+#include "baselines/hw_shadow.hh"
+#include "baselines/picl.hh"
+#include "baselines/sw_log.hh"
+#include "baselines/sw_shadow.hh"
+#include "common/log.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+
+namespace nvo
+{
+
+std::unique_ptr<Scheme>
+makeScheme(const std::string &name, const Config &cfg, NvmModel &nvm,
+           RunStats &stats)
+{
+    if (name == "none")
+        return std::make_unique<NullScheme>();
+    if (name == "nvoverlay")
+        return std::make_unique<NVOverlayScheme>(cfg, nvm, stats);
+    if (name == "swlog")
+        return std::make_unique<SwLogScheme>(cfg, nvm, stats);
+    if (name == "swshadow")
+        return std::make_unique<SwShadowScheme>(cfg, nvm, stats);
+    if (name == "hwshadow")
+        return std::make_unique<HwShadowScheme>(cfg, nvm, stats);
+    if (name == "picl")
+        return std::make_unique<PiclScheme>(cfg, nvm, stats, false);
+    if (name == "picl-l2")
+        return std::make_unique<PiclScheme>(cfg, nvm, stats, true);
+    fatal("unknown scheme '%s' (want none, nvoverlay, swlog, swshadow,"
+          " hwshadow, picl, picl-l2)",
+          name.c_str());
+}
+
+} // namespace nvo

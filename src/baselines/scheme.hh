@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Snapshot-scheme interface. A Scheme models how dirty data becomes
+ * persistent on NVM: NVOverlay (CST + MNM), the logging and shadowing
+ * baselines of Sec. VI-B, or the no-snapshotting baseline.
+ */
+
+#ifndef NVO_BASELINES_SCHEME_HH
+#define NVO_BASELINES_SCHEME_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class Hierarchy;
+class NvmModel;
+
+class Scheme
+{
+  public:
+    virtual ~Scheme() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Bind the hierarchy once the System has built it. */
+    virtual void attach(Hierarchy &hierarchy) { hier = &hierarchy; }
+
+    /**
+     * Called before every store commits. Implementations track write
+     * sets, emit log entries, and advance epochs. Returns stall
+     * cycles charged to the storing core (persist barriers).
+     */
+    virtual Cycle onStore(unsigned core, unsigned vd, Addr line_addr,
+                          Cycle now) = 0;
+
+    /** Background processing once per quantum (walkers, merges). */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * Clean end of run: flush outstanding state so the final epoch
+     * becomes persistent. Returns the cycle at which everything is
+     * durable.
+     */
+    virtual Cycle finalize(Cycle now) { return now; }
+
+    /** Scheme's notion of the current (global) epoch. */
+    virtual EpochWide globalEpoch() const { return 0; }
+
+    /** Epochs completed so far (for experiment bookkeeping). */
+    virtual std::uint64_t epochsCompleted() const { return 0; }
+
+    /**
+     * Drain the pending system-wide stall (epoch-boundary flushes
+     * stall every core, not just the one whose store crossed the
+     * boundary). The System applies it to all cores each quantum.
+     */
+    Cycle
+    takeGlobalStall()
+    {
+        Cycle s = globalStallPending;
+        globalStallPending = 0;
+        return s;
+    }
+
+  protected:
+    void addGlobalStall(Cycle s) { globalStallPending += s; }
+
+    Hierarchy *hier = nullptr;
+    Cycle globalStallPending = 0;
+};
+
+/**
+ * Factory: build a scheme by name. Valid names: "none", "nvoverlay",
+ * "swlog", "swshadow", "hwshadow", "picl", "picl-l2".
+ */
+std::unique_ptr<Scheme> makeScheme(const std::string &name,
+                                   const Config &cfg, NvmModel &nvm,
+                                   RunStats &stats);
+
+/** The no-snapshotting baseline (ideal NVM system of Fig. 11). */
+class NullScheme : public Scheme
+{
+  public:
+    const char *name() const override { return "none"; }
+
+    Cycle
+    onStore(unsigned, unsigned, Addr, Cycle) override
+    {
+        return 0;
+    }
+};
+
+} // namespace nvo
+
+#endif // NVO_BASELINES_SCHEME_HH

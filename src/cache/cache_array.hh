@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Generic set-associative tag/data array with LRU replacement.
+ *
+ * All cache levels (and the scheme-private tag arrays of the PiCL
+ * baselines) are built on this container. Lookup is by full line
+ * address; unlike the original Page Overlays design, NVOverlay looks
+ * up by address only, never by (address, OID) pairs (paper
+ * Sec. IV-A1), so one address occupies at most one slot per array.
+ */
+
+#ifndef NVO_CACHE_CACHE_ARRAY_HH
+#define NVO_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/coherence.hh"
+#include "common/bitutil.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param ways associativity
+     */
+    CacheArray(std::uint64_t size_bytes, unsigned ways);
+
+    /** Find the line holding @p line_addr, or nullptr. Bumps LRU. */
+    CacheLine *lookup(Addr line_addr);
+
+    /** Find without touching replacement state. */
+    CacheLine *probe(Addr line_addr);
+    const CacheLine *probe(Addr line_addr) const;
+
+    /**
+     * Pick a slot for @p line_addr in its set: an invalid way if one
+     * exists, else the LRU way. The caller must handle the returned
+     * slot's previous content (the victim) before overwriting it.
+     * @p line_addr must not already be present.
+     */
+    CacheLine *allocSlot(Addr line_addr);
+
+    /** Invalidate (reset) a line previously returned by lookup. */
+    void invalidate(CacheLine *line);
+
+    unsigned numSets() const { return sets; }
+    unsigned numWays() const { return ways_; }
+    std::uint64_t sizeBytes() const
+    {
+        return static_cast<std::uint64_t>(sets) * ways_ * lineBytes;
+    }
+
+    /** Number of currently valid lines. */
+    unsigned numValid() const;
+
+    /** Iterate over all lines of one set (tag-walker support). */
+    CacheLine *setBase(unsigned set_idx);
+
+    /** Visit every valid line. */
+    void forEachValid(const std::function<void(CacheLine &)> &fn);
+
+  private:
+    unsigned setOf(Addr line_addr) const;
+
+    unsigned sets;
+    unsigned ways_;
+    std::uint64_t lruClock = 0;
+    std::vector<CacheLine> lines;
+};
+
+} // namespace nvo
+
+#endif // NVO_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,12 @@
+#include "cache/l1_cache.hh"
+
+namespace nvo
+{
+
+L1Cache::L1Cache(const Params &params, unsigned core_id)
+    : arr(params.sizeBytes, params.ways), lat(params.latency),
+      core(core_id)
+{
+}
+
+} // namespace nvo

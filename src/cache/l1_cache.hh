@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Private per-core L1 data cache. A thin wrapper over CacheArray; the
+ * coherence protocol itself is orchestrated by Hierarchy.
+ */
+
+#ifndef NVO_CACHE_L1_CACHE_HH
+#define NVO_CACHE_L1_CACHE_HH
+
+#include "cache/cache_array.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class L1Cache
+{
+  public:
+    struct Params
+    {
+        std::uint64_t sizeBytes = 32 * 1024;
+        unsigned ways = 8;
+        Cycle latency = 4;
+    };
+
+    L1Cache(const Params &params, unsigned core_id);
+
+    CacheArray &array() { return arr; }
+    const CacheArray &array() const { return arr; }
+    Cycle latency() const { return lat; }
+    unsigned coreId() const { return core; }
+
+  private:
+    CacheArray arr;
+    Cycle lat;
+    unsigned core;
+};
+
+} // namespace nvo
+
+#endif // NVO_CACHE_L1_CACHE_HH

@@ -1,0 +1,52 @@
+#include "cache/l2_cache.hh"
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+L2Cache::L2Cache(const Params &params, unsigned vd_id,
+                 unsigned cores_per_vd)
+    : arr(params.sizeBytes, params.ways), lat(params.latency), vd(vd_id),
+      localCores(cores_per_vd)
+{
+    nvo_assert(cores_per_vd <= 16, "sharer bitmask is 16 bits wide");
+}
+
+unsigned
+L2Cache::localIdx(unsigned core_id) const
+{
+    unsigned idx = core_id % localCores;
+    nvo_assert(core_id / localCores == vd, "core is not in this VD");
+    return idx;
+}
+
+void
+L2Cache::addSharer(CacheLine &line, unsigned local_idx)
+{
+    line.sharers |= static_cast<std::uint16_t>(1u << local_idx);
+}
+
+void
+L2Cache::removeSharer(CacheLine &line, unsigned local_idx)
+{
+    line.sharers &= static_cast<std::uint16_t>(~(1u << local_idx));
+}
+
+bool
+L2Cache::hasSharer(const CacheLine &line, unsigned local_idx)
+{
+    return (line.sharers >> local_idx) & 1u;
+}
+
+std::vector<unsigned>
+L2Cache::sharerList(const CacheLine &line) const
+{
+    std::vector<unsigned> out;
+    for (unsigned i = 0; i < localCores; ++i)
+        if (hasSharer(line, i))
+            out.push_back(i);
+    return out;
+}
+
+} // namespace nvo

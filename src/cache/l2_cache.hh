@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-VD shared, inclusive L2 cache. Besides the tag/data array it
+ * carries the intra-VD directory: each line's `sharers` field is a
+ * bitmask of the local L1s holding a copy.
+ */
+
+#ifndef NVO_CACHE_L2_CACHE_HH
+#define NVO_CACHE_L2_CACHE_HH
+
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class L2Cache
+{
+  public:
+    struct Params
+    {
+        std::uint64_t sizeBytes = 256 * 1024;
+        unsigned ways = 8;
+        Cycle latency = 8;
+    };
+
+    L2Cache(const Params &params, unsigned vd_id, unsigned cores_per_vd);
+
+    CacheArray &array() { return arr; }
+    const CacheArray &array() const { return arr; }
+    Cycle latency() const { return lat; }
+    unsigned vdId() const { return vd; }
+    unsigned coresPerVd() const { return localCores; }
+
+    /** Local L1 index (0..coresPerVd-1) for a global core id. */
+    unsigned localIdx(unsigned core_id) const;
+
+    static void addSharer(CacheLine &line, unsigned local_idx);
+    static void removeSharer(CacheLine &line, unsigned local_idx);
+    static bool hasSharer(const CacheLine &line, unsigned local_idx);
+
+    /** Local L1 indices currently sharing @p line. */
+    std::vector<unsigned> sharerList(const CacheLine &line) const;
+
+  private:
+    CacheArray arr;
+    Cycle lat;
+    unsigned vd;
+    unsigned localCores;
+};
+
+} // namespace nvo
+
+#endif // NVO_CACHE_L2_CACHE_HH

@@ -1,0 +1,31 @@
+#include "cache/llc.hh"
+
+namespace nvo
+{
+
+LlcSlice::LlcSlice(const Params &params, unsigned slice_id)
+    : arr(params.sliceBytes, params.ways), lat(params.latency),
+      slice(slice_id)
+{
+}
+
+DirEntry &
+LlcSlice::dir(Addr line_addr)
+{
+    return directory[line_addr];
+}
+
+DirEntry *
+LlcSlice::dirProbe(Addr line_addr)
+{
+    auto it = directory.find(line_addr);
+    return it == directory.end() ? nullptr : &it->second;
+}
+
+void
+LlcSlice::dirErase(Addr line_addr)
+{
+    directory.erase(line_addr);
+}
+
+} // namespace nvo

@@ -1,0 +1,73 @@
+#include "cache/noc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+MeshNoc::MeshNoc(const Params &params) : p(params)
+{
+    nvo_assert(p.numVds > 0 && p.numSlices > 0);
+    cols = static_cast<unsigned>(
+        std::ceil(std::sqrt(static_cast<double>(p.numVds))));
+    rows = (p.numVds + cols - 1) / cols;
+}
+
+void
+MeshNoc::vdTile(unsigned vd, unsigned &x, unsigned &y) const
+{
+    nvo_assert(vd < p.numVds);
+    x = vd % cols;
+    y = vd / cols;
+}
+
+void
+MeshNoc::sliceTile(unsigned slice, unsigned &x, unsigned &y) const
+{
+    nvo_assert(slice < p.numSlices);
+    // Spread slices evenly over the VD tiles they serve.
+    unsigned tile = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(slice) * p.numVds) / p.numSlices);
+    x = tile % cols;
+    y = tile / cols;
+}
+
+unsigned
+MeshNoc::hops(unsigned x0, unsigned y0, unsigned x1, unsigned y1) const
+{
+    unsigned dx = x0 > x1 ? x0 - x1 : x1 - x0;
+    unsigned dy = y0 > y1 ? y0 - y1 : y1 - y0;
+    return dx + dy;
+}
+
+Cycle
+MeshNoc::traversal(unsigned hop_count) const
+{
+    return p.portLatency + static_cast<Cycle>(hop_count) * p.hopLatency;
+}
+
+Cycle
+MeshNoc::vdToSlice(unsigned vd, unsigned slice) const
+{
+    unsigned vx, vy, sx, sy;
+    vdTile(vd, vx, vy);
+    sliceTile(slice, sx, sy);
+    return traversal(hops(vx, vy, sx, sy));
+}
+
+Cycle
+MeshNoc::sliceToVd(unsigned slice, unsigned vd) const
+{
+    return vdToSlice(vd, slice);
+}
+
+Cycle
+MeshNoc::diameterLatency() const
+{
+    return traversal((cols - 1) + (rows - 1));
+}
+
+} // namespace nvo

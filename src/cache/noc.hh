@@ -1,0 +1,73 @@
+/**
+ * @file
+ * 2D-mesh network-on-chip latency model (opt-in).
+ *
+ * The paper's scalability argument rests on distributed LLC slices
+ * and OMCs (Sec. II-D, Fig. 2): with a mesh interconnect, the cost of
+ * reaching a slice or snooping a remote VD depends on placement, not
+ * a single constant. When enabled (`sys.noc=true`), the hierarchy
+ * charges XY-routed hop latency between the requesting VD's tile, the
+ * home LLC slice, and any snooped VD, instead of the flat
+ * `llc.lat` / `sys.snoop_lat` constants.
+ *
+ * Topology: VD tiles fill an (approximately square) mesh row-major;
+ * LLC slices sit at evenly spaced tiles. One tile per VD keeps the
+ * model independent of cores-per-VD.
+ */
+
+#ifndef NVO_CACHE_NOC_HH
+#define NVO_CACHE_NOC_HH
+
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class MeshNoc
+{
+  public:
+    struct Params
+    {
+        unsigned numVds = 8;
+        unsigned numSlices = 4;
+        /** Per-hop router + link latency (cycles). */
+        Cycle hopLatency = 3;
+        /** Fixed injection/ejection overhead per traversal. */
+        Cycle portLatency = 2;
+    };
+
+    explicit MeshNoc(const Params &params);
+
+    unsigned width() const { return cols; }
+    unsigned height() const { return rows; }
+
+    /** Tile coordinates of a VD (row-major placement). */
+    void vdTile(unsigned vd, unsigned &x, unsigned &y) const;
+
+    /** Tile coordinates of an LLC slice (evenly spread). */
+    void sliceTile(unsigned slice, unsigned &x, unsigned &y) const;
+
+    /** Manhattan-distance hop count between two tiles. */
+    unsigned hops(unsigned x0, unsigned y0, unsigned x1,
+                  unsigned y1) const;
+
+    /** Latency of VD -> home slice traversal (one way). */
+    Cycle vdToSlice(unsigned vd, unsigned slice) const;
+
+    /** Latency of slice -> snooped VD traversal (one way). */
+    Cycle sliceToVd(unsigned slice, unsigned vd) const;
+
+    /** Worst-case one-way traversal latency in this mesh. */
+    Cycle diameterLatency() const;
+
+  private:
+    Cycle traversal(unsigned hop_count) const;
+
+    Params p;
+    unsigned cols;
+    unsigned rows;
+};
+
+} // namespace nvo
+
+#endif // NVO_CACHE_NOC_HH

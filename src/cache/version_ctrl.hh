@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Interface between the cache hierarchy (CST frontend) and the
+ * NVOverlay machinery (epoch management + MNM backend).
+ *
+ * The hierarchy never depends on nvoverlay/ headers; when a
+ * VersionCtrl is installed the hierarchy runs the version access
+ * protocol and routes version traffic through this interface, and
+ * when none is installed it behaves as a plain MESI hierarchy (used
+ * by all baseline schemes).
+ */
+
+#ifndef NVO_CACHE_VERSION_CTRL_HH
+#define NVO_CACHE_VERSION_CTRL_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+
+namespace nvo
+{
+
+class VersionCtrl
+{
+  public:
+    virtual ~VersionCtrl() = default;
+
+    /** Current epoch of versioned domain @p vd. */
+    virtual EpochWide vdEpoch(unsigned vd) const = 0;
+
+    /**
+     * Lamport-clock observation: VD @p vd received a coherence
+     * response carrying version @p rv. If rv is ahead of the VD's
+     * epoch the VD advances (stalling its cores briefly and dumping
+     * context); the returned cycles are charged to the requester.
+     */
+    virtual Cycle observeRemoteVersion(unsigned vd, EpochWide rv,
+                                       Cycle now) = 0;
+
+    /**
+     * A version left VD @p vd toward the OMC (L2 eviction, coherence
+     * write back, or tag walk). @p content is the sealed version
+     * payload. Returns back-pressure stall cycles (NVM queue full).
+     */
+    virtual Cycle acceptVersion(unsigned vd, Addr line_addr,
+                                EpochWide oid, SeqNo seq,
+                                const LineData &content,
+                                EvictReason why, Cycle now) = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_CACHE_VERSION_CTRL_HH

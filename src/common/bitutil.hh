@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and mapping tables.
+ */
+
+#ifndef NVO_COMMON_BITUTIL_HH
+#define NVO_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be nonzero. */
+constexpr unsigned
+log2Floor(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** log2 of a power of two. */
+inline unsigned
+log2Exact(std::uint64_t v)
+{
+    nvo_assert(isPow2(v));
+    return log2Floor(v);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo == 63) ? ~0ull
+                                        : ((1ull << (hi - lo + 1)) - 1));
+}
+
+/** Align an address down to the containing cache line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Align an address down to the containing page. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(pageBytes - 1);
+}
+
+/** Line index within its page (0..63). */
+constexpr unsigned
+lineInPage(Addr a)
+{
+    return static_cast<unsigned>(bits(a, pageBytesLog2 - 1, lineBytesLog2));
+}
+
+/** Round @p v up to the next multiple of @p align (power of two). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace nvo
+
+#endif // NVO_COMMON_BITUTIL_HH

@@ -1,0 +1,113 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+    resolved[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::uint64_t value)
+{
+    set(key, std::to_string(value));
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    set(key, std::to_string(value));
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::uint64_t
+Config::getU64(const std::string &key, std::uint64_t dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end()) {
+        resolved[key] = std::to_string(dflt);
+        return dflt;
+    }
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not an integer", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+Config::getF64(const std::string &key, double dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end()) {
+        resolved[key] = std::to_string(dflt);
+        return dflt;
+    }
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a number", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end()) {
+        resolved[key] = dflt ? "true" : "false";
+        return dflt;
+    }
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes")
+        return true;
+    if (s == "false" || s == "0" || s == "no")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(), s.c_str());
+}
+
+std::string
+Config::getStr(const std::string &key, const std::string &dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end()) {
+        resolved[key] = dflt;
+        return dflt;
+    }
+    return it->second;
+}
+
+void
+Config::parseArg(const std::string &arg)
+{
+    auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("malformed config argument '%s' (want key=value)",
+              arg.c_str());
+    set(arg.substr(0, eq), arg.substr(eq + 1));
+}
+
+std::map<std::string, std::string>
+Config::dump() const
+{
+    std::map<std::string, std::string> out = resolved;
+    for (const auto &kv : values)
+        out[kv.first] = kv.second;
+    return out;
+}
+
+} // namespace nvo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Flat key-value configuration store with typed accessors.
+ *
+ * Keys use dotted paths ("l2.size_kb"). Values are stored as strings
+ * and parsed on access; unknown keys fall back to the caller-supplied
+ * default so every parameter has exactly one authoritative default at
+ * its point of use. Accessed keys are recorded so table2_config can
+ * print the full resolved configuration.
+ */
+
+#ifndef NVO_COMMON_CONFIG_HH
+#define NVO_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nvo
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or override) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, double value);
+
+    /** True iff the key was explicitly set. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters. The default is recorded as the resolved value when
+     * the key is absent, so dump() reflects the effective config.
+     */
+    std::uint64_t getU64(const std::string &key, std::uint64_t dflt) const;
+    double getF64(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    std::string getStr(const std::string &key,
+                       const std::string &dflt) const;
+
+    /**
+     * Parse "key=value" pairs, e.g., from command-line arguments.
+     * Malformed input is a user error (fatal).
+     */
+    void parseArg(const std::string &arg);
+
+    /** All keys that were set or accessed, with resolved values. */
+    std::map<std::string, std::string> dump() const;
+
+  private:
+    std::map<std::string, std::string> values;
+    /** Resolved view, including defaults observed on access. */
+    mutable std::map<std::string, std::string> resolved;
+};
+
+} // namespace nvo
+
+#endif // NVO_COMMON_CONFIG_HH

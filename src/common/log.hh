@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition: panic() for
+ * simulator bugs (aborts), fatal() for user/configuration errors
+ * (clean exit), warn()/inform() for advisory messages.
+ */
+
+#ifndef NVO_COMMON_LOG_HH
+#define NVO_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace nvo
+{
+
+/** Print an error for a simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error the user caused and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Advisory: something may be modelled imperfectly. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Advisory: normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (tests use this). */
+void setQuiet(bool quiet);
+
+/**
+ * Assert-like check active in all build types.
+ * Use for simulator invariants whose violation means a bug.
+ */
+#define nvo_assert(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::nvo::panic("assertion '%s' failed at %s:%d %s", #cond,   \
+                         __FILE__, __LINE__,                           \
+                         ::nvo::detail::firstArgOrEmpty(__VA_ARGS__)); \
+        }                                                              \
+    } while (0)
+
+namespace detail
+{
+inline const char *firstArgOrEmpty() { return ""; }
+inline const char *firstArgOrEmpty(const char *msg) { return msg; }
+inline const char *firstArgOrEmpty(const std::string &msg)
+{
+    return msg.c_str();
+}
+} // namespace detail
+
+} // namespace nvo
+
+#endif // NVO_COMMON_LOG_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Run statistics: hot counters as plain fields, plus a histogram and a
+ * bandwidth time series. Every experiment harness consumes a RunStats.
+ */
+
+#ifndef NVO_COMMON_STATS_HH
+#define NVO_COMMON_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvo
+{
+
+/** Where NVM write bytes came from; drives write-amplification plots. */
+enum class NvmWriteKind : unsigned
+{
+    Data = 0,    ///< snapshot / working data lines
+    Log,         ///< undo/redo log entries (logging schemes)
+    Mapping,     ///< persistent mapping-table metadata (shadow schemes)
+    Context,     ///< per-core context dumps at epoch ends
+    NumKinds
+};
+
+const char *toString(NvmWriteKind kind);
+
+/** Why a line left a cache; drives the Fig. 15 decomposition. */
+enum class EvictReason : unsigned
+{
+    Capacity = 0,   ///< replacement on a fill
+    Coherence,      ///< external invalidation / downgrade (incl. logs)
+    TagWalk,        ///< background tag walker write back
+    StoreEvict,     ///< NVOverlay store-eviction of an immutable version
+    EpochFlush,     ///< synchronous flush at an epoch boundary
+    NumReasons
+};
+
+const char *toString(EvictReason reason);
+
+/** Fixed-width bucketed histogram over uint64 samples. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::uint64_t bucket_width = 1,
+                       std::size_t num_buckets = 64);
+
+    void add(std::uint64_t sample);
+    std::uint64_t count() const { return samples; }
+    std::uint64_t total() const { return sum; }
+    double mean() const;
+    std::uint64_t maxSample() const { return maxSeen; }
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return buckets;
+    }
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
+ * Bytes binned by cycle bucket; used for the Fig. 17 NVM bandwidth
+ * time series. Buckets extend on demand.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(Cycle bucket_cycles = 100000);
+
+    void add(Cycle when, std::uint64_t bytes);
+    Cycle bucketCycles() const { return width; }
+    const std::vector<std::uint64_t> &buckets() const { return bins; }
+
+    /** Bandwidth in GB/s for bucket @p i at @p cycles_per_sec. */
+    double gbPerSec(std::size_t i, double cycles_per_sec) const;
+
+    /** Peak bucket value in bytes. */
+    std::uint64_t peakBytes() const;
+
+    /** Mean bytes over non-empty prefix [0, last non-zero bucket]. */
+    double meanBytes() const;
+
+  private:
+    Cycle width;
+    std::vector<std::uint64_t> bins;
+};
+
+/** All statistics produced by one simulation run. */
+struct RunStats
+{
+    // Execution.
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t barrierStallCycles = 0;
+
+    // Cache behaviour.
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+    std::uint64_t llcHits = 0, llcMisses = 0;
+
+    // Epochs.
+    std::uint64_t epochAdvances = 0;        ///< store-count triggered
+    std::uint64_t lamportAdvances = 0;      ///< coherence-driven
+    std::uint64_t contextDumps = 0;
+
+    // NVM / DRAM traffic.
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(NvmWriteKind::NumKinds)>
+        nvmWriteBytes{};
+    std::uint64_t nvmWriteOps = 0;
+    std::uint64_t nvmReadBytes = 0;
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+
+    // Evictions by reason (counts of line write backs).
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(EvictReason::NumReasons)>
+        evictReason{};
+
+    // NVOverlay backend.
+    std::uint64_t omcBufferHits = 0;
+    std::uint64_t omcBufferMisses = 0;
+    std::uint64_t masterTableBytes = 0;
+    std::uint64_t masterMappedLines = 0;
+    std::uint64_t epochTableBytes = 0;
+    std::uint64_t poolPagesInUse = 0;
+    std::uint64_t gcCompactions = 0;
+    std::uint64_t gcBytesCopied = 0;
+    std::uint64_t tagWalkLinesScanned = 0;
+    std::uint64_t tagWalkWriteBacks = 0;
+
+    /** NVM write bandwidth series (all kinds combined). */
+    TimeSeries nvmBandwidth{100000};
+
+    /** Cold extension counters keyed by name. */
+    std::map<std::string, std::uint64_t> extra;
+
+    void addNvmWrite(NvmWriteKind kind, std::uint64_t bytes, Cycle when);
+
+    std::uint64_t totalNvmWriteBytes() const;
+    std::uint64_t nvmDataBytes() const;
+
+    /**
+     * Write amplification relative to @p base_bytes of application
+     * dirty data; returns 0 when base is 0.
+     */
+    double writeAmp(std::uint64_t base_bytes) const;
+
+    void print(std::ostream &os, const std::string &label) const;
+};
+
+} // namespace nvo
+
+#endif // NVO_COMMON_STATS_HH

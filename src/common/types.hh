@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef NVO_COMMON_TYPES_HH
+#define NVO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace nvo
+{
+
+/** Simulated physical address (48 bits used). */
+using Addr = std::uint64_t;
+
+/** Simulated cycle count (3 GHz nominal clock). */
+using Cycle = std::uint64_t;
+
+/** Epoch / overlay identifier, 16 bits in hardware (paper Sec. IV). */
+using EpochId = std::uint16_t;
+
+/** Wide epoch used where wrap-around has already been resolved. */
+using EpochWide = std::uint64_t;
+
+/** Monotonic per-line store sequence number (verification aid). */
+using SeqNo = std::uint64_t;
+
+/** Cache line geometry: 64-byte lines throughout (Table II). */
+constexpr unsigned lineBytesLog2 = 6;
+constexpr unsigned lineBytes = 1u << lineBytesLog2;
+
+/** Page geometry: 4 KB pages (MNM overlay pages). */
+constexpr unsigned pageBytesLog2 = 12;
+constexpr unsigned pageBytes = 1u << pageBytesLog2;
+constexpr unsigned linesPerPage = pageBytes / lineBytes;
+
+/** An invalid / null simulated address. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace nvo
+
+#endif // NVO_COMMON_TYPES_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simple core timing model: 4-wide in-order issue approximation. Each
+ * core consumes references from its thread's RefSource, charging gap
+ * cycles for non-memory instructions plus hierarchy latency for each
+ * reference, and invokes the active snapshot scheme on every store.
+ */
+
+#ifndef NVO_CPU_CORE_HH
+#define NVO_CPU_CORE_HH
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/memref.hh"
+
+namespace nvo
+{
+
+class Scheme;
+
+class Core
+{
+  public:
+    struct Params
+    {
+        unsigned issueWidth = 4;
+    };
+
+    Core(const Params &params, unsigned core_id, Hierarchy &hierarchy,
+         RefSource &source, Scheme &scheme, RunStats &run_stats);
+
+    /** Advance until the local clock reaches @p quantum_end or the
+     *  thread finishes. */
+    void runUntil(Cycle quantum_end);
+
+    bool done() const { return finished && pos >= queue.size(); }
+    Cycle cycle() const { return localCycle; }
+    unsigned id() const { return coreId; }
+
+    /** External stall (e.g., epoch-advance pipeline drain). */
+    void addStall(Cycle c) { localCycle += c; }
+
+  private:
+    Params p;
+    unsigned coreId;
+    Hierarchy &hier;
+    RefSource &src;
+    Scheme &scheme;
+    RunStats &stats;
+
+    Cycle localCycle = 0;
+    bool finished = false;
+    std::vector<MemRef> queue;
+    std::size_t pos = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_CPU_CORE_HH

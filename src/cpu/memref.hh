@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Memory reference descriptors produced by workloads and consumed by
+ * the core timing model.
+ */
+
+#ifndef NVO_CPU_MEMREF_HH
+#define NVO_CPU_MEMREF_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvo
+{
+
+/** One memory operation plus the non-memory work preceding it. */
+struct MemRef
+{
+    Addr addr = 0;
+    /** Non-memory instructions executed before this reference. */
+    std::uint32_t gapInstrs = 0;
+    std::uint8_t size = 8;
+    bool isStore = false;
+    bool hasData = false;
+    std::uint8_t data[8] = {};
+
+    /** Keep an access inside its first cache line (split accesses
+     *  are modelled as one reference to the leading line). */
+    static Addr
+    clampToLine(Addr a, std::uint8_t sz)
+    {
+        Addr line = a & ~static_cast<Addr>(lineBytes - 1);
+        if (a + sz > line + lineBytes)
+            return line + lineBytes - sz;
+        return a;
+    }
+
+    static MemRef
+    ld(Addr a, std::uint32_t gap = 0, std::uint8_t sz = 8)
+    {
+        MemRef r;
+        r.addr = clampToLine(a, sz);
+        r.gapInstrs = gap;
+        r.size = sz;
+        return r;
+    }
+
+    static MemRef
+    st(Addr a, std::uint32_t gap = 0, std::uint8_t sz = 8)
+    {
+        MemRef r;
+        r.addr = clampToLine(a, sz);
+        r.gapInstrs = gap;
+        r.size = sz;
+        r.isStore = true;
+        return r;
+    }
+
+    /** Store carrying real bytes (at most 8). */
+    template <typename T>
+    static MemRef
+    stVal(Addr a, const T &value, std::uint32_t gap = 0)
+    {
+        static_assert(sizeof(T) <= 8);
+        MemRef r = st(a, gap, sizeof(T));
+        r.hasData = true;
+        std::memcpy(r.data, &value, sizeof(T));
+        return r;
+    }
+};
+
+/**
+ * Source of memory references for one hardware thread. Workloads
+ * implement this: each call generates one logical operation (e.g.,
+ * one B+Tree insert) as a batch of references.
+ */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /**
+     * Produce the next operation's references for thread @p thread
+     * into @p out (cleared by the callee). Returns false when the
+     * thread has finished its work.
+     */
+    virtual bool nextOp(unsigned thread, std::vector<MemRef> &out) = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_CPU_MEMREF_HH

@@ -1,0 +1,76 @@
+#include "harness/experiment.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "harness/system.hh"
+
+namespace nvo
+{
+
+Config
+defaultConfig()
+{
+    Config cfg;
+    // Table II: 16 cores, 4-way superscalar @ 3 GHz; 32 KB L1-D;
+    // 256 KB L2; 32 MB shared LLC; DDR3-1333 x4; NVDIMM 16 banks,
+    // 133 ns write latency.
+    cfg.set("sys.cores", std::uint64_t(16));
+    cfg.set("sys.cores_per_vd", std::uint64_t(2));
+    cfg.set("sys.llc_slices", std::uint64_t(4));
+    cfg.set("sys.issue_width", std::uint64_t(4));
+    cfg.set("l1.kb", std::uint64_t(32));
+    cfg.set("l2.kb", std::uint64_t(256));
+    cfg.set("llc.mb", std::uint64_t(32));
+    // 16 banks per NVDIMM (Table II) x 4 memory controllers.
+    cfg.set("nvm.banks", std::uint64_t(64));
+    cfg.set("nvm.write_occupancy", std::uint64_t(400));   // 133 ns
+    // Scaled-down default run length (the paper runs 1.6 B instrs;
+    // see DESIGN.md on scaling). Overridable via NVO_OPS.
+    cfg.set("wl.ops", std::uint64_t(4096));
+    cfg.set("epoch.stores_global", std::uint64_t(1) << 20);
+    return cfg;
+}
+
+void
+applyOverrides(Config &cfg, const std::vector<std::string> &args)
+{
+    struct EnvKey
+    {
+        const char *env;
+        const char *key;
+    };
+    static const EnvKey keys[] = {
+        {"NVO_OPS", "wl.ops"},
+        {"NVO_EPOCH_STORES", "epoch.stores_global"},
+        {"NVO_THREADS", "sys.cores"},
+        {"NVO_SEED", "wl.seed"},
+    };
+    for (const auto &k : keys) {
+        if (const char *v = std::getenv(k.env))
+            cfg.set(k.key, std::string(v));
+    }
+    for (const auto &arg : args)
+        cfg.parseArg(arg);
+}
+
+ExpResult
+runExperiment(const Config &cfg, const std::string &scheme,
+              const std::string &workload)
+{
+    ExpResult result;
+    result.scheme = scheme;
+    result.workload = workload;
+
+    auto start = std::chrono::steady_clock::now();
+    System sys(cfg, scheme, workload);
+    sys.run();
+    auto end = std::chrono::steady_clock::now();
+
+    result.stats = sys.stats();
+    result.hostSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace nvo

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Experiment driver shared by the bench binaries: builds a System
+ * from the Table II default configuration (plus overrides), runs it,
+ * and returns the RunStats. Also provides environment-variable
+ * plumbing so `NVO_OPS=… ./bench/fig11_cycles` can scale runs without
+ * rebuilding.
+ */
+
+#ifndef NVO_HARNESS_EXPERIMENT_HH
+#define NVO_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace nvo
+{
+
+/** The Table II configuration. */
+Config defaultConfig();
+
+/**
+ * Apply NVO_* environment overrides (NVO_OPS, NVO_EPOCH_STORES,
+ * NVO_THREADS, NVO_SEED) and any "key=value" strings in @p args.
+ */
+void applyOverrides(Config &cfg,
+                    const std::vector<std::string> &args = {});
+
+struct ExpResult
+{
+    std::string scheme;
+    std::string workload;
+    RunStats stats;
+    double hostSeconds = 0;
+};
+
+/** Build, run to completion, finalize, and collect stats. */
+ExpResult runExperiment(const Config &cfg, const std::string &scheme,
+                        const std::string &workload);
+
+} // namespace nvo
+
+#endif // NVO_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Full-system assembly: backing store, DRAM/NVM device models, cache
+ * hierarchy, cores, snapshot scheme, and workload, built from one
+ * Config (defaults follow Table II) and driven with a bound-and-weave
+ * quantum loop.
+ */
+
+#ifndef NVO_HARNESS_SYSTEM_HH
+#define NVO_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/scheme.hh"
+#include "cache/hierarchy.hh"
+#include "cache/noc.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "mem/backing_store.hh"
+#include "mem/dram_model.hh"
+#include "mem/nvm_model.hh"
+#include "mem/write_tracker.hh"
+#include "workload/workload.hh"
+
+namespace nvo
+{
+
+class System
+{
+  public:
+    /**
+     * Build a system running @p workload_name under @p scheme_name.
+     * Config keys (all optional; defaults are Table II):
+     *   sys.cores, sys.cores_per_vd, sys.llc_slices, sys.quantum
+     *   l1.kb/l1.ways/l1.lat, l2.kb/l2.ways/l2.lat,
+     *   llc.mb/llc.ways/llc.lat
+     *   dram.channels, nvm.banks/nvm.write_occupancy/nvm.read_lat/
+     *   nvm.queue_depth
+     *   epoch.stores_global (1M store uops, Sec. VI-B)
+     *   sim.track_writes (enable the verification tracker)
+     *   wl.* (workload sizing), nvo.* / mnm.* / picl.* / sw.*
+     */
+    System(const Config &cfg, const std::string &scheme_name,
+           const std::string &workload_name);
+
+    /** Variant with an injected workload (tests). */
+    System(const Config &cfg, const std::string &scheme_name,
+           std::unique_ptr<WorkloadBase> workload);
+
+    /** Run to completion and finalize the scheme. */
+    void run();
+
+    /**
+     * Run until the global clock reaches @p limit (a simulated crash
+     * point when the workload has not finished). Returns true when
+     * the workload completed before the limit. No finalize.
+     */
+    bool runUntil(Cycle limit);
+
+    bool done() const;
+    Cycle now() const { return quantumEnd; }
+
+    RunStats &stats() { return stats_; }
+    const RunStats &stats() const { return stats_; }
+    Hierarchy &hierarchy() { return *hier; }
+    Scheme &scheme() { return *scheme_; }
+    NvmModel &nvm() { return *nvm_; }
+    BackingStore &memory() { return backing; }
+    WorkloadBase &workload() { return *wl; }
+    WriteTracker *tracker() { return wtracker.get(); }
+    const Config &config() const { return cfg_; }
+
+  private:
+    void build(const std::string &scheme_name);
+    void stepQuantum();
+
+    Config cfg_;
+    RunStats stats_;
+    BackingStore backing;
+    std::unique_ptr<WriteTracker> wtracker;
+    std::unique_ptr<DramModel> dram;
+    std::unique_ptr<NvmModel> nvm_;
+    std::unique_ptr<WorkloadBase> wl;
+    std::unique_ptr<Scheme> scheme_;
+    std::unique_ptr<MeshNoc> noc;
+    std::unique_ptr<Hierarchy> hier;
+    std::vector<std::unique_ptr<Core>> cores;
+    Cycle quantum;
+    Cycle quantumEnd = 0;
+    bool finalized = false;
+};
+
+} // namespace nvo
+
+#endif // NVO_HARNESS_SYSTEM_HH

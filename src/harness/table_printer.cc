@@ -1,0 +1,41 @@
+#include "harness/table_printer.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace nvo
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           unsigned width)
+    : cols(std::move(columns)), colWidth(width)
+{
+}
+
+void
+TablePrinter::printHeader(std::ostream &os) const
+{
+    for (const auto &c : cols)
+        os << std::setw(colWidth) << c;
+    os << "\n";
+    os << std::string(cols.size() * colWidth, '-') << "\n";
+}
+
+void
+TablePrinter::printRow(const std::vector<std::string> &cells,
+                       std::ostream &os) const
+{
+    for (const auto &c : cells)
+        os << std::setw(colWidth) << c;
+    os << "\n";
+}
+
+std::string
+TablePrinter::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+} // namespace nvo

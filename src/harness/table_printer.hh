@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Aligned-table output for the bench binaries: each bench prints rows
+ * directly comparable to its paper figure.
+ */
+
+#ifndef NVO_HARNESS_TABLE_PRINTER_HH
+#define NVO_HARNESS_TABLE_PRINTER_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace nvo
+{
+
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> columns,
+                          unsigned width = 12);
+
+    void printHeader(std::ostream &os = std::cout) const;
+    void printRow(const std::vector<std::string> &cells,
+                  std::ostream &os = std::cout) const;
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+  private:
+    std::vector<std::string> cols;
+    unsigned colWidth;
+};
+
+} // namespace nvo
+
+#endif // NVO_HARNESS_TABLE_PRINTER_HH

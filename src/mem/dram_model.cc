@@ -1,0 +1,51 @@
+#include "mem/dram_model.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+DramModel::DramModel(const Params &params, RunStats *run_stats)
+    : p(params), stats(run_stats), chanFree(params.channels, 0)
+{
+    nvo_assert(params.channels > 0);
+}
+
+unsigned
+DramModel::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> lineBytesLog2) % p.channels);
+}
+
+Cycle
+DramModel::occupy(Addr addr, std::uint32_t bytes, Cycle now)
+{
+    unsigned chan = channelOf(addr);
+    Cycle start = std::max(now, chanFree[chan]);
+    std::uint32_t chunks = (bytes + lineBytes - 1) / lineBytes;
+    Cycle done = start + p.accessLatency +
+                 static_cast<Cycle>(chunks - 1) * p.occupancyPer64B;
+    chanFree[chan] = start + chunks * p.occupancyPer64B;
+    return done - now;
+}
+
+Cycle
+DramModel::read(Addr addr, std::uint32_t bytes, Cycle now)
+{
+    if (stats)
+        stats->dramReadBytes += bytes;
+    return occupy(addr, bytes, now);
+}
+
+Cycle
+DramModel::write(Addr addr, std::uint32_t bytes, Cycle now)
+{
+    if (stats)
+        stats->dramWriteBytes += bytes;
+    return occupy(addr, bytes, now);
+}
+
+} // namespace nvo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Timing model for working-copy DRAM (Table II: DDR3-1333, 4 memory
+ * channels). Far simpler than the NVM model: per-channel occupancy
+ * plus a fixed access latency; DRAM bandwidth is never the bottleneck
+ * in the paper's experiments.
+ */
+
+#ifndef NVO_MEM_DRAM_MODEL_HH
+#define NVO_MEM_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class DramModel
+{
+  public:
+    struct Params
+    {
+        unsigned channels = 4;
+        Cycle accessLatency = 150;          ///< ~50 ns @ 3 GHz
+        Cycle occupancyPer64B = 18;         ///< ~10.6 GB/s per channel
+    };
+
+    DramModel(const Params &params, RunStats *run_stats);
+
+    /** Latency of a read of @p bytes at @p addr issued at @p now. */
+    Cycle read(Addr addr, std::uint32_t bytes, Cycle now);
+
+    /** Latency of a write (write backs are posted; latency rarely
+     *  matters, but channel occupancy is still consumed). */
+    Cycle write(Addr addr, std::uint32_t bytes, Cycle now);
+
+  private:
+    unsigned channelOf(Addr addr) const;
+    Cycle occupy(Addr addr, std::uint32_t bytes, Cycle now);
+
+    Params p;
+    RunStats *stats;
+    std::vector<Cycle> chanFree;
+};
+
+} // namespace nvo
+
+#endif // NVO_MEM_DRAM_MODEL_HH

@@ -1,0 +1,105 @@
+#include "mem/nvm_model.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+NvmModel::NvmModel(const Params &params, RunStats *run_stats)
+    : p(params), stats(run_stats), bankFree(params.banks, 0)
+{
+    nvo_assert(params.banks > 0);
+    nvo_assert(params.writeOccupancy > 0);
+    // Buffer window expressed in drain time: how long the device may
+    // run behind demand before issuers feel back-pressure.
+    windowCycles = static_cast<Cycle>(
+        static_cast<double>(p.bufferBytes) /
+        (static_cast<double>(p.banks) * lineBytes /
+         static_cast<double>(p.writeOccupancy)));
+}
+
+double
+NvmModel::bytesPerCycle() const
+{
+    return static_cast<double>(p.banks) * lineBytes /
+           static_cast<double>(p.writeOccupancy);
+}
+
+unsigned
+NvmModel::bankOf(Addr addr) const
+{
+    // Interleave consecutive lines across banks.
+    return static_cast<unsigned>((addr >> lineBytesLog2) % p.banks);
+}
+
+NvmModel::Issue
+NvmModel::write(Addr addr, std::uint32_t bytes, Cycle now,
+                NvmWriteKind kind)
+{
+    nvo_assert(bytes > 0);
+
+    // Bandwidth model: accumulate drain work on the aggregate device
+    // clock; stall only when the backlog no longer fits the buffer.
+    // Issuer clocks are only loosely synchronized (bound-and-weave
+    // quanta), so back-pressure is computed against a monotonic
+    // device-side view of time to avoid quantum-skew artifacts.
+    deviceNow = std::max(deviceNow, now);
+    Cycle work = std::max<Cycle>(
+        1, (static_cast<Cycle>(bytes) * p.writeOccupancy) /
+               (static_cast<Cycle>(p.banks) * lineBytes));
+    busyUntil = std::max(busyUntil, deviceNow) + work;
+
+    Cycle stall = 0;
+    if (busyUntil > deviceNow + windowCycles) {
+        stall = busyUntil - windowCycles - deviceNow;
+        stallCycles += stall;
+        now += stall;
+    }
+
+    // Durability model: the write lands in its bank.
+    Cycle completion = now;
+    std::uint32_t chunks = (bytes + lineBytes - 1) / lineBytes;
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+        unsigned bank = bankOf(addr + i * lineBytes);
+        Cycle start = std::max(now, bankFree[bank]);
+        Cycle done = start + p.writeOccupancy;
+        bankFree[bank] = done;
+        if (done > completion)
+            completion = done;
+    }
+
+    writeBytes += bytes;
+    // The bandwidth time series records *drain* time (busyUntil), so
+    // plotted bandwidth never exceeds device capacity even when the
+    // DRAM buffer absorbs an issue burst (Fig. 17 semantics).
+    if (stats)
+        stats->addNvmWrite(kind, bytes, busyUntil);
+    return Issue{stall, completion};
+}
+
+Cycle
+NvmModel::read(Addr addr, std::uint32_t bytes, Cycle now)
+{
+    nvo_assert(bytes > 0);
+    unsigned bank = bankOf(addr);
+    Cycle start = std::max(now, bankFree[bank]);
+    Cycle done = start + p.readLatency;
+    readBytes += bytes;
+    if (stats)
+        stats->nvmReadBytes += bytes;
+    return done - now;
+}
+
+Cycle
+NvmModel::drainCompletion() const
+{
+    Cycle latest = busyUntil;
+    for (Cycle c : bankFree)
+        latest = std::max(latest, c);
+    return latest;
+}
+
+} // namespace nvo

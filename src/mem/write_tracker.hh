@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Verification-only record of every committed store.
+ *
+ * The correctness theorem (DESIGN.md Sec. 2): per-line version epochs
+ * are non-decreasing, so the recovered content of a line at
+ * recoverable epoch Er must equal the content after the *last* store
+ * to it with epoch <= Er. The tracker records, per line, the sequence
+ * of (seq, wide epoch, content digest) triples so tests can compute
+ * the expected image for any Er and compare digests.
+ */
+
+#ifndef NVO_MEM_WRITE_TRACKER_HH
+#define NVO_MEM_WRITE_TRACKER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvo
+{
+
+class WriteTracker
+{
+  public:
+    struct Entry
+    {
+        SeqNo seq;
+        EpochWide epoch;
+        std::uint64_t digest;   ///< content digest after the store
+    };
+
+    /** Record a committed store to @p line_addr. */
+    void record(Addr line_addr, SeqNo seq, EpochWide epoch,
+                std::uint64_t digest);
+
+    /**
+     * Expected digest of @p line_addr when recovering at epoch
+     * @p er (inclusive); nullopt when the line has no store with
+     * epoch <= er (its recovered content is unconstrained / absent).
+     */
+    std::optional<std::uint64_t> expectedDigest(Addr line_addr,
+                                                EpochWide er) const;
+
+    /** Check that per-line epochs never decrease (theorem premise). */
+    bool epochsMonotonic() const;
+
+    /** All tracked line addresses. */
+    std::vector<Addr> trackedLines() const;
+
+    /** Full per-line history (diagnostics). */
+    const std::vector<Entry> *lineHistory(Addr line_addr) const
+    {
+        auto it = history.find(line_addr);
+        return it == history.end() ? nullptr : &it->second;
+    }
+
+    std::uint64_t numStores() const { return storeCount; }
+
+  private:
+    std::unordered_map<Addr, std::vector<Entry>> history;
+    std::uint64_t storeCount = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_MEM_WRITE_TRACKER_HH

@@ -1,0 +1,41 @@
+#include "nvoverlay/epoch.hh"
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+EpochSenseTracker::EpochSenseTracker(unsigned num_vds)
+    : vdEpochs(num_vds, 0)
+{
+    nvo_assert(num_vds > 0);
+}
+
+bool
+EpochSenseTracker::onAdvance(unsigned vd, EpochWide new_epoch)
+{
+    nvo_assert(vd < vdEpochs.size());
+    nvo_assert(new_epoch >= vdEpochs[vd], "epochs must not go back");
+    vdEpochs[vd] = new_epoch;
+
+    // Track skew.
+    EpochWide lo = vdEpochs[0], hi = vdEpochs[0];
+    for (EpochWide e : vdEpochs) {
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    maxSkew_ = std::max(maxSkew_, hi - lo);
+
+    // Flip the sense bit the first time any VD enters the other
+    // group, recycling the numbers of the now-trailing group.
+    unsigned g = epoch::group(epoch::narrow(new_epoch));
+    if (g != leadGroup) {
+        leadGroup = g;
+        sense = !sense;
+        ++flipCount;
+        return true;
+    }
+    return false;
+}
+
+} // namespace nvo

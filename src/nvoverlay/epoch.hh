@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Epoch-number encoding and wrap-around handling (paper Sec. IV-D).
+ *
+ * Hardware tags carry 16-bit OIDs. The simulator core tracks epochs as
+ * 64-bit values for convenience; this module provides the narrow
+ * encoding, wrap-aware comparison, widening against a reference, and
+ * the two-group epoch-sense scheme that bounds inter-VD skew to half
+ * the version-number space.
+ */
+
+#ifndef NVO_NVOVERLAY_EPOCH_HH
+#define NVO_NVOVERLAY_EPOCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvo
+{
+namespace epoch
+{
+
+constexpr unsigned narrowBits = 16;
+constexpr EpochWide halfSpace = 1ull << (narrowBits - 1);
+
+/** Narrow a wide epoch to its 16-bit hardware tag. */
+inline EpochId
+narrow(EpochWide e)
+{
+    return static_cast<EpochId>(e & 0xffff);
+}
+
+/**
+ * Wrap-aware comparison of two narrow epochs. Valid whenever the true
+ * distance between them is less than half the space (which the
+ * epoch-sense scheme guarantees). Returns <0, 0, >0.
+ */
+inline int
+compareNarrow(EpochId a, EpochId b)
+{
+    auto diff = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(a - b));
+    return diff < 0 ? -1 : (diff > 0 ? 1 : 0);
+}
+
+/**
+ * Reconstruct the wide epoch nearest to @p ref whose narrow encoding
+ * is @p n. Correct when |true - ref| < half the space.
+ */
+inline EpochWide
+widen(EpochId n, EpochWide ref)
+{
+    auto delta = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(n - narrow(ref)));
+    return ref + delta;
+}
+
+/** Epoch group (L = 0, U = 1) of a narrow epoch. */
+inline unsigned
+group(EpochId n)
+{
+    return (n >> (narrowBits - 1)) & 1u;
+}
+
+} // namespace epoch
+
+/**
+ * The two-group wrap-around scheme: the epoch space is split into
+ * groups L and U; a persistent epoch-sense bit says which group is
+ * logically ahead. The bit flips whenever a VD first advances into
+ * the other group, recycling the numbers of the now-smaller group.
+ * The tracker also verifies the invariant the scheme relies on:
+ * inter-VD skew stays below half the space.
+ */
+class EpochSenseTracker
+{
+  public:
+    explicit EpochSenseTracker(unsigned num_vds);
+
+    /**
+     * Record that @p vd advanced to @p new_epoch (wide). Returns true
+     * when the epoch-sense bit flipped on this advance.
+     */
+    bool onAdvance(unsigned vd, EpochWide new_epoch);
+
+    bool senseBit() const { return sense; }
+
+    /** Largest pairwise skew observed so far. */
+    EpochWide maxSkew() const { return maxSkew_; }
+
+    /** True while all observed skews stayed below half the space. */
+    bool skewWithinBound() const
+    {
+        return maxSkew_ < epoch::halfSpace;
+    }
+
+    std::uint64_t flips() const { return flipCount; }
+
+  private:
+    std::vector<EpochWide> vdEpochs;
+    bool sense = false;
+    unsigned leadGroup = 0;
+    EpochWide maxSkew_ = 0;
+    std::uint64_t flipCount = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_NVOVERLAY_EPOCH_HH

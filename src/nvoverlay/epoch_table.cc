@@ -1,0 +1,259 @@
+#include "nvoverlay/epoch_table.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+EpochTable::EpochTable(EpochWide e, PagePool &page_pool,
+                       const Params &params)
+    : epoch_(e), pool(page_pool), p(params), root(new Node)
+{
+    nvo_assert(isPow2(p.initLines) && p.initLines >= 1 &&
+               p.initLines <= linesPerPage);
+    nvo_assert(p.growthFactor >= 2);
+}
+
+EpochTable::~EpochTable()
+{
+    destroy(root, 0);
+}
+
+void
+EpochTable::destroy(Node *node, unsigned level)
+{
+    if (level < 3) {
+        for (void *c : node->child)
+            if (c)
+                destroy(static_cast<Node *>(c), level + 1);
+    }
+    // Level-3 children are PageEntry pointers owned by `entries`.
+    delete node;
+}
+
+unsigned
+EpochTable::idxAt(Addr page_addr, unsigned level)
+{
+    // Levels 0..3 consume bits 47..39, 38..30, 29..21, 20..12.
+    unsigned shift = 39 - level * 9;
+    return static_cast<unsigned>((page_addr >> shift) & 0x1ff);
+}
+
+EpochTable::PageEntry *
+EpochTable::findEntry(Addr page_addr) const
+{
+    const Node *node = root;
+    for (unsigned level = 0; level < 3; ++level) {
+        const void *c = node->child[idxAt(page_addr, level)];
+        if (!c)
+            return nullptr;
+        node = static_cast<const Node *>(c);
+    }
+    return static_cast<PageEntry *>(
+        const_cast<void *>(node->child[idxAt(page_addr, 3)]));
+}
+
+EpochTable::PageEntry *
+EpochTable::findOrCreateEntry(Addr page_addr)
+{
+    Node *node = root;
+    for (unsigned level = 0; level < 3; ++level) {
+        void *&c = node->child[idxAt(page_addr, level)];
+        if (!c) {
+            c = new Node;
+            ++nodeCount;
+        }
+        node = static_cast<Node *>(c);
+    }
+    void *&leaf = node->child[idxAt(page_addr, 3)];
+    if (!leaf) {
+        entries.push_back(std::make_unique<PageEntry>());
+        entries.back()->pageAddr = page_addr;
+        leaf = entries.back().get();
+    }
+    return static_cast<PageEntry *>(leaf);
+}
+
+bool
+EpochTable::grow(PageEntry &pe, const Sinks &sinks)
+{
+    unsigned new_cap = pe.capacity == 0
+                           ? p.initLines
+                           : std::min<unsigned>(
+                                 pe.capacity * p.growthFactor,
+                                 linesPerPage);
+    Addr fresh = pool.allocLines(new_cap);
+    if (fresh == invalidAddr)
+        return false;
+
+    // Relocate existing slots compactly into the new sub-page.
+    for (unsigned slot = 0; slot < pe.used; ++slot) {
+        LineData tmp;
+        pool.readLine(pe.subPage + static_cast<Addr>(slot) * lineBytes,
+                      tmp);
+        Addr dst = fresh + static_cast<Addr>(slot) * lineBytes;
+        pool.writeLine(dst, tmp);
+        if (sinks.reloc)
+            sinks.reloc(dst, lineBytes);
+        else if (sinks.data)
+            sinks.data(dst, lineBytes);
+        relocBytes += lineBytes;
+    }
+
+    PagePool::SubPageHeader hdr;
+    if (pe.subPage != invalidAddr) {
+        if (const auto *old = pool.header(pe.subPage))
+            hdr = *old;
+        pool.dropHeader(pe.subPage);
+        pool.freeLines(pe.subPage, pe.capacity);
+    }
+    hdr.srcPage = pe.pageAddr;
+    hdr.epoch = epoch_;
+    hdr.capacityLines = static_cast<std::uint8_t>(new_cap);
+    hdr.usedLines = pe.used;
+    pool.setHeader(fresh, hdr);
+    if (sinks.meta)
+        sinks.meta(16);   // header create/update
+
+    pe.subPage = fresh;
+    pe.capacity = static_cast<std::uint8_t>(new_cap);
+    return true;
+}
+
+bool
+EpochTable::insert(Addr line_addr, SeqNo seq, const LineData &content,
+                   const Sinks &sinks)
+{
+    nvo_assert(lineAlign(line_addr) == line_addr);
+    Addr page_addr = pageAlign(line_addr);
+    unsigned li = lineInPage(line_addr);
+    PageEntry *pe = findOrCreateEntry(page_addr);
+    nvo_assert(!pe->reclaimed, "insert into a reclaimed overlay page");
+
+    unsigned slot;
+    bool fresh_line = !((pe->bitmap >> li) & 1ull);
+    if (fresh_line) {
+        if (pe->used == pe->capacity) {
+            if (!grow(*pe, sinks))
+                return false;
+        }
+        slot = pe->used++;
+        pe->bitmap |= 1ull << li;
+        pe->lineSlot[li] = static_cast<std::uint8_t>(slot);
+        ++versions;
+        if (auto *hdr = pool.header(pe->subPage)) {
+            hdr->usedLines = pe->used;
+            hdr->slotLine[slot] = static_cast<std::uint8_t>(li);
+        }
+    } else {
+        // Same-epoch overwrite: the newest store wins in place. A
+        // stale write (e.g., a walker draining content captured
+        // before a concurrent same-epoch store) still costs a device
+        // write but must not clobber newer content.
+        slot = pe->lineSlot[li];
+        if (seq < pe->slotSeq[slot]) {
+            Addr nvm_addr =
+                pe->subPage + static_cast<Addr>(slot) * lineBytes;
+            if (sinks.data)
+                sinks.data(nvm_addr, lineBytes);
+            return true;
+        }
+    }
+
+    pe->slotSeq[slot] = seq;
+    Addr nvm_addr = pe->subPage + static_cast<Addr>(slot) * lineBytes;
+    pool.writeLine(nvm_addr, content);
+    if (sinks.data)
+        sinks.data(nvm_addr, lineBytes);
+    return true;
+}
+
+void
+EpochTable::adoptSubPage(Addr sub_page,
+                         const PagePool::SubPageHeader &header)
+{
+    nvo_assert(header.epoch == epoch_,
+               "sub-page belongs to a different epoch");
+    PageEntry *pe = findOrCreateEntry(header.srcPage);
+    nvo_assert(pe->subPage == invalidAddr,
+               "overlay page already populated");
+    pe->subPage = sub_page;
+    pe->capacity = header.capacityLines;
+    pe->used = header.usedLines;
+    for (unsigned slot = 0; slot < header.usedLines; ++slot) {
+        unsigned li = header.slotLine[slot];
+        pe->bitmap |= 1ull << li;
+        pe->lineSlot[li] = static_cast<std::uint8_t>(slot);
+        ++versions;
+    }
+}
+
+Addr
+EpochTable::lookupNvm(Addr line_addr) const
+{
+    const PageEntry *pe = findEntry(pageAlign(line_addr));
+    if (!pe || pe->reclaimed)
+        return invalidAddr;
+    unsigned li = lineInPage(line_addr);
+    if (!((pe->bitmap >> li) & 1ull))
+        return invalidAddr;
+    return pe->subPage +
+           static_cast<Addr>(pe->lineSlot[li]) * lineBytes;
+}
+
+bool
+EpochTable::readVersion(Addr line_addr, LineData &out) const
+{
+    Addr nvm = lookupNvm(line_addr);
+    if (nvm == invalidAddr)
+        return false;
+    pool.readLine(nvm, out);
+    return true;
+}
+
+void
+EpochTable::forEachVersion(
+    const std::function<void(Addr, Addr)> &fn) const
+{
+    for (const auto &pe : entries) {
+        if (pe->reclaimed)
+            continue;
+        for (unsigned li = 0; li < linesPerPage; ++li) {
+            if (!((pe->bitmap >> li) & 1ull))
+                continue;
+            fn(pe->pageAddr + static_cast<Addr>(li) * lineBytes,
+               pe->subPage +
+                   static_cast<Addr>(pe->lineSlot[li]) * lineBytes);
+        }
+    }
+}
+
+void
+EpochTable::forEachPage(const std::function<void(PageEntry &)> &fn)
+{
+    for (auto &pe : entries)
+        fn(*pe);
+}
+
+EpochTable::PageEntry *
+EpochTable::pageEntry(Addr page_addr)
+{
+    return findEntry(page_addr);
+}
+
+const EpochTable::PageEntry *
+EpochTable::pageEntry(Addr page_addr) const
+{
+    return findEntry(page_addr);
+}
+
+std::uint64_t
+EpochTable::tableBytes() const
+{
+    // Inner nodes are 512 x 8 B; leaf descriptors modelled at 16 B
+    // (bitmap + sub-page pointer), as in the hardware table.
+    return nodeCount * 4096 + entries.size() * 16;
+}
+
+} // namespace nvo

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-epoch overlay mapping table (paper Sec. V-C).
+ *
+ * One instance exists per (OMC partition, epoch): a volatile 4-level
+ * radix tree keyed by the 48-bit physical address (9 bits per level,
+ * bits 47..12) whose leaves describe one overlay page each — a bitmap
+ * of the lines versioned in this epoch plus the NVM sub-page that
+ * stores them compactly. Sparse pages occupy power-of-two sub-pages
+ * and are relocated to the next size when they outgrow one
+ * (Page Overlays Sec. 4.4 behaviour).
+ */
+
+#ifndef NVO_NVOVERLAY_EPOCH_TABLE_HH
+#define NVO_NVOVERLAY_EPOCH_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+#include "nvoverlay/page_pool.hh"
+
+namespace nvo
+{
+
+class EpochTable
+{
+  public:
+    struct Params
+    {
+        /** Initial sub-page capacity in lines (power of two). */
+        unsigned initLines = 4;
+        /** Capacity multiplier on overflow. */
+        unsigned growthFactor = 4;
+    };
+
+    /** Sinks for the NVM traffic this table generates. */
+    struct Sinks
+    {
+        /** Version data written to NVM (absorbed by the OMC buffer
+         *  when one is present). */
+        std::function<void(Addr nvm_addr, std::uint32_t bytes)> data;
+        /** Sub-page relocation copies (always hit the device). */
+        std::function<void(Addr nvm_addr, std::uint32_t bytes)> reloc;
+        /** Persistent sub-page header metadata written to NVM. */
+        std::function<void(std::uint32_t bytes)> meta;
+    };
+
+    /** Leaf descriptor for one overlay page. */
+    struct PageEntry
+    {
+        Addr pageAddr = invalidAddr;
+        std::uint64_t bitmap = 0;       ///< lines present in this epoch
+        Addr subPage = invalidAddr;     ///< NVM storage
+        std::uint8_t capacity = 0;      ///< sub-page capacity (lines)
+        std::uint8_t used = 0;
+        std::array<std::uint8_t, linesPerPage> lineSlot{};
+        /** Seqno of the content stored in each slot: same-epoch
+         *  re-insertions only overwrite with newer content (the
+         *  interconnect delivers same-line writes in order; the
+         *  walker's delayed drain must not clobber them). */
+        std::array<SeqNo, linesPerPage> slotSeq{};
+        /** Lines still referenced by the master table (GC refcount). */
+        std::uint32_t liveMaster = 0;
+        bool reclaimed = false;
+    };
+
+    EpochTable(EpochWide e, PagePool &page_pool, const Params &params);
+    ~EpochTable();
+
+    EpochTable(const EpochTable &) = delete;
+    EpochTable &operator=(const EpochTable &) = delete;
+
+    EpochWide epochId() const { return epoch_; }
+
+    /**
+     * Insert (or overwrite) the version of @p line_addr. Writes the
+     * content into the pool and reports NVM traffic through
+     * @p sinks. Returns false when the pool is exhausted (the caller
+     * must run compaction or extend the pool and retry).
+     */
+    bool insert(Addr line_addr, SeqNo seq, const LineData &content,
+                const Sinks &sinks);
+
+    /** NVM address of this epoch's version of @p line_addr. */
+    Addr lookupNvm(Addr line_addr) const;
+
+    /** Read this epoch's version of @p line_addr. */
+    bool readVersion(Addr line_addr, LineData &out) const;
+
+    /** Visit every mapped version: fn(line_addr, nvm_addr). */
+    void forEachVersion(
+        const std::function<void(Addr, Addr)> &fn) const;
+
+    /**
+     * Reconstruct one overlay page from a persistent sub-page header
+     * (post-crash rebuild of the volatile table, paper Sec. V-E:
+     * "volatile OMC data structures are also rebuilt during the
+     * recovery"). The header's slot map is authoritative.
+     */
+    void adoptSubPage(Addr sub_page,
+                      const PagePool::SubPageHeader &header);
+
+    /** Visit every overlay page entry. */
+    void forEachPage(const std::function<void(PageEntry &)> &fn);
+
+    PageEntry *pageEntry(Addr page_addr);
+    const PageEntry *pageEntry(Addr page_addr) const;
+
+    std::uint64_t versionCount() const { return versions; }
+    std::uint64_t tableBytes() const;   ///< DRAM footprint of the tree
+    std::uint64_t relocatedBytes() const { return relocBytes; }
+
+  private:
+    struct Node
+    {
+        std::array<void *, 512> child{};
+    };
+
+    static unsigned idxAt(Addr page_addr, unsigned level);
+
+    PageEntry *findEntry(Addr page_addr) const;
+    PageEntry *findOrCreateEntry(Addr page_addr);
+
+    /** Grow @p pe's sub-page; returns false if the pool is full. */
+    bool grow(PageEntry &pe, const Sinks &sinks);
+
+    void destroy(Node *node, unsigned level);
+
+    EpochWide epoch_;
+    PagePool &pool;
+    Params p;
+    Node *root;
+    std::uint64_t nodeCount = 1;
+    std::uint64_t versions = 0;
+    std::uint64_t relocBytes = 0;
+    std::vector<std::unique_ptr<PageEntry>> entries;
+};
+
+} // namespace nvo
+
+#endif // NVO_NVOVERLAY_EPOCH_TABLE_HH

@@ -1,0 +1,147 @@
+#include "nvoverlay/master_table.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+namespace
+{
+constexpr std::uint64_t innerNodeBytes = 512 * 8;
+constexpr std::uint64_t leafNodeBytes = 64 * 8;
+} // namespace
+
+MasterTable::MasterTable(MetaWriteFn meta_write)
+    : metaWrite(std::move(meta_write)), root(new InnerNode),
+      nodeBytes_(innerNodeBytes)
+{
+}
+
+MasterTable::~MasterTable()
+{
+    destroy(root, 0);
+}
+
+void
+MasterTable::destroy(InnerNode *node, unsigned level)
+{
+    for (void *c : node->child) {
+        if (!c)
+            continue;
+        if (level < 3)
+            destroy(static_cast<InnerNode *>(c), level + 1);
+        else
+            delete static_cast<LeafNode *>(c);
+    }
+    delete node;
+}
+
+unsigned
+MasterTable::idxAt(Addr line_addr, unsigned level)
+{
+    // Levels 0..3: bits 47..39, 38..30, 29..21, 20..12 (9 bits each);
+    // level 4: bits 11..6 (line within page).
+    if (level < 4) {
+        unsigned shift = 39 - level * 9;
+        return static_cast<unsigned>((line_addr >> shift) & 0x1ff);
+    }
+    return lineInPage(line_addr);
+}
+
+void
+MasterTable::emitMeta(std::uint32_t bytes)
+{
+    ++metaWriteCount;
+    if (metaWrite)
+        metaWrite(bytes);
+}
+
+std::optional<MasterTable::Entry>
+MasterTable::insert(Addr line_addr, Addr nvm_addr, EpochWide e)
+{
+    nvo_assert(lineAlign(line_addr) == line_addr);
+    InnerNode *node = root;
+    for (unsigned level = 0; level < 3; ++level) {
+        void *&c = node->child[idxAt(line_addr, level)];
+        if (!c) {
+            c = new InnerNode;
+            nodeBytes_ += innerNodeBytes;
+            emitMeta(8);   // parent pointer persist
+        }
+        node = static_cast<InnerNode *>(c);
+    }
+    void *&lc = node->child[idxAt(line_addr, 3)];
+    if (!lc) {
+        lc = new LeafNode;
+        nodeBytes_ += leafNodeBytes;
+        emitMeta(8);
+    }
+    auto *leaf = static_cast<LeafNode *>(lc);
+    unsigned li = idxAt(line_addr, 4);
+
+    std::optional<Entry> replaced;
+    if ((leaf->bitmap >> li) & 1ull)
+        replaced = leaf->entry[li];
+    else
+        ++mapped;
+    leaf->bitmap |= 1ull << li;
+    leaf->entry[li] = Entry{nvm_addr, e};
+    emitMeta(8);   // entry persist (48-bit addr + 16-bit epoch)
+    return replaced;
+}
+
+const MasterTable::Entry *
+MasterTable::lookup(Addr line_addr) const
+{
+    const InnerNode *node = root;
+    for (unsigned level = 0; level < 3; ++level) {
+        const void *c = node->child[idxAt(line_addr, level)];
+        if (!c)
+            return nullptr;
+        node = static_cast<const InnerNode *>(c);
+    }
+    const void *lc = node->child[idxAt(line_addr, 3)];
+    if (!lc)
+        return nullptr;
+    const auto *leaf = static_cast<const LeafNode *>(lc);
+    unsigned li = idxAt(line_addr, 4);
+    if (!((leaf->bitmap >> li) & 1ull))
+        return nullptr;
+    return &leaf->entry[li];
+}
+
+void
+MasterTable::forEachRec(
+    const InnerNode *node, unsigned level, Addr prefix,
+    const std::function<void(Addr, const Entry &)> &fn) const
+{
+    unsigned shift = 39 - level * 9;
+    for (unsigned i = 0; i < 512; ++i) {
+        const void *c = node->child[i];
+        if (!c)
+            continue;
+        Addr next = prefix | (static_cast<Addr>(i) << shift);
+        if (level < 3) {
+            forEachRec(static_cast<const InnerNode *>(c), level + 1,
+                       next, fn);
+        } else {
+            const auto *leaf = static_cast<const LeafNode *>(c);
+            for (unsigned li = 0; li < 64; ++li) {
+                if (!((leaf->bitmap >> li) & 1ull))
+                    continue;
+                fn(next | (static_cast<Addr>(li) << lineBytesLog2),
+                   leaf->entry[li]);
+            }
+        }
+    }
+}
+
+void
+MasterTable::forEach(
+    const std::function<void(Addr, const Entry &)> &fn) const
+{
+    forEachRec(root, 0, 0, fn);
+}
+
+} // namespace nvo

@@ -1,0 +1,220 @@
+#include "nvoverlay/nvoverlay_scheme.hh"
+
+#include <algorithm>
+
+#include "cache/hierarchy.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+NVOverlayScheme::NVOverlayScheme(const Config &cfg, NvmModel &nvm_model,
+                                 RunStats &run_stats)
+    : nvm(nvm_model), stats(run_stats)
+{
+    storesPerEpochVd = cfg.getU64("nvo.stores_per_epoch_vd", 65536);
+    advanceStallCycles = cfg.getU64("nvo.advance_stall", 100);
+    contextBytesPerCore = static_cast<std::uint32_t>(
+        cfg.getU64("nvo.context_bytes_per_core", 512));
+    walkerEnabled = cfg.getBool("nvo.walker_enabled", true);
+    walkerLinesPerTick = static_cast<unsigned>(
+        cfg.getU64("nvo.walker_lines_per_tick", 64));
+
+    mnmParams.numOmcs =
+        static_cast<unsigned>(cfg.getU64("mnm.num_omcs", 4));
+    mnmParams.poolBytesPerOmc =
+        cfg.getU64("mnm.pool_mb_per_omc", 64) * 1024 * 1024;
+    mnmParams.table.initLines = static_cast<unsigned>(
+        cfg.getU64("mnm.subpage_init_lines", 4));
+    mnmParams.table.growthFactor = static_cast<unsigned>(
+        cfg.getU64("mnm.subpage_growth", 4));
+    mnmParams.useBuffer = cfg.getBool("mnm.use_buffer", false);
+    mnmParams.buffer.sizeBytes =
+        cfg.getU64("mnm.buffer_mb", 32) * 1024 * 1024;
+    mnmParams.buffer.ways =
+        static_cast<unsigned>(cfg.getU64("mnm.buffer_ways", 16));
+    mnmParams.compactionThreshold =
+        cfg.getF64("mnm.compaction_threshold", 1.0);
+    mnmParams.dropMergedTables =
+        cfg.getBool("mnm.drop_merged_tables", false);
+    mnmParams.autoReclaim = cfg.getBool("mnm.auto_reclaim", false);
+}
+
+NVOverlayScheme::~NVOverlayScheme() = default;
+
+void
+NVOverlayScheme::attach(Hierarchy &hierarchy)
+{
+    Scheme::attach(hierarchy);
+    unsigned num_vds = hierarchy.numVds();
+    coresPerVd = hierarchy.numCores() / num_vds;
+
+    mnmParams.numVds = num_vds;
+    backend_ = std::make_unique<MnmBackend>(mnmParams, nvm, stats);
+    sense = std::make_unique<EpochSenseTracker>(num_vds);
+
+    vds.clear();
+    walkers.clear();
+    for (unsigned v = 0; v < num_vds; ++v) {
+        vds.emplace_back(v, /*initial_epoch=*/1);
+        TagWalker::Params wp;
+        wp.vd = v;
+        wp.linesPerTick = walkerLinesPerTick;
+        wp.enabled = walkerEnabled;
+        walkers.push_back(std::make_unique<TagWalker>(
+            wp, hierarchy, *backend_, stats));
+    }
+    hierarchy.setVersionCtrl(this);
+}
+
+EpochWide
+NVOverlayScheme::vdEpoch(unsigned vd) const
+{
+    return vds[vd].epoch();
+}
+
+Cycle
+NVOverlayScheme::advanceVd(unsigned vd, EpochWide target, bool lamport,
+                           Cycle now)
+{
+    // Cores in the VD stall while the pipeline drains and the
+    // non-speculative context is dumped to NVM (Sec. IV-B2).
+    Cycle stall = advanceStallCycles;
+    nvm.write(mnmParams.poolBase - 2 * pageBytes +
+                  static_cast<Addr>(vd) * lineBytes,
+              contextBytesPerCore * coresPerVd, now,
+              NvmWriteKind::Context);
+    stats.contextDumps += coresPerVd;
+
+    vds[vd].advance(target, lamport);
+    sense->onAdvance(vd, target);
+    ++stats.epochAdvances;
+    if (lamport)
+        ++stats.lamportAdvances;
+    walkers[vd]->requestWalk();
+    return stall;
+}
+
+Cycle
+NVOverlayScheme::observeRemoteVersion(unsigned vd, EpochWide rv,
+                                      Cycle now)
+{
+    if (rv <= vds[vd].epoch())
+        return 0;
+    return advanceVd(vd, rv, true, now);
+}
+
+Cycle
+NVOverlayScheme::acceptVersion(unsigned vd, Addr line_addr,
+                               EpochWide oid, SeqNo seq,
+                               const LineData &content, EvictReason why,
+                               Cycle now)
+{
+    (void)vd;
+    (void)why;
+    return backend_->insertVersion(line_addr, oid, seq, content, now);
+}
+
+Cycle
+NVOverlayScheme::onStore(unsigned core, unsigned vd, Addr line_addr,
+                         Cycle now)
+{
+    (void)core;
+    (void)line_addr;
+    vds[vd].noteStore();
+    if (vds[vd].storesInEpoch() >= storesPerEpochVd)
+        return advanceVd(vd, vds[vd].epoch() + 1, false, now);
+    return 0;
+}
+
+void
+NVOverlayScheme::tick(Cycle now)
+{
+    // Skew limiting (Sec. IV-D): the two-group wrap-around scheme
+    // requires inter-VD skew below half the 16-bit epoch space, so
+    // laggard VDs are forced forward before the leader can lap them
+    // (an "external event" epoch advance in the paper's terms).
+    EpochWide hi = 0;
+    for (const auto &vd : vds)
+        hi = std::max(hi, vd.epoch());
+    if (hi > epoch::halfSpace / 2) {
+        EpochWide floor = hi - epoch::halfSpace / 2;
+        for (unsigned v = 0; v < vds.size(); ++v)
+            if (vds[v].epoch() < floor)
+                advanceVd(v, floor, false, now);
+    }
+
+    for (unsigned v = 0; v < walkers.size(); ++v) {
+        // Opportunistic walking: let the epoch make progress first so
+        // demand evictions persist most of the previous epoch's
+        // versions; the walker sweeps the stragglers mid-epoch.
+        bool allow = vds[v].storesInEpoch() * 2 >= storesPerEpochVd;
+        walkers[v]->tick(now, allow);
+    }
+}
+
+Cycle
+NVOverlayScheme::advanceAll(Cycle now)
+{
+    EpochWide target = 0;
+    for (const auto &vd : vds)
+        target = std::max(target, vd.epoch());
+    ++target;
+    Cycle stall = 0;
+    for (unsigned v = 0; v < vds.size(); ++v)
+        stall = std::max(stall, advanceVd(v, target, false, now));
+    return stall;
+}
+
+Cycle
+NVOverlayScheme::finalize(Cycle now)
+{
+    nvo_assert(hier != nullptr, "finalize before attach");
+
+    // 1. Stop buffering and flush what is buffered.
+    backend_->drainBuffers(now);
+    backend_->setBufferBypass(true);
+
+    // 2. Flush every dirty version out of the hierarchy.
+    hier->flushAll(now);
+
+    // 3. Close the final epoch on all VDs (common target so the
+    //    recoverable epoch covers every version written so far).
+    advanceAll(now);
+
+    // 4. Walk and drain every VD; min-ver reports advance rec-epoch
+    //    past all closed epochs and merge their tables.
+    for (auto &walker : walkers)
+        walker->drainFully(now);
+
+    // 5. Backend flush (pending metadata, rec-epoch persist).
+    Cycle done = backend_->finalize(now);
+    return done;
+}
+
+void
+NVOverlayScheme::crashFlush(Cycle now)
+{
+    backend_->drainBuffers(now);
+    backend_->updateStats();
+}
+
+EpochWide
+NVOverlayScheme::globalEpoch() const
+{
+    EpochWide e = 0;
+    for (const auto &vd : vds)
+        e = std::max(e, vd.epoch());
+    return e;
+}
+
+std::uint64_t
+NVOverlayScheme::epochsCompleted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &vd : vds)
+        total += vd.advances();
+    return total;
+}
+
+} // namespace nvo

@@ -1,0 +1,489 @@
+#include "nvoverlay/omc.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+MnmBackend::MnmBackend(const Params &params, NvmModel &nvm_model,
+                       RunStats &run_stats)
+    : p(params), nvm(nvm_model), stats(run_stats),
+      minVers(params.numVds, 0)
+{
+    nvo_assert(p.numOmcs > 0 && p.numVds > 0);
+    parts.resize(p.numOmcs);
+    for (unsigned i = 0; i < p.numOmcs; ++i) {
+        Addr base = p.poolBase + static_cast<Addr>(i) *
+                                     p.poolBytesPerOmc;
+        parts[i].pool =
+            std::make_unique<PagePool>(base, p.poolBytesPerOmc);
+        Part *part = &parts[i];
+        parts[i].master = std::make_unique<MasterTable>(
+            [this, part](std::uint32_t bytes) {
+                part->pendingMetaBytes += bytes;
+            });
+        if (p.useBuffer)
+            parts[i].buffer = std::make_unique<OmcBuffer>(p.buffer);
+    }
+}
+
+unsigned
+MnmBackend::omcOf(Addr line_addr) const
+{
+    return static_cast<unsigned>((line_addr >> lineBytesLog2) %
+                                 parts.size());
+}
+
+EpochTable &
+MnmBackend::getTable(Part &part, EpochWide e)
+{
+    auto it = part.tables.find(e);
+    if (it == part.tables.end()) {
+        it = part.tables
+                 .emplace(e, std::make_unique<EpochTable>(
+                                 e, *part.pool, p.table))
+                 .first;
+    }
+    return *it->second;
+}
+
+Cycle
+MnmBackend::deviceWrite(Addr nvm_addr, Cycle now)
+{
+    return nvm.write(nvm_addr, lineBytes, now, NvmWriteKind::Data)
+        .stall;
+}
+
+Cycle
+MnmBackend::flushPending(Part &part, const OmcBuffer::Pending &pending,
+                         Cycle now)
+{
+    auto it = part.tables.find(pending.epoch);
+    nvo_assert(it != part.tables.end(),
+               "buffered version without its epoch table");
+    Addr nvm_addr = it->second->lookupNvm(pending.addr);
+    nvo_assert(nvm_addr != invalidAddr,
+               "buffered version missing from its table");
+    return deviceWrite(nvm_addr, now);
+}
+
+Cycle
+MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
+                          const LineData &content, Cycle now)
+{
+    Part &part = parts[omcOf(line_addr)];
+    Cycle stall = 0;
+
+    // Compaction pressure check (Sec. V-D / storage quota, Sec. V-F).
+    if (p.compactionThreshold < 1.0 &&
+        part.pool->utilization() >= p.compactionThreshold) {
+        compact(now);
+        ++stats.gcCompactions;
+    }
+
+    bool buffered = part.buffer && !bufferBypass;
+
+    EpochTable::Sinks sinks;
+    sinks.reloc = [&](Addr a, std::uint32_t) {
+        stall += deviceWrite(a, now);
+        stats.extra["subpage_reloc_bytes"] += lineBytes;
+    };
+    sinks.meta = [&](std::uint32_t bytes) {
+        part.pendingMetaBytes += bytes;
+    };
+    if (!buffered) {
+        sinks.data = [&](Addr a, std::uint32_t) {
+            stall += deviceWrite(a, now);
+        };
+    }
+    // When buffered, the 64 B version write is deferred until the
+    // buffer evicts the (addr, epoch) slot; sinks.data stays empty.
+
+    EpochTable &table = getTable(part, oid);
+    bool ok = table.insert(line_addr, seq, content, sinks);
+    if (!ok) {
+        // Pool exhausted: compact if enabled, else ask the OS for
+        // more pages (paper Sec. V-D).
+        if (p.compactionThreshold < 1.0) {
+            compact(now);
+            ++stats.gcCompactions;
+            ok = table.insert(line_addr, seq, content, sinks);
+        }
+        if (!ok) {
+            part.pool->extend(p.extendPages);
+            stats.extra["pool_extensions"] += 1;
+            ok = table.insert(line_addr, seq, content, sinks);
+        }
+        nvo_assert(ok, "pool exhausted even after extension");
+    }
+
+    if (buffered) {
+        auto result = part.buffer->insert(line_addr, oid);
+        if (result.hit) {
+            ++stats.omcBufferHits;
+        } else {
+            ++stats.omcBufferMisses;
+            if (result.evicted)
+                stall += flushPending(part, *result.evicted, now);
+        }
+    }
+    return stall;
+}
+
+void
+MnmBackend::unref(Part &part, Addr line_addr,
+                  const MasterTable::Entry &old_entry)
+{
+    auto it = part.tables.find(old_entry.epoch);
+    if (it == part.tables.end())
+        return;
+    EpochTable::PageEntry *pe =
+        it->second->pageEntry(pageAlign(line_addr));
+    if (!pe || pe->reclaimed || pe->liveMaster == 0)
+        return;
+    --pe->liveMaster;
+    if (pe->liveMaster == 0 && p.autoReclaim &&
+        old_entry.epoch <= recEpoch_) {
+        part.pool->dropHeader(pe->subPage);
+        part.pool->freeLines(pe->subPage, pe->capacity);
+        pe->reclaimed = true;
+    }
+}
+
+void
+MnmBackend::flushMeta(Part &part, Cycle now)
+{
+    while (part.pendingMetaBytes > 0) {
+        std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(part.pendingMetaBytes, lineBytes));
+        Addr addr = p.poolBase +
+                    static_cast<Addr>(parts.size()) *
+                        p.poolBytesPerOmc +
+                    (part.metaCursor % (1ull << 26));
+        part.metaCursor += chunk;
+        nvm.write(addr, chunk, now, NvmWriteKind::Mapping);
+        part.pendingMetaBytes -= chunk;
+    }
+}
+
+void
+MnmBackend::persistRecEpoch(Cycle now)
+{
+    Addr addr = p.poolBase - lineBytes;   // fixed known location
+    nvm.write(addr, 8, now, NvmWriteKind::Mapping);
+}
+
+void
+MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
+{
+    for (auto &part : parts) {
+        auto it = part.tables.upper_bound(from);
+        while (it != part.tables.end() && it->first <= upto) {
+            EpochTable &table = *it->second;
+            table.forEachVersion([&](Addr line_addr, Addr nvm_addr) {
+                auto replaced = part.master->insert(
+                    line_addr, nvm_addr, table.epochId());
+                EpochTable::PageEntry *pe =
+                    table.pageEntry(pageAlign(line_addr));
+                nvo_assert(pe != nullptr);
+                ++pe->liveMaster;
+                if (replaced)
+                    unref(part, line_addr, *replaced);
+            });
+            ++mergeCount;
+            if (p.dropMergedTables) {
+                // DRAM pages of merged per-epoch tables can be
+                // reclaimed immediately (paper Sec. V-D); dropping
+                // the table forfeits time travel into this epoch.
+                it = part.tables.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        flushMeta(part, now);
+    }
+}
+
+void
+MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
+{
+    nvo_assert(vd < minVers.size());
+    minVers[vd] = std::max(minVers[vd], min_ver);
+
+    EpochWide smallest = minVers[0];
+    for (EpochWide v : minVers)
+        smallest = std::min(smallest, v);
+    if (smallest == 0)
+        return;   // some VD has not certified anything yet
+    EpochWide candidate = smallest - 1;
+    if (candidate <= recEpoch_)
+        return;
+
+    // rec-epoch moves first so GC sees the new bound while merge
+    // replacements dereference stale versions.
+    EpochWide old_rec = recEpoch_;
+    recEpoch_ = candidate;
+    mergeUpTo(old_rec, candidate, now);
+    persistRecEpoch(now);
+}
+
+void
+MnmBackend::drainBuffers(Cycle now)
+{
+    for (auto &part : parts) {
+        if (!part.buffer)
+            continue;
+        for (const auto &pending : part.buffer->drainAll())
+            flushPending(part, pending, now);
+    }
+}
+
+Cycle
+MnmBackend::finalize(Cycle now)
+{
+    drainBuffers(now);
+    setBufferBypass(true);
+    for (auto &part : parts)
+        flushMeta(part, now);
+    persistRecEpoch(now);
+    updateStats();
+    return std::max(now, nvm.drainCompletion());
+}
+
+void
+MnmBackend::compact(Cycle now)
+{
+    for (auto &part : parts) {
+        // Oldest merged epoch still holding live versions.
+        for (auto &kv : part.tables) {
+            EpochWide e = kv.first;
+            if (e > recEpoch_)
+                break;
+            EpochTable &table = *kv.second;
+            bool any_live = false;
+            table.forEachPage([&](EpochTable::PageEntry &pe) {
+                if (!pe.reclaimed && pe.liveMaster > 0)
+                    any_live = true;
+            });
+            bool any_present = false;
+            table.forEachPage([&](EpochTable::PageEntry &pe) {
+                if (!pe.reclaimed)
+                    any_present = true;
+            });
+            if (!any_present)
+                continue;
+            if (e == recEpoch_)
+                break;   // nothing newer to copy into
+            if (!any_live) {
+                // Whole epoch stale: reclaim its sub-pages outright.
+                table.forEachPage([&](EpochTable::PageEntry &pe) {
+                    if (pe.reclaimed || pe.subPage == invalidAddr)
+                        return;
+                    part.pool->dropHeader(pe.subPage);
+                    part.pool->freeLines(pe.subPage, pe.capacity);
+                    pe.reclaimed = true;
+                });
+                continue;
+            }
+            // Copy still-live versions forward to the newest merged
+            // epoch, as if those addresses were written now.
+            EpochTable &target = getTable(part, recEpoch_);
+            EpochTable::Sinks sinks;
+            sinks.data = [&](Addr a, std::uint32_t) {
+                deviceWrite(a, now);
+                stats.gcBytesCopied += lineBytes;
+            };
+            sinks.meta = [&](std::uint32_t bytes) {
+                part.pendingMetaBytes += bytes;
+            };
+            std::vector<Addr> moved;
+            table.forEachVersion([&](Addr line_addr, Addr) {
+                const auto *entry = part.master->lookup(line_addr);
+                if (!entry || entry->epoch != e)
+                    return;
+                LineData content;
+                bool ok = table.readVersion(line_addr, content);
+                nvo_assert(ok);
+                moved.push_back(line_addr);
+                (void)content;
+            });
+            for (Addr line_addr : moved) {
+                LineData content;
+                table.readVersion(line_addr, content);
+                bool ok = target.insert(line_addr, ~static_cast<SeqNo>(0),
+                                        content, sinks);
+                if (!ok)
+                    return;   // target pool full; give up this pass
+                Addr fresh = target.lookupNvm(line_addr);
+                auto replaced = part.master->insert(line_addr, fresh,
+                                                    recEpoch_);
+                EpochTable::PageEntry *tpe =
+                    target.pageEntry(pageAlign(line_addr));
+                ++tpe->liveMaster;
+                if (replaced)
+                    unref(part, line_addr, *replaced);
+            }
+            // Reclaim the source epoch's storage.
+            table.forEachPage([&](EpochTable::PageEntry &pe) {
+                if (pe.reclaimed || pe.subPage == invalidAddr)
+                    return;
+                nvo_assert(pe.liveMaster == 0,
+                           "live version left after compaction");
+                part.pool->dropHeader(pe.subPage);
+                part.pool->freeLines(pe.subPage, pe.capacity);
+                pe.reclaimed = true;
+            });
+            flushMeta(part, now);
+            break;   // one source epoch per pass
+        }
+    }
+}
+
+void
+MnmBackend::dropVolatileTables()
+{
+    for (auto &part : parts)
+        part.tables.clear();
+}
+
+void
+MnmBackend::rebuildTables()
+{
+    for (auto &part : parts) {
+        part.pool->forEachHeader(
+            [&](Addr sub_page, const PagePool::SubPageHeader &hdr) {
+                getTable(part, hdr.epoch)
+                    .adoptSubPage(sub_page, hdr);
+            });
+        // GC refcounts come from what the master still maps.
+        part.master->forEach(
+            [&](Addr line_addr, const MasterTable::Entry &entry) {
+                auto it = part.tables.find(entry.epoch);
+                if (it == part.tables.end())
+                    return;
+                EpochTable::PageEntry *pe =
+                    it->second->pageEntry(pageAlign(line_addr));
+                if (pe && !pe->reclaimed)
+                    ++pe->liveMaster;
+            });
+    }
+}
+
+bool
+MnmBackend::readMaster(Addr line_addr, LineData &out) const
+{
+    const Part &part = parts[omcOf(line_addr)];
+    const auto *entry = part.master->lookup(line_addr);
+    if (!entry)
+        return false;
+    part.pool->readLine(entry->nvmAddr, out);
+    return true;
+}
+
+void
+MnmBackend::forEachMasterEntry(
+    const std::function<void(Addr, const MasterTable::Entry &)> &fn)
+    const
+{
+    for (const auto &part : parts)
+        part.master->forEach(fn);
+}
+
+bool
+MnmBackend::readSnapshot(Addr line_addr, EpochWide e, LineData &out,
+                         EpochWide *found_epoch) const
+{
+    const Part &part = parts[omcOf(line_addr)];
+    // Fall-through: largest E' <= e whose table maps the address.
+    auto it = part.tables.upper_bound(e);
+    while (it != part.tables.begin()) {
+        --it;
+        if (it->second->readVersion(line_addr, out)) {
+            if (found_epoch)
+                *found_epoch = it->first;
+            return true;
+        }
+        if (it == part.tables.begin())
+            break;
+    }
+    // Tables may have been dropped after merging; fall back to the
+    // master image when its version is old enough.
+    const auto *entry = part.master->lookup(line_addr);
+    if (entry && entry->epoch <= e) {
+        part.pool->readLine(entry->nvmAddr, out);
+        if (found_epoch)
+            *found_epoch = entry->epoch;
+        return true;
+    }
+    return false;
+}
+
+void
+MnmBackend::updateStats()
+{
+    stats.masterTableBytes = masterNodeBytesTotal();
+    stats.masterMappedLines = masterMappedLinesTotal();
+    stats.epochTableBytes = epochTableBytesTotal();
+    stats.poolPagesInUse = poolPagesInUseTotal();
+}
+
+const MasterTable &
+MnmBackend::master(unsigned omc) const
+{
+    return *parts[omc].master;
+}
+
+PagePool &
+MnmBackend::pool(unsigned omc)
+{
+    return *parts[omc].pool;
+}
+
+EpochTable *
+MnmBackend::epochTable(unsigned omc, EpochWide e)
+{
+    auto it = parts[omc].tables.find(e);
+    return it == parts[omc].tables.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+MnmBackend::masterNodeBytesTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        total += part.master->nodeBytes();
+    return total;
+}
+
+std::uint64_t
+MnmBackend::masterMappedLinesTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        total += part.master->mappedLines();
+    return total;
+}
+
+std::uint64_t
+MnmBackend::epochTableBytesTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        for (const auto &kv : part.tables)
+            total += kv.second->tableBytes();
+    return total;
+}
+
+std::uint64_t
+MnmBackend::poolPagesInUseTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        total += part.pool->pagesInUse();
+    return total;
+}
+
+} // namespace nvo

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Multi-snapshot NVM Mapping backend (paper Sec. V).
+ *
+ * MnmBackend models the set of Overlay Memory Controllers. The NVM
+ * address space is partitioned across OMCs (line-interleaved); each
+ * partition owns a page pool, its per-epoch mapping tables, a master
+ * table shard, and optionally a battery-backed write buffer. One OMC
+ * acts as the master: it maintains the per-VD min-ver array, computes
+ * the recoverable epoch, persists `rec-epoch`, and drives table
+ * merging when the recoverable epoch advances.
+ */
+
+#ifndef NVO_NVOVERLAY_OMC_HH
+#define NVO_NVOVERLAY_OMC_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+#include "mem/nvm_model.hh"
+#include "nvoverlay/epoch_table.hh"
+#include "nvoverlay/master_table.hh"
+#include "nvoverlay/omc_buffer.hh"
+#include "nvoverlay/page_pool.hh"
+
+namespace nvo
+{
+
+class MnmBackend
+{
+  public:
+    struct Params
+    {
+        unsigned numOmcs = 4;
+        unsigned numVds = 8;
+        Addr poolBase = 1ull << 40;
+        std::uint64_t poolBytesPerOmc = 64ull * 1024 * 1024;
+        EpochTable::Params table;
+        bool useBuffer = false;
+        OmcBuffer::Params buffer;
+        /**
+         * Pool utilization that triggers version compaction; >= 1.0
+         * disables compaction (the pool auto-extends instead, i.e.,
+         * the OS keeps granting pages).
+         */
+        double compactionThreshold = 1.0;
+        std::uint64_t extendPages = 16384;
+        /** Free per-epoch tables once merged (disables time travel
+         *  into merged epochs unless the master still maps them). */
+        bool dropMergedTables = false;
+        /** Reclaim sub-pages whose versions all became stale. */
+        bool autoReclaim = false;
+    };
+
+    MnmBackend(const Params &params, NvmModel &nvm_model,
+               RunStats &run_stats);
+
+    /** OMC partition serving @p line_addr. */
+    unsigned omcOf(Addr line_addr) const;
+
+    /**
+     * A version arrived from the CST frontend. Inserts it into the
+     * partition's per-epoch table (writing the content into the NVM
+     * pool) and issues/absorbs the device write. Returns issuer stall
+     * cycles from NVM back-pressure.
+     */
+    Cycle insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
+                        const LineData &content, Cycle now);
+
+    /**
+     * A tag walker finished draining: VD @p vd certifies that all its
+     * dirty versions older than @p min_ver are persistent. May
+     * advance the recoverable epoch and merge tables into the master.
+     */
+    void reportMinVer(unsigned vd, EpochWide min_ver, Cycle now);
+
+    /** Current recoverable epoch (0 = nothing recoverable yet). */
+    EpochWide recEpoch() const { return recEpoch_; }
+
+    /** Flush all buffered writes to the device (battery flush). */
+    void drainBuffers(Cycle now);
+
+    /** Stop buffering new versions (used around finalize). */
+    void setBufferBypass(bool bypass) { bufferBypass = bypass; }
+
+    /** Clean shutdown: drain buffers and flush pending metadata. */
+    Cycle finalize(Cycle now);
+
+    /** Run one compaction pass on every partition (paper Sec. V-D). */
+    void compact(Cycle now);
+
+    /**
+     * Simulated crash support: drop everything volatile (the
+     * per-epoch DRAM tables), then rebuild them from the persistent,
+     * self-describing sub-page headers on NVM and re-derive the GC
+     * refcounts from the master table (paper Sec. V-E).
+     */
+    void dropVolatileTables();
+    void rebuildTables();
+
+    // --- Persistent-state reads (recovery, time travel) ---
+
+    /** Read the current consistent image of @p line_addr. */
+    bool readMaster(Addr line_addr, LineData &out) const;
+
+    /** Visit every master-mapped line across partitions. */
+    void forEachMasterEntry(
+        const std::function<void(Addr, const MasterTable::Entry &)>
+            &fn) const;
+
+    /**
+     * Time-travel read: the snapshot value of @p line_addr at epoch
+     * @p e — the version from the largest epoch E' <= e that mapped
+     * the address (paper Sec. V-E). Returns the found epoch through
+     * @p found_epoch when non-null.
+     */
+    bool readSnapshot(Addr line_addr, EpochWide e, LineData &out,
+                      EpochWide *found_epoch = nullptr) const;
+
+    /** Refresh the RunStats aggregates (table sizes, pool usage). */
+    void updateStats();
+
+    // --- Introspection (tests) ---
+    const MasterTable &master(unsigned omc) const;
+    PagePool &pool(unsigned omc);
+    EpochTable *epochTable(unsigned omc, EpochWide e);
+    unsigned numOmcs() const
+    {
+        return static_cast<unsigned>(parts.size());
+    }
+    EpochWide minVerOf(unsigned vd) const { return minVers[vd]; }
+    std::uint64_t mergesDone() const { return mergeCount; }
+
+    std::uint64_t masterNodeBytesTotal() const;
+    std::uint64_t masterMappedLinesTotal() const;
+    std::uint64_t epochTableBytesTotal() const;
+    std::uint64_t poolPagesInUseTotal() const;
+
+  private:
+    struct Part
+    {
+        std::unique_ptr<PagePool> pool;
+        std::unique_ptr<MasterTable> master;
+        std::map<EpochWide, std::unique_ptr<EpochTable>> tables;
+        std::unique_ptr<OmcBuffer> buffer;
+        std::uint64_t pendingMetaBytes = 0;
+        Addr metaCursor = 0;
+    };
+
+    EpochTable &getTable(Part &part, EpochWide e);
+
+    /** Issue a 64 B version write to the device. */
+    Cycle deviceWrite(Addr nvm_addr, Cycle now);
+
+    /** Write a pending buffered version out to the device. */
+    Cycle flushPending(Part &part, const OmcBuffer::Pending &pending,
+                       Cycle now);
+
+    /** Merge all tables in (from, upto] into the master. */
+    void mergeUpTo(EpochWide from, EpochWide upto, Cycle now);
+
+    /** Unreference a replaced master entry (GC refcount). */
+    void unref(Part &part, Addr line_addr,
+               const MasterTable::Entry &old_entry);
+
+    /** Flush accumulated metadata bytes as 64 B device writes. */
+    void flushMeta(Part &part, Cycle now);
+
+    /** Persist the rec-epoch word. */
+    void persistRecEpoch(Cycle now);
+
+    Params p;
+    NvmModel &nvm;
+    RunStats &stats;
+    std::vector<Part> parts;
+    std::vector<EpochWide> minVers;
+    EpochWide recEpoch_ = 0;
+    bool bufferBypass = false;
+    std::uint64_t mergeCount = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_NVOVERLAY_OMC_HH

@@ -1,0 +1,146 @@
+#include "nvoverlay/page_pool.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+PagePool::PagePool(Addr base_addr, std::uint64_t size_bytes)
+    : base(base_addr), numPages(size_bytes / pageBytes)
+{
+    nvo_assert(pageAlign(base_addr) == base_addr);
+    nvo_assert(numPages > 0, "pool needs at least one page");
+    bitmap.resize((numPages + 63) / 64, 0);
+}
+
+unsigned
+PagePool::roundLines(unsigned lines)
+{
+    nvo_assert(lines >= 1 && lines <= linesPerPage);
+    unsigned v = 1;
+    while (v < lines)
+        v <<= 1;
+    return v;
+}
+
+Addr
+PagePool::allocPage()
+{
+    for (std::uint64_t i = 0; i < bitmap.size(); ++i) {
+        std::uint64_t idx = (scanHint + i) % bitmap.size();
+        if (bitmap[idx] == ~0ull)
+            continue;
+        std::uint64_t word = bitmap[idx];
+        unsigned bit = 0;
+        while ((word >> bit) & 1ull)
+            ++bit;
+        std::uint64_t page = idx * 64 + bit;
+        if (page >= numPages)
+            continue;
+        bitmap[idx] |= 1ull << bit;
+        scanHint = idx;
+        ++usedPages;
+        return base + page * pageBytes;
+    }
+    return invalidAddr;
+}
+
+Addr
+PagePool::allocLines(unsigned lines)
+{
+    unsigned rounded = roundLines(lines);
+    unsigned order = log2Exact(rounded);
+
+    // Find the smallest order with a free block, splitting downward.
+    unsigned from = order;
+    while (from <= maxOrder && freeLists[from].empty())
+        ++from;
+
+    Addr block;
+    if (from > maxOrder) {
+        block = allocPage();
+        if (block == invalidAddr)
+            return invalidAddr;
+        from = maxOrder;
+    } else {
+        block = freeLists[from].back();
+        freeLists[from].pop_back();
+    }
+
+    while (from > order) {
+        --from;
+        // Keep the low half, release the high half.
+        freeLists[from].push_back(block +
+                                  (static_cast<Addr>(1) << from) *
+                                      lineBytes);
+    }
+    allocatedBytes += static_cast<std::uint64_t>(rounded) * lineBytes;
+    return block;
+}
+
+void
+PagePool::freeLines(Addr addr, unsigned lines)
+{
+    unsigned rounded = roundLines(lines);
+    unsigned order = log2Exact(rounded);
+    freeLists[order].push_back(addr);
+    allocatedBytes -= static_cast<std::uint64_t>(rounded) * lineBytes;
+    // Note: no buddy coalescing; version compaction is the mechanism
+    // that reclaims fragmented pools (paper Sec. V-D).
+}
+
+void
+PagePool::extend(std::uint64_t pages)
+{
+    numPages += pages;
+    bitmap.resize((numPages + 63) / 64, 0);
+}
+
+void
+PagePool::writeLine(Addr nvm_addr, const LineData &content)
+{
+    image.writeLine(nvm_addr, content);
+}
+
+void
+PagePool::readLine(Addr nvm_addr, LineData &out) const
+{
+    image.readLine(nvm_addr, out);
+}
+
+void
+PagePool::setHeader(Addr sub_page, const SubPageHeader &hdr)
+{
+    headers[sub_page] = hdr;
+}
+
+const PagePool::SubPageHeader *
+PagePool::header(Addr sub_page) const
+{
+    auto it = headers.find(sub_page);
+    return it == headers.end() ? nullptr : &it->second;
+}
+
+PagePool::SubPageHeader *
+PagePool::header(Addr sub_page)
+{
+    auto it = headers.find(sub_page);
+    return it == headers.end() ? nullptr : &it->second;
+}
+
+void
+PagePool::dropHeader(Addr sub_page)
+{
+    headers.erase(sub_page);
+}
+
+void
+PagePool::forEachHeader(
+    const std::function<void(Addr, const SubPageHeader &)> &fn) const
+{
+    for (const auto &kv : headers)
+        fn(kv.first, kv.second);
+}
+
+} // namespace nvo

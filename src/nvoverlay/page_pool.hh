@@ -1,0 +1,107 @@
+/**
+ * @file
+ * NVM overlay-page buffer pool (paper Sec. V-C).
+ *
+ * A contiguous NVM region is carved into 4 KB pages tracked by a
+ * bitmap. Sparse overlay pages are stored compactly in power-of-two
+ * sub-pages (1..64 lines) handed out by a buddy allocator layered on
+ * the page bitmap. Each allocated sub-page carries a small persistent
+ * header (source page address, epoch, slot map) that makes the NVM
+ * image self-describing, which is what lets recovery rebuild the
+ * volatile per-epoch tables.
+ */
+
+#ifndef NVO_NVOVERLAY_PAGE_POOL_HH
+#define NVO_NVOVERLAY_PAGE_POOL_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+
+namespace nvo
+{
+
+class PagePool
+{
+  public:
+    /** Max sub-page order: 2^6 lines = one full page. */
+    static constexpr unsigned maxOrder = 6;
+
+    /** Persistent sub-page header (self-describing NVM image). */
+    struct SubPageHeader
+    {
+        Addr srcPage = invalidAddr;   ///< physical page this overlays
+        EpochWide epoch = 0;
+        std::uint8_t capacityLines = 0;
+        std::uint8_t usedLines = 0;
+        /** slot -> line-in-page map (compact storage order). */
+        std::array<std::uint8_t, linesPerPage> slotLine{};
+    };
+
+    PagePool(Addr base_addr, std::uint64_t size_bytes);
+
+    /**
+     * Allocate a sub-page of at least @p lines lines (rounded up to a
+     * power of two). Returns invalidAddr when the pool is exhausted.
+     */
+    Addr allocLines(unsigned lines);
+
+    /** Return a sub-page of @p lines lines to the allocator. */
+    void freeLines(Addr addr, unsigned lines);
+
+    /** Grow the pool by @p pages pages (the OS granting more space). */
+    void extend(std::uint64_t pages);
+
+    /** NVM image content access. */
+    void writeLine(Addr nvm_addr, const LineData &content);
+    void readLine(Addr nvm_addr, LineData &out) const;
+
+    /** Persistent header bookkeeping. */
+    void setHeader(Addr sub_page, const SubPageHeader &header);
+    const SubPageHeader *header(Addr sub_page) const;
+    SubPageHeader *header(Addr sub_page);
+    void dropHeader(Addr sub_page);
+
+    /** Visit all live sub-page headers (recovery rebuild). */
+    void forEachHeader(
+        const std::function<void(Addr, const SubPageHeader &)> &fn)
+        const;
+
+    std::uint64_t totalPages() const { return numPages; }
+    std::uint64_t pagesInUse() const { return usedPages; }
+    std::uint64_t bytesAllocated() const { return allocatedBytes; }
+
+    /** Fraction of pool pages currently holding data. */
+    double utilization() const
+    {
+        return numPages ? static_cast<double>(usedPages) / numPages
+                        : 0.0;
+    }
+
+    /** Round @p lines up to an allocatable power of two. */
+    static unsigned roundLines(unsigned lines);
+
+  private:
+    /** Take one fresh page from the bitmap. */
+    Addr allocPage();
+
+    Addr base;
+    std::uint64_t numPages;
+    std::uint64_t usedPages = 0;
+    std::uint64_t allocatedBytes = 0;
+    std::vector<std::uint64_t> bitmap;
+    std::uint64_t scanHint = 0;
+    /** Free lists per order (order k = 2^k lines). */
+    std::array<std::vector<Addr>, maxOrder + 1> freeLists;
+    BackingStore image;
+    std::unordered_map<Addr, SubPageHeader> headers;
+};
+
+} // namespace nvo
+
+#endif // NVO_NVOVERLAY_PAGE_POOL_HH

@@ -1,0 +1,63 @@
+#include "nvoverlay/recovery.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+RecoveryManager::Result
+RecoveryManager::recover() const
+{
+    Result result;
+    result.recEpoch = backend.recEpoch();
+    result.image = std::make_unique<BackingStore>();
+
+    constexpr Cycle nvmLineReadCycles = 510;
+    constexpr Cycle tableStepCycles = 4;
+
+    backend.forEachMasterEntry(
+        [&](Addr line_addr, const MasterTable::Entry &entry) {
+            nvo_assert(entry.epoch <= result.recEpoch,
+                       "master maps a version beyond rec-epoch");
+            LineData content;
+            bool ok = backend.readMaster(line_addr, content);
+            nvo_assert(ok);
+            result.image->writeLine(line_addr, content);
+            result.image->setLineMeta(line_addr, entry.epoch, 0);
+            ++result.linesRestored;
+            result.modelCycles += nvmLineReadCycles + tableStepCycles;
+        });
+    return result;
+}
+
+std::string
+RecoveryManager::validate(const Result &result,
+                          const MnmBackend &backend)
+{
+    std::ostringstream err;
+    std::uint64_t seen = 0;
+    backend.forEachMasterEntry(
+        [&](Addr line_addr, const MasterTable::Entry &entry) {
+            ++seen;
+            if (entry.epoch > result.recEpoch) {
+                err << "line " << std::hex << line_addr
+                    << " mapped at epoch " << std::dec << entry.epoch
+                    << " > rec-epoch " << result.recEpoch << "; ";
+                return;
+            }
+            LineData expect, got;
+            backend.readMaster(line_addr, expect);
+            result.image->readLine(line_addr, got);
+            if (!(expect == got))
+                err << "content mismatch at line " << std::hex
+                    << line_addr << std::dec << "; ";
+        });
+    if (seen != result.linesRestored)
+        err << "restored " << result.linesRestored << " of " << seen
+            << " mapped lines; ";
+    return err.str();
+}
+
+} // namespace nvo

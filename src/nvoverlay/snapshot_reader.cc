@@ -1,0 +1,39 @@
+#include "nvoverlay/snapshot_reader.hh"
+
+#include <cstring>
+
+#include "common/bitutil.hh"
+
+namespace nvo
+{
+
+std::optional<SnapshotReader::Versioned>
+SnapshotReader::readLine(Addr addr, EpochWide e) const
+{
+    Versioned out;
+    if (!backend.readSnapshot(lineAlign(addr), e, out.data, &out.epoch))
+        return std::nullopt;
+    return out;
+}
+
+bool
+SnapshotReader::read(Addr addr, void *out, unsigned len,
+                     EpochWide e) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    unsigned copied = 0;
+    while (copied < len) {
+        Addr cur = addr + copied;
+        Addr line = lineAlign(cur);
+        auto v = readLine(line, e);
+        if (!v)
+            return false;
+        unsigned off = static_cast<unsigned>(cur - line);
+        unsigned chunk = std::min(len - copied, lineBytes - off);
+        std::memcpy(dst + copied, v->data.bytes.data() + off, chunk);
+        copied += chunk;
+    }
+    return true;
+}
+
+} // namespace nvo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Time-travel snapshot access (paper Sec. V-E).
+ *
+ * Wraps the MNM backend's per-epoch tables with the fall-through
+ * lookup semantics an MVCC-style debugger needs: the value of address
+ * X at epoch E is the version from the largest E' <= E that mapped X.
+ */
+
+#ifndef NVO_NVOVERLAY_SNAPSHOT_READER_HH
+#define NVO_NVOVERLAY_SNAPSHOT_READER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+#include "nvoverlay/omc.hh"
+
+namespace nvo
+{
+
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const MnmBackend &backend_)
+        : backend(backend_)
+    {
+    }
+
+    struct Versioned
+    {
+        LineData data;
+        EpochWide epoch;   ///< the E' that actually mapped the line
+    };
+
+    /** Snapshot value of the line containing @p addr at epoch @p e. */
+    std::optional<Versioned> readLine(Addr addr, EpochWide e) const;
+
+    /**
+     * Read @p len bytes at @p addr (may span lines) as of epoch
+     * @p e. Returns false if any covered line has no version at or
+     * before @p e.
+     */
+    bool read(Addr addr, void *out, unsigned len, EpochWide e) const;
+
+    /** Convenience typed read. */
+    template <typename T>
+    std::optional<T>
+    readValue(Addr addr, EpochWide e) const
+    {
+        T value;
+        if (!read(addr, &value, sizeof(T), e))
+            return std::nullopt;
+        return value;
+    }
+
+  private:
+    const MnmBackend &backend;
+};
+
+} // namespace nvo
+
+#endif // NVO_NVOVERLAY_SNAPSHOT_READER_HH

@@ -1,0 +1,68 @@
+#include "nvoverlay/tag_walker.hh"
+
+namespace nvo
+{
+
+TagWalker::TagWalker(const Params &params, Hierarchy &hierarchy,
+                     MnmBackend &backend_, RunStats &run_stats)
+    : p(params), hier(hierarchy), backend(backend_), stats(run_stats)
+{
+}
+
+void
+TagWalker::requestWalk()
+{
+    if (!p.enabled)
+        return;
+    scanPending = true;
+}
+
+Cycle
+TagWalker::tick(Cycle now, bool allow_scan)
+{
+    if (!p.enabled)
+        return 0;
+
+    Cycle stall = 0;
+    if (scanPending && allow_scan) {
+        // The scan itself is a fast tag-only pass; version payloads
+        // are captured at downgrade time and drained below.
+        Hierarchy::WalkScan scan = hier.tagWalkScan(p.vd);
+        pendingMinVer = scan.minVer;
+        for (auto &v : scan.versions)
+            drainQueue.push_back(std::move(v));
+        scanPending = false;
+        reportPending = true;
+    }
+
+    unsigned budget = p.linesPerTick;
+    while (budget > 0 && !drainQueue.empty()) {
+        const auto &v = drainQueue.front();
+        ++stats.evictReason[static_cast<std::size_t>(
+            EvictReason::TagWalk)];
+        ++stats.tagWalkWriteBacks;
+        stall += backend.insertVersion(v.addr, v.oid, v.seq, v.content,
+                                       now);
+        drainQueue.pop_front();
+        --budget;
+    }
+
+    if (reportPending && drainQueue.empty() && !scanPending) {
+        backend.reportMinVer(p.vd, pendingMinVer, now);
+        reportPending = false;
+        ++walks;
+    }
+    return stall;
+}
+
+void
+TagWalker::drainFully(Cycle now)
+{
+    while (!idle() || reportPending) {
+        tick(now, true);
+        if (drainQueue.empty() && !scanPending && !reportPending)
+            break;
+    }
+}
+
+} // namespace nvo

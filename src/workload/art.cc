@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Adaptive Radix Tree bulk insert (ARTOLC-style, no global lock).
+ * Implements the four adaptive node types (Node4/16/48/256) with
+ * growth on overflow; byte-wise descent over 8-byte random keys. The
+ * growth copies (allocating a larger node and re-writing it) produce
+ * the write behaviour that makes ART the paper's bandwidth-sensitive
+ * workload (Sec. IX).
+ */
+
+#include "workload/workloads.hh"
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+std::uint64_t
+ArtWorkload::nodeBytes(NodeType t)
+{
+    switch (t) {
+      case NodeType::N4: return 16 + 4 * 1 + 4 * 8;       // 52
+      case NodeType::N16: return 16 + 16 * 1 + 16 * 8;    // 160
+      case NodeType::N48: return 16 + 256 * 1 + 48 * 8;   // 656
+      case NodeType::N256: return 16 + 256 * 8;           // 2064
+      case NodeType::Leaf: return 24;
+      default: return 24;
+    }
+}
+
+ArtWorkload::ArtWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    root = allocNode(NodeType::N256);   // fanned-out root
+
+    std::uint64_t prefill = cfg.getU64("wl.art.prefill", 262144);
+    Rng warm(params.seed ^ 0xa47);
+    std::vector<MemRef> scratch;
+    for (std::uint64_t i = 0; i < prefill; ++i) {
+        insert(warm.next(), scratch);
+        scratch.clear();
+    }
+    keyCount = 0;
+}
+
+int
+ArtWorkload::allocNode(NodeType t)
+{
+    Node node;
+    node.type = t;
+    node.simAddr = heap.alloc(sharedArena, nodeBytes(t), 8);
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+int
+ArtWorkload::findChild(const Node &n, std::uint8_t byte) const
+{
+    switch (n.type) {
+      case NodeType::N4:
+      case NodeType::N16:
+        for (unsigned i = 0; i < n.keys.size(); ++i)
+            if (n.keys[i] == byte)
+                return n.children[i];
+        return -1;
+      case NodeType::N48:
+      case NodeType::N256: {
+        std::int16_t idx = n.index[byte];
+        return idx < 0 ? -1 : n.children[idx];
+      }
+      default:
+        return -1;
+    }
+}
+
+int
+ArtWorkload::addChild(int ni, std::uint8_t byte, int child,
+                      std::vector<MemRef> &out)
+{
+    Node &n = nodes[ni];
+    bool full = false;
+    switch (n.type) {
+      case NodeType::N4:
+        full = n.keys.size() >= 4;
+        break;
+      case NodeType::N16:
+        full = n.keys.size() >= 16;
+        break;
+      case NodeType::N48:
+        full = n.children.size() >= 48;
+        break;
+      case NodeType::N256:
+        full = false;
+        break;
+      default:
+        panic("addChild on a leaf");
+    }
+
+    if (full) {
+        // Grow: allocate the next node type, copy all children, and
+        // write the whole new node out.
+        NodeType next = n.type == NodeType::N4
+                            ? NodeType::N16
+                            : (n.type == NodeType::N16 ? NodeType::N48
+                                                       : NodeType::N256);
+        int gi = allocNode(next);
+        Node &g = nodes[gi];
+        Node &old = nodes[ni];
+        if (old.type == NodeType::N4 || old.type == NodeType::N16) {
+            for (unsigned i = 0; i < old.keys.size(); ++i) {
+                if (next == NodeType::N48) {
+                    g.index[old.keys[i]] =
+                        static_cast<std::int16_t>(g.children.size());
+                    g.children.push_back(old.children[i]);
+                } else {
+                    g.keys.push_back(old.keys[i]);
+                    g.children.push_back(old.children[i]);
+                }
+            }
+        } else {   // N48 -> N256
+            for (unsigned b = 0; b < 256; ++b) {
+                if (old.index[b] >= 0) {
+                    g.index[b] =
+                        static_cast<std::int16_t>(g.children.size());
+                    g.children.push_back(old.children[old.index[b]]);
+                }
+            }
+        }
+        ldRange(out, old.simAddr, nodeBytes(old.type));
+        stRange(out, g.simAddr, nodeBytes(next));
+        // The old node's slot is reused in place in the host index;
+        // the parent pointer update is one store.
+        st(out, g.simAddr);
+        nodes[ni] = std::move(nodes[gi]);
+        nodes.pop_back();
+    }
+
+    Node &target = nodes[ni];
+    switch (target.type) {
+      case NodeType::N4:
+      case NodeType::N16:
+        target.keys.push_back(byte);
+        target.children.push_back(child);
+        st(out, target.simAddr + 16 + target.keys.size());
+        st(out, target.simAddr + 16 + 16 +
+                    (target.children.size() - 1) * 8);
+        break;
+      case NodeType::N48:
+        target.index[byte] =
+            static_cast<std::int16_t>(target.children.size());
+        target.children.push_back(child);
+        st(out, target.simAddr + 16 + byte);
+        st(out, target.simAddr + 16 + 256 +
+                    (target.children.size() - 1) * 8);
+        break;
+      case NodeType::N256:
+        target.index[byte] =
+            static_cast<std::int16_t>(target.children.size());
+        target.children.push_back(child);
+        st(out, target.simAddr + 16 + byte * 8);
+        break;
+      default:
+        panic("addChild on a leaf");
+    }
+    return ni;
+}
+
+void
+ArtWorkload::insert(std::uint64_t key, std::vector<MemRef> &out)
+{
+    int ni = root;
+    for (unsigned depth = 0; depth < 8; ++depth) {
+        auto byte = static_cast<std::uint8_t>(
+            (key >> (56 - depth * 8)) & 0xff);
+        Node &n = nodes[ni];
+        ld(out, n.simAddr);
+        if (n.type == NodeType::N48 || n.type == NodeType::N256)
+            ld(out, n.simAddr + 16 + byte);
+
+        int child = findChild(n, byte);
+        if (child < 0) {
+            // New leaf under this byte.
+            int leaf = allocNode(NodeType::Leaf);
+            nodes[leaf].leafKey = key;
+            out.push_back(
+                MemRef::stVal(nodes[leaf].simAddr, key, p.gap));
+            addChild(ni, byte, leaf, out);
+            ++keyCount;
+            return;
+        }
+        if (nodes[child].type == NodeType::Leaf) {
+            Node &lf = nodes[child];
+            ld(out, lf.simAddr);
+            if (lf.leafKey == key)
+                return;   // duplicate
+            // Split the leaf: replace with an N4 holding both.
+            std::uint64_t other = lf.leafKey;
+            unsigned d = depth + 1;
+            int inner = allocNode(NodeType::N4);
+            stRange(out, nodes[inner].simAddr,
+                    nodeBytes(NodeType::N4));
+            // Hang the inner node where the leaf was.
+            Node &parent = nodes[ni];
+            for (auto &c : parent.children)
+                if (c == child)
+                    c = inner;
+            st(out, parent.simAddr);
+            int cur = inner;
+            while (d < 8) {
+                auto kb = static_cast<std::uint8_t>(
+                    (key >> (56 - d * 8)) & 0xff);
+                auto ob = static_cast<std::uint8_t>(
+                    (other >> (56 - d * 8)) & 0xff);
+                if (kb != ob) {
+                    int leaf_new = allocNode(NodeType::Leaf);
+                    nodes[leaf_new].leafKey = key;
+                    out.push_back(MemRef::stVal(
+                        nodes[leaf_new].simAddr, key, p.gap));
+                    cur = addChild(cur, kb, leaf_new, out);
+                    addChild(cur, ob, child, out);
+                    ++keyCount;
+                    return;
+                }
+                int deeper = allocNode(NodeType::N4);
+                stRange(out, nodes[deeper].simAddr,
+                        nodeBytes(NodeType::N4));
+                cur = addChild(cur, kb, deeper, out);
+                cur = deeper;
+                ++d;
+            }
+            return;   // identical 8-byte prefix: duplicate
+        }
+        ni = child;
+    }
+}
+
+bool
+ArtWorkload::contains(std::uint64_t key) const
+{
+    int ni = root;
+    for (unsigned depth = 0; depth < 8; ++depth) {
+        auto byte = static_cast<std::uint8_t>(
+            (key >> (56 - depth * 8)) & 0xff);
+        int child = findChild(nodes[ni], byte);
+        if (child < 0)
+            return false;
+        if (nodes[child].type == NodeType::Leaf)
+            return nodes[child].leafKey == key;
+        ni = child;
+    }
+    return false;
+}
+
+void
+ArtWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    insert(rng[thread].next(), out);
+}
+
+} // namespace nvo

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bayesian network structure learning. Dominated by ad-tree queries
+ * (scattered reads over a large static table) with occasional graph
+ * edits (a few shared-line stores under a lock) — the read-heavy
+ * profile of STAMP's bayes.
+ */
+
+#include "workload/workloads.hh"
+
+#include "common/bitutil.hh"
+
+namespace nvo
+{
+
+BayesWorkload::BayesWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    adtreeBytes = cfg.getU64("wl.bayes.adtree_mb", 8) * 1024 * 1024;
+    graphNodes = cfg.getU64("wl.bayes.graph_nodes", 1u << 16);
+    adtreeBase = heap.alloc(sharedArena, adtreeBytes, lineBytes);
+    graphBase =
+        heap.alloc(sharedArena, graphNodes * lineBytes, lineBytes);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+}
+
+void
+BayesWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    Rng &r = rng[thread];
+    // Score a candidate edge: a burst of ad-tree lookups.
+    unsigned queries = 32 + static_cast<unsigned>(r.below(32));
+    for (unsigned i = 0; i < queries; ++i)
+        ld(out, adtreeBase + lineAlign(r.below(adtreeBytes)));
+
+    // Occasionally commit the best edge found.
+    if (r.chance(0.25)) {
+        lockRefs(out, lockAddr);
+        std::uint64_t a = r.below(graphNodes);
+        std::uint64_t b = r.below(graphNodes);
+        ld(out, graphBase + a * lineBytes);
+        st(out, graphBase + a * lineBytes);
+        ld(out, graphBase + b * lineBytes);
+        st(out, graphBase + b * lineBytes);
+        unlockRefs(out, lockAddr);
+    }
+}
+
+} // namespace nvo

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * B+Tree bulk insert (BTreeOLC-style: optimistic lock coupling means
+ * no global lock references). A real B+Tree runs in host memory; each
+ * insert emits the descent reads, the leaf-shift write burst the
+ * paper calls out ("shifting existing elements after locating a
+ * B+Tree leaf node"), and split write-outs.
+ */
+
+#include "workload/workloads.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+namespace
+{
+constexpr std::uint64_t entryBytes = 16;   // key + value/child
+} // namespace
+
+BTreeWorkload::BTreeWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    fanout = static_cast<unsigned>(cfg.getU64("wl.btree.fanout", 64));
+    lookupPct = cfg.getF64("wl.btree.lookup_pct", 0.0);
+    nvo_assert(fanout >= 4);
+    root = allocNode(true);
+
+    // Prefill: grow the index to a realistic size before measurement
+    // (bulk inserts into an already-large tree, as in the paper's
+    // database-index scenario). No references are emitted.
+    std::uint64_t prefill = cfg.getU64("wl.btree.prefill", 262144);
+    Rng warm(params.seed ^ 0xb7ee);
+    std::vector<MemRef> scratch;
+    for (std::uint64_t i = 0; i < prefill; ++i) {
+        insert(warm.next(), scratch);
+        scratch.clear();
+    }
+    keyCount = 0;
+}
+
+int
+BTreeWorkload::allocNode(bool leaf)
+{
+    Node node;
+    node.leaf = leaf;
+    node.simAddr = heap.alloc(sharedArena,
+                              16 + fanout * entryBytes, lineBytes);
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+void
+BTreeWorkload::splitChild(int pi, unsigned ci, std::vector<MemRef> &out)
+{
+    Node &parent = nodes[pi];
+    int child_idx = parent.children[ci];
+    int fresh = allocNode(nodes[child_idx].leaf);
+    Node &child = nodes[child_idx];
+    Node &nn = nodes[fresh];
+
+    unsigned mid = static_cast<unsigned>(child.keys.size()) / 2;
+    std::uint64_t up_key;
+
+    if (child.leaf) {
+        // B+Tree leaf split: the separator is copied up; the new
+        // node keeps keys[mid..].
+        nn.keys.assign(child.keys.begin() + mid, child.keys.end());
+        nn.values.assign(child.values.begin() + mid,
+                         child.values.end());
+        child.keys.resize(mid);
+        child.values.resize(mid);
+        up_key = nn.keys.front();
+    } else {
+        // Inner split: the middle key moves up; the new node gets
+        // keys[mid+1..] and children[mid+1..].
+        up_key = child.keys[mid];
+        nn.keys.assign(child.keys.begin() + mid + 1,
+                       child.keys.end());
+        nn.children.assign(child.children.begin() + mid + 1,
+                           child.children.end());
+        child.keys.resize(mid);
+        child.children.resize(mid + 1);
+    }
+
+    // Write out the new node and the tail half move.
+    stRange(out, nn.simAddr, 16 + nn.keys.size() * entryBytes);
+    // Parent gains a separator + child pointer: shift its tail.
+    Node &p2 = nodes[pi];
+    auto it = p2.keys.begin() + ci;
+    p2.keys.insert(it, up_key);
+    p2.children.insert(p2.children.begin() + ci + 1, fresh);
+    stRange(out,
+            p2.simAddr + 16 + ci * entryBytes,
+            (p2.keys.size() - ci) * entryBytes);
+}
+
+void
+BTreeWorkload::insert(std::uint64_t key, std::vector<MemRef> &out)
+{
+    // Grow the root if full.
+    if (nodes[root].keys.size() >= fanout - 1) {
+        int new_root = allocNode(false);
+        nodes[new_root].children.push_back(root);
+        root = new_root;
+        splitChild(root, 0, out);
+        stRange(out, nodes[root].simAddr, 2 * entryBytes);
+    }
+
+    int ni = root;
+    while (true) {
+        Node &n = nodes[ni];
+        // Descent read: header plus the binary-search probe lines.
+        ld(out, n.simAddr);
+        if (!n.keys.empty()) {
+            std::uint64_t probe =
+                (n.keys.size() / 2) * entryBytes;
+            ld(out, n.simAddr + 16 + probe);
+        }
+
+        auto it = std::upper_bound(n.keys.begin(), n.keys.end(), key);
+        unsigned pos = static_cast<unsigned>(it - n.keys.begin());
+
+        if (n.leaf) {
+            // Shift the tail to make room: the write burst.
+            n.keys.insert(it, key);
+            n.values.insert(n.values.begin() + pos, key ^ 0x5a5a);
+            stRange(out, n.simAddr + 16 + pos * entryBytes,
+                    (n.keys.size() - pos) * entryBytes);
+            ++keyCount;
+            return;
+        }
+
+        unsigned ci = pos;
+        int child = n.children[ci];
+        if (nodes[child].keys.size() >= fanout - 1) {
+            splitChild(ni, ci, out);
+            // Re-route after the split.
+            if (key > nodes[ni].keys[ci])
+                ++ci;
+            child = nodes[ni].children[ci];
+        }
+        ni = child;
+    }
+}
+
+void
+BTreeWorkload::lookup(std::uint64_t key, std::vector<MemRef> &out) const
+{
+    int ni = root;
+    while (true) {
+        const Node &n = nodes[ni];
+        ld(out, n.simAddr);
+        if (!n.keys.empty())
+            ld(out, n.simAddr + 16 +
+                        (n.keys.size() / 2) * entryBytes);
+        auto it = std::upper_bound(n.keys.begin(), n.keys.end(), key);
+        if (n.leaf) {
+            if (it != n.keys.begin())
+                ld(out, n.simAddr + 16 +
+                            (it - n.keys.begin() - 1) * entryBytes);
+            return;
+        }
+        ni = n.children[it - n.keys.begin()];
+    }
+}
+
+void
+BTreeWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    // Paper default is insert-only bulk load; wl.btree.lookup_pct
+    // mixes in point lookups for read/write-ratio studies.
+    if (lookupPct > 0 && rng[thread].chance(lookupPct))
+        lookup(rng[thread].next(), out);
+    else
+        insert(rng[thread].next(), out);
+}
+
+unsigned
+BTreeWorkload::height() const
+{
+    unsigned h = 1;
+    int ni = root;
+    while (!nodes[ni].leaf) {
+        ni = nodes[ni].children[0];
+        ++h;
+    }
+    return h;
+}
+
+bool
+BTreeWorkload::checkNode(int ni, std::uint64_t lo, std::uint64_t hi,
+                         unsigned depth, unsigned leaf_depth) const
+{
+    const Node &n = nodes[ni];
+    std::uint64_t prev = lo;
+    for (std::uint64_t k : n.keys) {
+        if (k < prev || k > hi)
+            return false;
+        prev = k;
+    }
+    if (n.leaf)
+        return depth == leaf_depth;
+    if (n.children.size() != n.keys.size() + 1)
+        return false;
+    for (unsigned i = 0; i < n.children.size(); ++i) {
+        std::uint64_t clo = i == 0 ? lo : n.keys[i - 1];
+        std::uint64_t chi = i == n.keys.size() ? hi : n.keys[i];
+        if (!checkNode(n.children[i], clo, chi, depth + 1, leaf_depth))
+            return false;
+    }
+    return true;
+}
+
+bool
+BTreeWorkload::selfCheck() const
+{
+    return checkNode(root, 0, ~0ull, 1, height());
+}
+
+} // namespace nvo

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Genome (gene sequencing). Phase 1 deduplicates DNA segments into a
+ * shared hash set (insert-heavy); phase 2 matches segment overlaps
+ * (sequential reads with small result writes) — STAMP genome's
+ * two-phase structure, switched per thread by operation progress.
+ */
+
+#include "workload/workloads.hh"
+
+#include "common/bitutil.hh"
+
+namespace nvo
+{
+
+GenomeWorkload::GenomeWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params),
+      segments(heap, sharedArena,
+               cfg.getU64("wl.genome.buckets", 1 << 17), params.gap)
+{
+    segmentBytes =
+        cfg.getU64("wl.genome.segments_mb", 4) * 1024 * 1024;
+    segmentBase = heap.alloc(sharedArena, segmentBytes, lineBytes);
+    resultBase = heap.alloc(sharedArena,
+                            p.numThreads * 64 * lineBytes, lineBytes);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+    matched.resize(p.numThreads, 0);
+}
+
+void
+GenomeWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    Rng &r = rng[thread];
+    bool dedup_phase = opsDone[thread] < (p.opsPerThread * 3) / 5;
+
+    if (dedup_phase) {
+        // Read a segment window, hash it, insert into the set.
+        Addr seg = segmentBase + lineAlign(r.below(segmentBytes - 256));
+        ldRange(out, seg, 128);
+        lockRefs(out, lockAddr);
+        segments.insert(r.next(), out);
+        unlockRefs(out, lockAddr);
+    } else {
+        // Overlap matching: scan candidate segments, record matches
+        // into the thread's result buffer.
+        Addr seg = segmentBase + lineAlign(r.below(segmentBytes - 1024));
+        ldRange(out, seg, 512);
+        if (r.chance(0.5)) {
+            Addr slot = resultBase +
+                        (thread * 64 + (matched[thread] % 64)) *
+                            lineBytes;
+            st(out, slot);
+            ++matched[thread];
+        }
+    }
+}
+
+} // namespace nvo

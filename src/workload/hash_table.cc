@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Hash-table bulk insert: random keys into one shared chained hash
+ * table protected by a global lock (std::unordered_map + lock in the
+ * paper's setup). The lock line ping-pongs between VDs, exercising
+ * the coherence-driven part of the version protocol.
+ */
+
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+HashTableWorkload::HashTableWorkload(const Params &params,
+                                     const Config &cfg)
+    : WorkloadBase(params),
+      set(heap, sharedArena, cfg.getU64("wl.hashtable.buckets", 1 << 18),
+          params.gap)
+{
+    lookupPct = cfg.getF64("wl.hashtable.lookup_pct", 0.0);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+
+    std::uint64_t prefill = cfg.getU64("wl.hashtable.prefill", 262144);
+    Rng warm(params.seed ^ 0x8a5);
+    std::vector<MemRef> scratch;
+    for (std::uint64_t i = 0; i < prefill; ++i) {
+        set.insert(warm.next(), scratch);
+        scratch.clear();
+    }
+}
+
+void
+HashTableWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    std::uint64_t key = rng[thread].next();
+    if (lookupPct > 0 && rng[thread].chance(lookupPct)) {
+        // Probes are lock-free reads (the paper's index usage).
+        set.contains(key, out);
+        return;
+    }
+    lockRefs(out, lockAddr);
+    set.insert(key, out);
+    unlockRefs(out, lockAddr);
+}
+
+} // namespace nvo

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Intruder (network intrusion detection). Threads consume packet
+ * fragments from a shared stream (sequential reads), insert them into
+ * a shared reassembly map under a lock, and occasionally run a
+ * detector pass over the signature dictionary — STAMP intruder's
+ * capture/reassembly/detection pipeline.
+ */
+
+#include "workload/workloads.hh"
+
+#include "common/bitutil.hh"
+
+namespace nvo
+{
+
+IntruderWorkload::IntruderWorkload(const Params &params,
+                                   const Config &cfg)
+    : WorkloadBase(params),
+      fragments(heap, sharedArena,
+                cfg.getU64("wl.intruder.buckets", 1 << 17), params.gap)
+{
+    streamBytes =
+        cfg.getU64("wl.intruder.stream_mb", 4) * 1024 * 1024;
+    dictBytes = cfg.getU64("wl.intruder.dict_kb", 512) * 1024;
+    streamBase = heap.alloc(sharedArena, streamBytes, lineBytes);
+    dictBase = heap.alloc(sharedArena, dictBytes, lineBytes);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+    cursor.resize(p.numThreads, 0);
+}
+
+void
+IntruderWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    Rng &r = rng[thread];
+
+    // Capture: read the next few fragment lines from the stream.
+    std::uint64_t slice = streamBytes / p.numThreads;
+    Addr base = streamBase + thread * slice;
+    for (unsigned i = 0; i < 4; ++i) {
+        ld(out, base + (cursor[thread] % slice));
+        cursor[thread] += lineBytes;
+    }
+
+    // Reassembly: insert the fragment into the shared flow map.
+    std::uint64_t flow = r.below(1 << 18);
+    std::uint64_t frag_id = (flow << 16) | r.below(64);
+    lockRefs(out, lockAddr);
+    fragments.insert(frag_id, out);
+    unlockRefs(out, lockAddr);
+
+    // Detection: occasionally scan a signature window.
+    if (r.chance(0.125)) {
+        Addr at = dictBase + lineAlign(r.below(dictBytes - 2048));
+        ldRange(out, at, 1024);
+    }
+}
+
+} // namespace nvo

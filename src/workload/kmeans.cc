@@ -1,0 +1,68 @@
+/**
+ * @file
+ * K-means clustering kernel. Threads stream over disjoint slices of a
+ * large point array (one 64 B point per line), write each point's
+ * cluster membership, accumulate into thread-private centroid
+ * accumulators, and periodically merge into the shared centroids
+ * under a lock. The streaming write set far exceeds the L2, which is
+ * exactly the L2-thrashing behaviour Sec. VII-B analyzes for kmeans
+ * (repeated capacity write backs of the same lines within an epoch).
+ */
+
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+KmeansWorkload::KmeansWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    numPoints = cfg.getU64("wl.kmeans.points", 1u << 17);
+    numClusters = cfg.getU64("wl.kmeans.clusters", 64);
+    chunk = cfg.getU64("wl.kmeans.chunk", 32);
+
+    pointsBase =
+        heap.alloc(sharedArena, numPoints * lineBytes, lineBytes);
+    membershipBase =
+        heap.alloc(sharedArena, numPoints * 8, lineBytes);
+    centroidsBase =
+        heap.alloc(sharedArena, numClusters * lineBytes, lineBytes);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+    for (unsigned t = 0; t < p.numThreads; ++t) {
+        accumBase.push_back(heap.alloc(
+            arenaOf(t), numClusters * lineBytes, lineBytes));
+        cursor.push_back(0);
+    }
+}
+
+void
+KmeansWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    std::uint64_t slice = numPoints / p.numThreads;
+    std::uint64_t base_idx = thread * slice;
+
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+        std::uint64_t idx =
+            base_idx + (cursor[thread] + i) % slice;
+        // Read the point, pick a cluster, write membership and the
+        // private accumulator.
+        ld(out, pointsBase + idx * lineBytes);
+        std::uint64_t c = rng[thread].below(numClusters);
+        ld(out, membershipBase + idx * 8);
+        st(out, membershipBase + idx * 8);
+        st(out, accumBase[thread] + c * lineBytes);
+    }
+    cursor[thread] += chunk;
+
+    // Periodic reduction into the shared centroids.
+    if ((cursor[thread] / chunk) % 64 == 0) {
+        lockRefs(out, lockAddr);
+        for (std::uint64_t c = 0; c < numClusters; ++c) {
+            ld(out, centroidsBase + c * lineBytes);
+            st(out, centroidsBase + c * lineBytes);
+        }
+        unlockRefs(out, lockAddr);
+    }
+}
+
+} // namespace nvo

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Labyrinth grid router. Each operation routes one path: a long
+ * read-mostly expansion phase over the shared grid followed by a
+ * bursty path commit (a run of stores) under the global grid lock —
+ * the read-expand/write-commit structure of STAMP's labyrinth.
+ */
+
+#include "workload/workloads.hh"
+
+#include <algorithm>
+
+namespace nvo
+{
+
+LabyrinthWorkload::LabyrinthWorkload(const Params &params,
+                                     const Config &cfg)
+    : WorkloadBase(params)
+{
+    width = cfg.getU64("wl.labyrinth.width", 1024);
+    height = cfg.getU64("wl.labyrinth.height", 1024);
+    gridBase =
+        heap.alloc(sharedArena, width * height * 4, lineBytes);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+}
+
+Addr
+LabyrinthWorkload::cellAddr(std::uint64_t x, std::uint64_t y) const
+{
+    return gridBase + (y * width + x) * 4;
+}
+
+void
+LabyrinthWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    Rng &r = rng[thread];
+    std::uint64_t sx = r.below(width), sy = r.below(height);
+    std::uint64_t dx = r.below(width), dy = r.below(height);
+
+    // Expansion: breadth-first-ish wavefront reads around the
+    // source-destination bounding box.
+    std::uint64_t x0 = std::min(sx, dx), x1 = std::max(sx, dx);
+    std::uint64_t y0 = std::min(sy, dy), y1 = std::max(sy, dy);
+    unsigned reads = 0;
+    for (std::uint64_t y = y0; y <= y1 && reads < 160; ++y) {
+        for (std::uint64_t x = x0; x <= x1 && reads < 160;
+             x += 1 + r.below(3)) {
+            ld(out, cellAddr(x, y));
+            ++reads;
+        }
+    }
+
+    // Commit: walk an L-shaped path and claim its cells.
+    lockRefs(out, lockAddr);
+    std::uint64_t x = sx, y = sy;
+    while (x != dx) {
+        st(out, cellAddr(x, y));
+        x += x < dx ? 1 : -1;
+    }
+    while (y != dy) {
+        st(out, cellAddr(x, y));
+        y += y < dy ? 1 : -1;
+    }
+    st(out, cellAddr(x, y));
+    unlockRefs(out, lockAddr);
+}
+
+} // namespace nvo

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Red-black tree bulk insert (std::map shape) under a global lock.
+ * Classic insert with recolor/rotation fixup; every touched node
+ * contributes references, so deep descents and fixup chains produce
+ * the pointer-chasing read stream and small scattered write set that
+ * characterize std::map.
+ */
+
+#include "workload/workloads.hh"
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+RbTreeWorkload::RbTreeWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+
+    std::uint64_t prefill = cfg.getU64("wl.rbtree.prefill", 262144);
+    Rng warm(params.seed ^ 0x4b7);
+    std::vector<MemRef> scratch;
+    for (std::uint64_t i = 0; i < prefill; ++i) {
+        insert(warm.next(), scratch);
+        scratch.clear();
+    }
+    keyCount = 0;
+}
+
+int
+RbTreeWorkload::allocNode(std::uint64_t key)
+{
+    Node node;
+    node.key = key;
+    node.simAddr = heap.alloc(sharedArena, 48, 8);
+    nodes.push_back(node);
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+void
+RbTreeWorkload::rotateLeft(int x, std::vector<MemRef> &out)
+{
+    int y = nodes[x].right;
+    nodes[x].right = nodes[y].left;
+    if (nodes[y].left >= 0)
+        nodes[nodes[y].left].parent = x;
+    nodes[y].parent = nodes[x].parent;
+    if (nodes[x].parent < 0)
+        root = y;
+    else if (nodes[nodes[x].parent].left == x)
+        nodes[nodes[x].parent].left = y;
+    else
+        nodes[nodes[x].parent].right = y;
+    nodes[y].left = x;
+    nodes[x].parent = y;
+    st(out, nodes[x].simAddr);
+    st(out, nodes[y].simAddr);
+    if (nodes[y].parent >= 0)
+        st(out, nodes[nodes[y].parent].simAddr);
+}
+
+void
+RbTreeWorkload::rotateRight(int x, std::vector<MemRef> &out)
+{
+    int y = nodes[x].left;
+    nodes[x].left = nodes[y].right;
+    if (nodes[y].right >= 0)
+        nodes[nodes[y].right].parent = x;
+    nodes[y].parent = nodes[x].parent;
+    if (nodes[x].parent < 0)
+        root = y;
+    else if (nodes[nodes[x].parent].left == x)
+        nodes[nodes[x].parent].left = y;
+    else
+        nodes[nodes[x].parent].right = y;
+    nodes[y].right = x;
+    nodes[x].parent = y;
+    st(out, nodes[x].simAddr);
+    st(out, nodes[y].simAddr);
+    if (nodes[y].parent >= 0)
+        st(out, nodes[nodes[y].parent].simAddr);
+}
+
+void
+RbTreeWorkload::insert(std::uint64_t key, std::vector<MemRef> &out)
+{
+    // BST descent.
+    int parent = -1;
+    int cur = root;
+    while (cur >= 0) {
+        ld(out, nodes[cur].simAddr);
+        parent = cur;
+        if (key == nodes[cur].key)
+            return;   // duplicate
+        cur = key < nodes[cur].key ? nodes[cur].left
+                                   : nodes[cur].right;
+    }
+
+    int z = allocNode(key);
+    nodes[z].parent = parent;
+    st(out, nodes[z].simAddr);
+    if (parent < 0) {
+        root = z;
+    } else {
+        if (key < nodes[parent].key)
+            nodes[parent].left = z;
+        else
+            nodes[parent].right = z;
+        st(out, nodes[parent].simAddr);
+    }
+    ++keyCount;
+
+    // Fixup.
+    while (nodes[z].parent >= 0 && nodes[nodes[z].parent].red) {
+        int zp = nodes[z].parent;
+        int zpp = nodes[zp].parent;
+        if (zpp < 0)
+            break;
+        ld(out, nodes[zpp].simAddr);
+        if (zp == nodes[zpp].left) {
+            int uncle = nodes[zpp].right;
+            if (uncle >= 0 && nodes[uncle].red) {
+                nodes[zp].red = false;
+                nodes[uncle].red = false;
+                nodes[zpp].red = true;
+                st(out, nodes[zp].simAddr);
+                st(out, nodes[uncle].simAddr);
+                st(out, nodes[zpp].simAddr);
+                z = zpp;
+            } else {
+                if (z == nodes[zp].right) {
+                    z = zp;
+                    rotateLeft(z, out);
+                    zp = nodes[z].parent;
+                    zpp = nodes[zp].parent;
+                }
+                nodes[zp].red = false;
+                nodes[zpp].red = true;
+                st(out, nodes[zp].simAddr);
+                st(out, nodes[zpp].simAddr);
+                rotateRight(zpp, out);
+            }
+        } else {
+            int uncle = nodes[zpp].left;
+            if (uncle >= 0 && nodes[uncle].red) {
+                nodes[zp].red = false;
+                nodes[uncle].red = false;
+                nodes[zpp].red = true;
+                st(out, nodes[zp].simAddr);
+                st(out, nodes[uncle].simAddr);
+                st(out, nodes[zpp].simAddr);
+                z = zpp;
+            } else {
+                if (z == nodes[zp].left) {
+                    z = zp;
+                    rotateRight(z, out);
+                    zp = nodes[z].parent;
+                    zpp = nodes[zp].parent;
+                }
+                nodes[zp].red = false;
+                nodes[zpp].red = true;
+                st(out, nodes[zp].simAddr);
+                st(out, nodes[zpp].simAddr);
+                rotateLeft(zpp, out);
+            }
+        }
+    }
+    if (nodes[root].red) {
+        nodes[root].red = false;
+        st(out, nodes[root].simAddr);
+    }
+}
+
+void
+RbTreeWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    lockRefs(out, lockAddr);
+    insert(rng[thread].next(), out);
+    unlockRefs(out, lockAddr);
+}
+
+int
+RbTreeWorkload::checkNode(int ni, std::uint64_t lo, std::uint64_t hi,
+                          bool parent_red) const
+{
+    if (ni < 0)
+        return 1;   // nil nodes are black, height 1
+    const Node &n = nodes[ni];
+    if (n.key < lo || n.key > hi)
+        return -1;
+    if (parent_red && n.red)
+        return -1;   // red-red violation
+    int lh = checkNode(n.left, lo, n.key, n.red);
+    int rh = checkNode(n.right, n.key, hi, n.red);
+    if (lh < 0 || rh < 0 || lh != rh)
+        return -1;
+    return lh + (n.red ? 0 : 1);
+}
+
+bool
+RbTreeWorkload::selfCheck() const
+{
+    if (root < 0)
+        return true;
+    if (nodes[root].red)
+        return false;
+    return checkNode(root, 0, ~0ull, false) >= 0;
+}
+
+} // namespace nvo

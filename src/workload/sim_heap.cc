@@ -1,0 +1,48 @@
+#include "workload/sim_heap.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+SimHeap::SimHeap(unsigned num_arenas, Addr base,
+                 std::uint64_t arena_bytes)
+    : base_(base), arenaBytes(arena_bytes)
+{
+    nvo_assert(num_arenas > 0);
+    cursors.resize(num_arenas);
+    for (unsigned i = 0; i < num_arenas; ++i)
+        cursors[i] = base_ + static_cast<Addr>(i) * arenaBytes;
+}
+
+Addr
+SimHeap::alloc(unsigned arena, std::uint64_t size, std::uint64_t align)
+{
+    nvo_assert(arena < cursors.size());
+    nvo_assert(isPow2(align));
+    Addr addr = roundUpPow2(cursors[arena], align);
+    cursors[arena] = addr + size;
+    Addr limit = base_ + (static_cast<Addr>(arena) + 1) * arenaBytes;
+    nvo_assert(cursors[arena] <= limit, "arena exhausted");
+    return addr;
+}
+
+std::uint64_t
+SimHeap::allocatedBytes(unsigned arena) const
+{
+    nvo_assert(arena < cursors.size());
+    Addr start = base_ + static_cast<Addr>(arena) * arenaBytes;
+    return cursors[arena] - start;
+}
+
+std::uint64_t
+SimHeap::totalAllocated() const
+{
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < cursors.size(); ++i)
+        total += allocatedBytes(i);
+    return total;
+}
+
+} // namespace nvo

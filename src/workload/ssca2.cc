@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SSCA2 graph kernel. A CSR graph is generated at startup; each
+ * operation expands a random node's neighborhood, reading the
+ * adjacency arrays and scattering writes into the shared parent
+ * array — the irregular scattered-write pattern SSCA2 is known for.
+ */
+
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+Ssca2Workload::Ssca2Workload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    numNodes = cfg.getU64("wl.ssca2.nodes", 1u << 21);
+    avgDegree = cfg.getU64("wl.ssca2.degree", 8);
+
+    // Build a random multigraph in CSR form (deterministic).
+    Rng graph_rng(p.seed ^ 0x55ca2);
+    adjIndex.resize(numNodes + 1);
+    adjIndex[0] = 0;
+    for (std::uint64_t n = 0; n < numNodes; ++n) {
+        std::uint64_t deg = 1 + graph_rng.below(2 * avgDegree);
+        adjIndex[n + 1] =
+            adjIndex[n] + static_cast<std::uint32_t>(deg);
+    }
+    adjList.resize(adjIndex[numNodes]);
+    for (auto &e : adjList)
+        e = static_cast<std::uint32_t>(graph_rng.below(numNodes));
+
+    adjIndexBase =
+        heap.alloc(sharedArena, (numNodes + 1) * 4, lineBytes);
+    adjListBase =
+        heap.alloc(sharedArena, adjList.size() * 4, lineBytes);
+    parentBase = heap.alloc(sharedArena, numNodes * 4, lineBytes);
+}
+
+void
+Ssca2Workload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    std::uint64_t n = rng[thread].below(numNodes);
+    ld(out, adjIndexBase + n * 4);
+    std::uint32_t begin = adjIndex[n];
+    std::uint32_t end = adjIndex[n + 1];
+    for (std::uint32_t e = begin; e < end; ++e) {
+        ld(out, adjListBase + static_cast<Addr>(e) * 4);
+        std::uint32_t nbr = adjList[e];
+        // Tentative parent update (scatter write).
+        ld(out, parentBase + static_cast<Addr>(nbr) * 4);
+        st(out, parentBase + static_cast<Addr>(nbr) * 4);
+    }
+}
+
+} // namespace nvo

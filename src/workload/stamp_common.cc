@@ -1,0 +1,68 @@
+#include "workload/stamp_common.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace nvo
+{
+
+SimHashSet::SimHashSet(SimHeap &heap_, unsigned arena_,
+                       std::uint64_t num_buckets, std::uint32_t gap_)
+    : heap(heap_), arena(arena_), gap(gap_)
+{
+    nvo_assert(isPow2(num_buckets));
+    mask = num_buckets - 1;
+    buckets.assign(num_buckets, -1);
+    bucketsBase = heap.alloc(arena, num_buckets * 8, lineBytes);
+}
+
+std::uint64_t
+SimHashSet::hash(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return key;
+}
+
+bool
+SimHashSet::insert(std::uint64_t key, std::vector<MemRef> &out)
+{
+    std::uint64_t b = hash(key) & mask;
+    out.push_back(MemRef::ld(bucketsBase + b * 8, gap));
+    std::int32_t cur = buckets[b];
+    while (cur >= 0) {
+        out.push_back(MemRef::ld(nodes[cur].addr, gap));
+        if (nodes[cur].key == key)
+            return false;
+        cur = nodes[cur].next;
+    }
+    Node node;
+    node.key = key;
+    node.addr = heap.alloc(arena, 24, 8);
+    node.next = buckets[b];
+    buckets[b] = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back(node);
+    // Initialize the node, then link it into the bucket head.
+    out.push_back(MemRef::stVal(node.addr, key, gap));
+    out.push_back(MemRef::st(node.addr + 8, gap));
+    out.push_back(MemRef::st(bucketsBase + b * 8, gap));
+    return true;
+}
+
+bool
+SimHashSet::contains(std::uint64_t key, std::vector<MemRef> &out) const
+{
+    std::uint64_t b = hash(key) & mask;
+    out.push_back(MemRef::ld(bucketsBase + b * 8, gap));
+    std::int32_t cur = buckets[b];
+    while (cur >= 0) {
+        out.push_back(MemRef::ld(nodes[cur].addr, gap));
+        if (nodes[cur].key == key)
+            return true;
+        cur = nodes[cur].next;
+    }
+    return false;
+}
+
+} // namespace nvo

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared building blocks for the workload suite: a chained hash set
+ * over simulated addresses (used by hashtable, intruder, genome) that
+ * emits realistic bucket-probe and node-append reference streams.
+ */
+
+#ifndef NVO_WORKLOAD_STAMP_COMMON_HH
+#define NVO_WORKLOAD_STAMP_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "cpu/memref.hh"
+#include "workload/sim_heap.hh"
+
+namespace nvo
+{
+
+/** Chained hash set whose buckets and nodes live at sim addresses. */
+class SimHashSet
+{
+  public:
+    SimHashSet(SimHeap &heap, unsigned arena, std::uint64_t num_buckets,
+               std::uint32_t gap);
+
+    /**
+     * Insert @p key, emitting the probe/append references into
+     * @p out. Returns true when the key was new.
+     */
+    bool insert(std::uint64_t key, std::vector<MemRef> &out);
+
+    /** Probe for @p key, emitting chain-walk references. */
+    bool contains(std::uint64_t key, std::vector<MemRef> &out) const;
+
+    std::uint64_t size() const { return nodes.size(); }
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        Addr addr;
+        std::int32_t next;
+    };
+
+    static std::uint64_t hash(std::uint64_t key);
+
+    SimHeap &heap;
+    unsigned arena;
+    std::uint32_t gap;
+    std::uint64_t mask;
+    Addr bucketsBase;
+    std::vector<std::int32_t> buckets;
+    std::vector<Node> nodes;
+};
+
+/**
+ * Approximate Zipfian sampler over [0, n) using the rejection-free
+ * power-of-two-choices approximation: rank = n * u^theta picks low
+ * ranks preferentially (theta in (0, ~4]; larger = more skew).
+ * Deterministic given the caller's Rng.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta)
+        : n_(n), theta_(theta)
+    {
+    }
+
+    std::uint64_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniform();
+        double r = 1.0;
+        for (double t = theta_; t >= 1.0; t -= 1.0)
+            r *= u;
+        // Fractional part of theta via one extra multiply.
+        double frac = theta_ - static_cast<std::uint64_t>(theta_);
+        if (frac > 0)
+            r *= 1.0 - frac * (1.0 - u);
+        auto idx = static_cast<std::uint64_t>(r * n_);
+        return idx >= n_ ? n_ - 1 : idx;
+    }
+
+    std::uint64_t population() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+};
+
+} // namespace nvo
+
+#endif // NVO_WORKLOAD_STAMP_COMMON_HH

@@ -1,0 +1,159 @@
+#include "workload/trace.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'N', 'V', 'O', 'T'};
+constexpr std::uint32_t traceVersion = 1;
+
+struct Record
+{
+    std::uint8_t thread;
+    std::uint8_t flags;   // bit0 = store, bit1 = op end
+    std::uint8_t size;
+    std::uint8_t pad;
+    std::uint32_t gap;
+    std::uint64_t addr;
+};
+static_assert(sizeof(Record) == 16);
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, unsigned num_threads)
+    : threads(num_threads)
+{
+    nvo_assert(num_threads > 0 && num_threads <= 255);
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    std::fwrite(traceMagic, 1, 4, file);
+    std::uint32_t version = traceVersion;
+    std::fwrite(&version, 4, 1, file);
+    std::uint32_t nt = num_threads;
+    std::fwrite(&nt, 4, 1, file);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+void
+TraceWriter::writeOp(unsigned thread, const std::vector<MemRef> &refs)
+{
+    nvo_assert(file != nullptr, "trace already closed");
+    nvo_assert(thread < threads);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const MemRef &r = refs[i];
+        Record rec{};
+        rec.thread = static_cast<std::uint8_t>(thread);
+        rec.flags = static_cast<std::uint8_t>(
+            (r.isStore ? 1 : 0) |
+            (i + 1 == refs.size() ? 2 : 0));
+        rec.size = r.size;
+        rec.gap = r.gapInstrs;
+        rec.addr = r.addr;
+        std::fwrite(&rec, sizeof(rec), 1, file);
+        ++records;
+    }
+}
+
+TraceWorkload::TraceWorkload(const Params &params,
+                             const std::string &path)
+    : WorkloadBase(params)
+{
+    loadFile(path);
+    cursor.assign(p.numThreads, 0);
+    // Replay runs until each stream is exhausted, regardless of the
+    // nominal ops setting.
+    std::uint64_t max_ops = 0;
+    for (const auto &per_thread : ops)
+        max_ops = std::max<std::uint64_t>(max_ops, per_thread.size());
+    p.opsPerThread = max_ops;
+}
+
+void
+TraceWorkload::loadFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[4];
+    std::uint32_t version = 0, nt = 0;
+    if (std::fread(magic, 1, 4, file) != 4 ||
+        std::memcmp(magic, traceMagic, 4) != 0)
+        fatal("'%s' is not an NVOT trace", path.c_str());
+    if (std::fread(&version, 4, 1, file) != 1 ||
+        version != traceVersion)
+        fatal("unsupported trace version in '%s'", path.c_str());
+    if (std::fread(&nt, 4, 1, file) != 1 || nt == 0)
+        fatal("corrupt trace header in '%s'", path.c_str());
+    fileThreads = nt;
+
+    ops.assign(p.numThreads, {});
+    std::vector<std::vector<MemRef>> open_op(nt);
+    Record rec;
+    while (std::fread(&rec, sizeof(rec), 1, file) == 1) {
+        MemRef r;
+        r.addr = rec.addr;
+        r.gapInstrs = rec.gap;
+        r.size = rec.size;
+        r.isStore = rec.flags & 1;
+        // Trace threads fold onto the configured thread count.
+        unsigned t = rec.thread % p.numThreads;
+        open_op[rec.thread].push_back(r);
+        if (rec.flags & 2) {
+            ops[t].push_back(std::move(open_op[rec.thread]));
+            open_op[rec.thread].clear();
+        }
+    }
+    std::fclose(file);
+}
+
+void
+TraceWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    // nextOp() bounds calls by opsPerThread; shorter streams emit
+    // empty ops (the core idles briefly).
+    if (cursor[thread] < ops[thread].size())
+        out = ops[thread][cursor[thread]++];
+}
+
+std::uint64_t
+captureTrace(WorkloadBase &workload, const std::string &path)
+{
+    TraceWriter writer(path, workload.params().numThreads);
+    std::vector<MemRef> batch;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (unsigned t = 0; t < workload.params().numThreads; ++t) {
+            if (workload.nextOp(t, batch)) {
+                progress = true;
+                if (!batch.empty())
+                    writer.writeOp(t, batch);
+            }
+        }
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace nvo

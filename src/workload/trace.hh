@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reference-trace capture and replay.
+ *
+ * TraceWriter records every reference a workload generates into a
+ * compact binary file (per-thread streams); TraceWorkload replays
+ * such a file as a RefSource. This decouples workload generation
+ * from simulation — a captured trace can be re-run under every
+ * scheme with identical reference streams, shared with others, or
+ * inspected offline.
+ *
+ * File layout (little-endian):
+ *   header:  magic "NVOT", u32 version, u32 numThreads
+ *   records: u8 thread | u8 flags(bit0=store, bit1=opEnd)
+ *            u8 size | u8 pad | u32 gap | u64 addr
+ */
+
+#ifndef NVO_WORKLOAD_TRACE_HH
+#define NVO_WORKLOAD_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/memref.hh"
+#include "workload/workload.hh"
+
+namespace nvo
+{
+
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing a trace of @p num_threads streams. */
+    TraceWriter(const std::string &path, unsigned num_threads);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one operation's references for @p thread. */
+    void writeOp(unsigned thread, const std::vector<MemRef> &refs);
+
+    void close();
+    std::uint64_t recordsWritten() const { return records; }
+
+  private:
+    std::FILE *file;
+    unsigned threads;
+    std::uint64_t records = 0;
+};
+
+/**
+ * RefSource replaying a recorded trace. Also usable through the
+ * factory via workload name "trace" with config key "wl.trace.path".
+ */
+class TraceWorkload : public WorkloadBase
+{
+  public:
+    TraceWorkload(const Params &params, const std::string &path);
+
+    const char *name() const override { return "trace"; }
+    void genOp(unsigned thread, std::vector<MemRef> &out) override;
+
+    unsigned traceThreads() const { return fileThreads; }
+
+  private:
+    void loadFile(const std::string &path);
+
+    unsigned fileThreads = 0;
+    /** Per-thread operation lists (each op = a batch of refs). */
+    std::vector<std::vector<std::vector<MemRef>>> ops;
+    std::vector<std::size_t> cursor;
+};
+
+/**
+ * Capture @p workload's full reference stream to @p path. Returns the
+ * number of records written.
+ */
+std::uint64_t captureTrace(WorkloadBase &workload,
+                           const std::string &path);
+
+} // namespace nvo
+
+#endif // NVO_WORKLOAD_TRACE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Vacation (travel-reservation OLTP). Each operation is a transaction
+ * touching the four reservation tables: a handful of random row
+ * reads, a few row updates, under per-table locks — STAMP vacation's
+ * mixed read/update transaction profile.
+ */
+
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+VacationWorkload::VacationWorkload(const Params &params,
+                                   const Config &cfg)
+    : WorkloadBase(params)
+{
+    rowsPerTable = cfg.getU64("wl.vacation.rows", 1u << 15);
+    for (unsigned t = 0; t < numTables; ++t) {
+        tableBase[t] = heap.alloc(sharedArena,
+                                  rowsPerTable * lineBytes, lineBytes);
+        tableLock[t] = heap.alloc(sharedArena, lineBytes, lineBytes);
+    }
+}
+
+void
+VacationWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    Rng &r = rng[thread];
+    unsigned queries = 6 + static_cast<unsigned>(r.below(6));
+    for (unsigned q = 0; q < queries; ++q) {
+        unsigned table = static_cast<unsigned>(r.below(numTables));
+        std::uint64_t row = r.below(rowsPerTable);
+        ld(out, tableBase[table] + row * lineBytes);
+    }
+    // Make the reservation: update 2-4 rows.
+    unsigned updates = 2 + static_cast<unsigned>(r.below(3));
+    for (unsigned u = 0; u < updates; ++u) {
+        unsigned table = static_cast<unsigned>(r.below(numTables));
+        std::uint64_t row = r.below(rowsPerTable);
+        lockRefs(out, tableLock[table]);
+        ld(out, tableBase[table] + row * lineBytes);
+        st(out, tableBase[table] + row * lineBytes);
+        unlockRefs(out, tableLock[table]);
+    }
+}
+
+} // namespace nvo

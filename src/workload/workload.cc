@@ -1,0 +1,123 @@
+#include "workload/workload.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "workload/trace.hh"
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+WorkloadBase::WorkloadBase(const Params &params)
+    : p(params), heap(params.numThreads + 1)
+{
+    nvo_assert(p.numThreads > 0);
+    for (unsigned t = 0; t < p.numThreads; ++t)
+        rng.emplace_back(p.seed * 1000003 + t);
+    opsDone.resize(p.numThreads, 0);
+}
+
+bool
+WorkloadBase::nextOp(unsigned thread, std::vector<MemRef> &out)
+{
+    nvo_assert(thread < p.numThreads);
+    if (opsDone[thread] >= p.opsPerThread)
+        return false;
+    out.clear();
+    genOp(thread, out);
+    ++opsDone[thread];
+    return true;
+}
+
+std::uint64_t
+WorkloadBase::opsCompleted() const
+{
+    std::uint64_t total = 0;
+    for (auto n : opsDone)
+        total += n;
+    return total;
+}
+
+void
+WorkloadBase::ldRange(std::vector<MemRef> &out, Addr a,
+                      std::uint64_t bytes) const
+{
+    for (Addr cur = lineAlign(a); cur < a + bytes; cur += lineBytes)
+        ld(out, cur);
+}
+
+void
+WorkloadBase::stRange(std::vector<MemRef> &out, Addr a,
+                      std::uint64_t bytes) const
+{
+    for (Addr cur = lineAlign(a); cur < a + bytes; cur += lineBytes)
+        st(out, cur);
+}
+
+void
+WorkloadBase::lockRefs(std::vector<MemRef> &out, Addr lock_addr) const
+{
+    // CAS acquire: an atomic RMW issues a single exclusive request
+    // (GETX) for the lock word — no separate read that would force a
+    // writer downgrade first.
+    st(out, lock_addr);
+}
+
+void
+WorkloadBase::unlockRefs(std::vector<MemRef> &out, Addr lock_addr) const
+{
+    st(out, lock_addr);
+}
+
+const std::vector<std::string> &
+paperWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "hashtable", "btree",    "art",      "rbtree",
+        "labyrinth", "bayes",    "yada",     "intruder",
+        "vacation",  "kmeans",   "genome",   "ssca2",
+    };
+    return names;
+}
+
+std::unique_ptr<WorkloadBase>
+makeWorkload(const std::string &name, const Config &cfg)
+{
+    WorkloadBase::Params p;
+    p.numThreads =
+        static_cast<unsigned>(cfg.getU64("wl.threads", 16));
+    p.opsPerThread = cfg.getU64("wl.ops", 4096);
+    p.seed = cfg.getU64("wl.seed", 1);
+    p.gap = static_cast<std::uint32_t>(cfg.getU64("wl.gap", 32));
+
+    if (name == "hashtable")
+        return std::make_unique<HashTableWorkload>(p, cfg);
+    if (name == "btree")
+        return std::make_unique<BTreeWorkload>(p, cfg);
+    if (name == "art")
+        return std::make_unique<ArtWorkload>(p, cfg);
+    if (name == "rbtree")
+        return std::make_unique<RbTreeWorkload>(p, cfg);
+    if (name == "labyrinth")
+        return std::make_unique<LabyrinthWorkload>(p, cfg);
+    if (name == "bayes")
+        return std::make_unique<BayesWorkload>(p, cfg);
+    if (name == "yada")
+        return std::make_unique<YadaWorkload>(p, cfg);
+    if (name == "intruder")
+        return std::make_unique<IntruderWorkload>(p, cfg);
+    if (name == "vacation")
+        return std::make_unique<VacationWorkload>(p, cfg);
+    if (name == "kmeans")
+        return std::make_unique<KmeansWorkload>(p, cfg);
+    if (name == "genome")
+        return std::make_unique<GenomeWorkload>(p, cfg);
+    if (name == "ssca2")
+        return std::make_unique<Ssca2Workload>(p, cfg);
+    if (name == "trace")
+        return std::make_unique<TraceWorkload>(
+            p, cfg.getStr("wl.trace.path", "trace.nvot"));
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace nvo

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Yada (Delaunay mesh refinement). Each operation retriangulates a
+ * cavity: pointer-chase reads over a cluster of triangle records,
+ * allocation and initialization of new triangles, and link updates —
+ * STAMP yada's allocate-and-relink write pattern.
+ */
+
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+YadaWorkload::YadaWorkload(const Params &params, const Config &cfg)
+    : WorkloadBase(params)
+{
+    std::uint64_t initial = cfg.getU64("wl.yada.triangles", 1u << 15);
+    lockAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+    Rng mesh_rng(p.seed ^ 0xada);
+    for (std::uint64_t i = 0; i < initial; ++i) {
+        Tri tri;
+        tri.simAddr = heap.alloc(sharedArena, lineBytes, lineBytes);
+        for (auto &n : tri.nbr)
+            n = static_cast<std::uint32_t>(mesh_rng.below(initial));
+        tris.push_back(tri);
+    }
+}
+
+std::uint32_t
+YadaWorkload::allocTri(unsigned thread, Rng &r)
+{
+    Tri tri;
+    tri.simAddr = heap.alloc(arenaOf(thread), lineBytes, lineBytes);
+    for (auto &n : tri.nbr)
+        n = static_cast<std::uint32_t>(r.below(tris.size()));
+    tris.push_back(tri);
+    return static_cast<std::uint32_t>(tris.size() - 1);
+}
+
+void
+YadaWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    Rng &r = rng[thread];
+    // Expand the cavity: chase neighbor links.
+    std::uint32_t cur =
+        static_cast<std::uint32_t>(r.below(tris.size()));
+    std::vector<std::uint32_t> cavity;
+    for (unsigned depth = 0; depth < 8; ++depth) {
+        ld(out, tris[cur].simAddr);
+        cavity.push_back(cur);
+        cur = tris[cur].nbr[r.below(3)];
+    }
+
+    // Retriangulate: allocate new triangles and relink the cavity
+    // border under the mesh lock.
+    lockRefs(out, lockAddr);
+    unsigned fresh = 2 + static_cast<unsigned>(r.below(2));
+    std::vector<std::uint32_t> created;
+    for (unsigned i = 0; i < fresh; ++i) {
+        std::uint32_t t = allocTri(thread, r);
+        created.push_back(t);
+        st(out, tris[t].simAddr);
+    }
+    for (unsigned i = 0; i < cavity.size() && i < 4; ++i) {
+        Tri &border = tris[cavity[i]];
+        border.nbr[i % 3] = created[i % created.size()];
+        st(out, border.simAddr);
+    }
+    unlockRefs(out, lockAddr);
+}
+
+} // namespace nvo

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Directory-MESI coherence tests against the plain (non-versioned)
+ * hierarchy: permission transitions, inclusion, downgrade and
+ * invalidation behaviour, plus randomized property tests that hold
+ * the structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "mem/backing_store.hh"
+#include "mem/dram_model.hh"
+
+namespace nvo
+{
+namespace
+{
+
+class CoherenceTest : public ::testing::Test
+{
+  protected:
+    CoherenceTest()
+        : dram(DramModel::Params{}, &stats)
+    {
+        Hierarchy::Params p;
+        p.numCores = 8;
+        p.coresPerVd = 2;
+        p.numLlcSlices = 2;
+        p.l1.sizeBytes = 4 * 1024;
+        p.l2.sizeBytes = 16 * 1024;
+        p.llc.sliceBytes = 64 * 1024;
+        hier = std::make_unique<Hierarchy>(p, backing, dram, stats);
+    }
+
+    RunStats stats;
+    BackingStore backing;
+    DramModel dram;
+    std::unique_ptr<Hierarchy> hier;
+    Cycle now = 0;
+};
+
+TEST_F(CoherenceTest, LoadFillsAllLevels)
+{
+    hier->load(0, 0x10000, now);
+    const CacheLine *l1 = hier->l1Line(0, 0x10000);
+    ASSERT_NE(l1, nullptr);
+    EXPECT_EQ(l1->state, CohState::E);   // sole sharer gets E
+    const CacheLine *l2 = hier->l2Line(0, 0x10000);
+    ASSERT_NE(l2, nullptr);
+    const DirEntry *dir = hier->dirEntry(0x10000);
+    ASSERT_NE(dir, nullptr);
+    EXPECT_TRUE(dir->isSharer(0));
+    EXPECT_EQ(dir->ownerVd, 0);
+}
+
+TEST_F(CoherenceTest, SecondVdLoadShares)
+{
+    hier->load(0, 0x10000, now);
+    hier->load(2, 0x10000, now);   // core 2 = VD 1
+    const DirEntry *dir = hier->dirEntry(0x10000);
+    EXPECT_TRUE(dir->isSharer(0));
+    EXPECT_TRUE(dir->isSharer(1));
+    EXPECT_EQ(dir->ownerVd, -1);
+    EXPECT_EQ(hier->l1Line(0, 0x10000)->state, CohState::S)
+        << "remote GETS downgrades the E owner";
+    EXPECT_EQ(hier->l1Line(2, 0x10000)->state, CohState::S);
+}
+
+TEST_F(CoherenceTest, StoreGainsExclusiveAndDirties)
+{
+    hier->store(0, 0x10000, nullptr, 8, now);
+    const CacheLine *l1 = hier->l1Line(0, 0x10000);
+    EXPECT_EQ(l1->state, CohState::M);
+    EXPECT_TRUE(l1->dirty);
+    const DirEntry *dir = hier->dirEntry(0x10000);
+    EXPECT_EQ(dir->ownerVd, 0);
+}
+
+TEST_F(CoherenceTest, RemoteStoreInvalidatesSharer)
+{
+    hier->load(0, 0x10000, now);
+    hier->store(2, 0x10000, nullptr, 8, now);
+    EXPECT_EQ(hier->l1Line(0, 0x10000), nullptr);
+    EXPECT_EQ(hier->l2Line(0, 0x10000), nullptr);
+    const DirEntry *dir = hier->dirEntry(0x10000);
+    EXPECT_FALSE(dir->isSharer(0));
+    EXPECT_EQ(dir->ownerVd, 1);
+}
+
+TEST_F(CoherenceTest, RemoteLoadDowngradesOwner)
+{
+    hier->store(0, 0x10000, nullptr, 8, now);
+    hier->load(2, 0x10000, now);
+    EXPECT_EQ(hier->l1Line(0, 0x10000)->state, CohState::S);
+    EXPECT_FALSE(hier->l1Line(0, 0x10000)->dirty);
+    EXPECT_EQ(hier->l1Line(2, 0x10000)->state, CohState::S);
+    const DirEntry *dir = hier->dirEntry(0x10000);
+    EXPECT_EQ(dir->ownerVd, -1);
+    EXPECT_TRUE(dir->isSharer(0));
+    EXPECT_TRUE(dir->isSharer(1));
+}
+
+TEST_F(CoherenceTest, DirtyTransfersCacheToCacheOnStore)
+{
+    hier->store(0, 0x10000, nullptr, 8, now);
+    SeqNo first_seq = hier->l1Line(0, 0x10000)->seq;
+    hier->store(2, 0x10000, nullptr, 8, now);
+    const CacheLine *l1 = hier->l1Line(2, 0x10000);
+    EXPECT_EQ(l1->state, CohState::M);
+    EXPECT_TRUE(l1->dirty);
+    EXPECT_GT(l1->seq, first_seq);
+}
+
+TEST_F(CoherenceTest, SiblingSharingWithinVd)
+{
+    hier->store(0, 0x10000, nullptr, 8, now);
+    hier->load(1, 0x10000, now);   // sibling core, same VD
+    EXPECT_EQ(hier->l1Line(0, 0x10000)->state, CohState::S);
+    EXPECT_EQ(hier->l1Line(1, 0x10000)->state, CohState::S);
+    const CacheLine *l2 = hier->l2Line(0, 0x10000);
+    EXPECT_TRUE(l2->dirty) << "dirty version pulled into the L2";
+    const DirEntry *dir = hier->dirEntry(0x10000);
+    EXPECT_EQ(dir->ownerVd, 0) << "VD keeps ownership internally";
+}
+
+TEST_F(CoherenceTest, SiblingStoreInvalidatesSiblingL1)
+{
+    hier->load(1, 0x10000, now);
+    hier->store(0, 0x10000, nullptr, 8, now);
+    EXPECT_EQ(hier->l1Line(1, 0x10000), nullptr);
+    EXPECT_EQ(hier->l1Line(0, 0x10000)->state, CohState::M);
+}
+
+TEST_F(CoherenceTest, L1HitLatencyIsL1Only)
+{
+    hier->load(0, 0x10000, now);
+    Cycle lat = hier->load(0, 0x10000, now);
+    EXPECT_EQ(lat, 4u);
+}
+
+TEST_F(CoherenceTest, MissLatencyIncludesLowerLevels)
+{
+    Cycle lat = hier->load(0, 0x20000, now);
+    EXPECT_GE(lat, 4u + 8 + 30);   // L1 + L2 + LLC at least
+}
+
+TEST_F(CoherenceTest, StoreCommitUpdatesBackingMeta)
+{
+    std::uint64_t v = 0x1122334455667788ull;
+    hier->store(0, 0x10008, &v, 8, now);
+    LineData d;
+    backing.readLine(0x10000, d);
+    std::uint64_t got;
+    std::memcpy(&got, d.bytes.data() + 8, 8);
+    EXPECT_EQ(got, v);
+    EXPECT_GT(backing.lineSeq(0x10000), 0u);
+}
+
+TEST_F(CoherenceTest, SyntheticStoreChangesContent)
+{
+    hier->store(0, 0x10000, nullptr, 8, now);
+    LineData a;
+    backing.readLine(0x10000, a);
+    hier->store(0, 0x10000, nullptr, 8, now);
+    LineData b;
+    backing.readLine(0x10000, b);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST_F(CoherenceTest, InvariantsAfterDirectedSequence)
+{
+    for (unsigned c = 0; c < 8; ++c) {
+        hier->load(c, 0x30000, now);
+        hier->store(c, 0x30000 + c * 64, nullptr, 8, now);
+    }
+    EXPECT_EQ(hier->checkInvariants(), "");
+}
+
+/** Randomized property test parameterized over sharing intensity. */
+class CoherenceProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoherenceProperty, RandomTrafficHoldsInvariants)
+{
+    RunStats stats;
+    BackingStore backing;
+    DramModel dram(DramModel::Params{}, &stats);
+    Hierarchy::Params p;
+    p.numCores = 8;
+    p.coresPerVd = 2;
+    p.numLlcSlices = 2;
+    p.l1.sizeBytes = 2 * 1024;
+    p.l2.sizeBytes = 8 * 1024;
+    p.llc.sliceBytes = 32 * 1024;
+    Hierarchy hier(p, backing, dram, stats);
+
+    unsigned addr_space_lines = GetParam();
+    Rng rng(addr_space_lines * 7919);
+    for (int i = 0; i < 40000; ++i) {
+        unsigned core = static_cast<unsigned>(rng.below(8));
+        Addr a = 0x100000 + lineAlign(rng.below(addr_space_lines) * 64);
+        if (rng.chance(0.4))
+            hier.store(core, a, nullptr, 8, 0);
+        else
+            hier.load(core, a, 0);
+        if (i % 8000 == 0) {
+            ASSERT_EQ(hier.checkInvariants(), "") << "op " << i;
+        }
+    }
+    EXPECT_EQ(hier.checkInvariants(), "");
+    EXPECT_EQ(stats.loads + stats.stores, 0u)
+        << "hierarchy does not count refs itself";
+    EXPECT_GT(stats.l1Hits + stats.l1Misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sharing, CoherenceProperty,
+                         ::testing::Values(8u,      // heavy sharing
+                                           256u,    // moderate
+                                           16384u   // capacity-driven
+                                           ));
+
+} // namespace
+} // namespace nvo

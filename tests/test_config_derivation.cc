@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Derived-configuration tests: the store-uop -> line-reference epoch
+ * scaling, the per-VD epoch split, and the PiCL tag-geometry
+ * defaults the System computes from the cache configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+
+namespace nvo
+{
+namespace
+{
+
+Config
+tinySys()
+{
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(8));
+    cfg.set("sys.cores_per_vd", std::uint64_t(2));
+    cfg.set("l1.kb", std::uint64_t(4));
+    cfg.set("l2.kb", std::uint64_t(16));
+    cfg.set("llc.mb", std::uint64_t(1));
+    cfg.set("wl.ops", std::uint64_t(5));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(64));
+    return cfg;
+}
+
+TEST(ConfigDerivation, EpochUopScalingAndVdSplit)
+{
+    setQuiet(true);
+    Config cfg = tinySys();
+    cfg.set("epoch.stores_global", std::uint64_t(1) << 20);
+    cfg.set("epoch.uops_per_ref", std::uint64_t(16));
+    System sys(cfg, "nvoverlay", "hashtable");
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+    // 1M uops / 16 uops-per-ref / 4 VDs = 16384 refs per VD epoch.
+    EXPECT_EQ(scheme.storesPerEpochVdValue(), (1u << 20) / 16 / 4);
+}
+
+TEST(ConfigDerivation, ExplicitPerVdOverrideWins)
+{
+    setQuiet(true);
+    Config cfg = tinySys();
+    cfg.set("nvo.stores_per_epoch_vd", std::uint64_t(777));
+    System sys(cfg, "nvoverlay", "hashtable");
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+    EXPECT_EQ(scheme.storesPerEpochVdValue(), 777u);
+}
+
+TEST(ConfigDerivation, PiclTagsMirrorCacheGeometry)
+{
+    setQuiet(true);
+    Config cfg = tinySys();
+    System sys(cfg, "picl", "hashtable");
+    // The derived keys are recorded on the System's config copy.
+    EXPECT_EQ(sys.config().getU64("picl.tag_bytes", 0),
+              1ull * 1024 * 1024);
+    EXPECT_EQ(sys.config().getU64("picl.l2_tag_bytes", 0),
+              16ull * 1024 * 4);   // 4 VDs x 16 KB
+}
+
+TEST(ConfigDerivation, OmcCountFollowsLlcSlices)
+{
+    setQuiet(true);
+    Config cfg = tinySys();
+    cfg.set("sys.llc_slices", std::uint64_t(2));
+    System sys(cfg, "nvoverlay", "hashtable");
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+    EXPECT_EQ(scheme.backend().numOmcs(), 2u);
+}
+
+} // namespace
+} // namespace nvo

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Core timing-model tests: gap charging at the issue width, quantum
+ * bounds, completion semantics, and scheme stall plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/scheme.hh"
+#include "cpu/core.hh"
+#include "mem/backing_store.hh"
+#include "mem/dram_model.hh"
+
+namespace nvo
+{
+namespace
+{
+
+/** Scripted RefSource: fixed list of ops per thread. */
+struct ScriptedSource : RefSource
+{
+    std::vector<std::vector<MemRef>> script;
+    std::size_t next = 0;
+
+    bool
+    nextOp(unsigned, std::vector<MemRef> &out) override
+    {
+        if (next >= script.size())
+            return false;
+        out = script[next++];
+        return true;
+    }
+};
+
+/** Scheme that charges a fixed stall per store. */
+struct StallScheme : Scheme
+{
+    const char *name() const override { return "stall"; }
+    Cycle
+    onStore(unsigned, unsigned, Addr, Cycle) override
+    {
+        ++storeCalls;
+        return stallPerStore;
+    }
+    Cycle stallPerStore = 0;
+    std::uint64_t storeCalls = 0;
+};
+
+class CoreModelTest : public ::testing::Test
+{
+  protected:
+    CoreModelTest() : dram(DramModel::Params{}, &stats)
+    {
+        Hierarchy::Params p;
+        p.numCores = 2;
+        p.coresPerVd = 2;
+        p.numLlcSlices = 1;
+        p.l1.sizeBytes = 4 * 1024;
+        p.l2.sizeBytes = 16 * 1024;
+        p.llc.sliceBytes = 64 * 1024;
+        hier = std::make_unique<Hierarchy>(p, backing, dram, stats);
+    }
+
+    RunStats stats;
+    BackingStore backing;
+    DramModel dram;
+    std::unique_ptr<Hierarchy> hier;
+    ScriptedSource src;
+    StallScheme scheme;
+};
+
+TEST_F(CoreModelTest, GapChargedAtIssueWidth)
+{
+    // Two identical L1-hitting loads, gaps 40 and 0: the second op's
+    // latency isolates the hit cost; the gap adds 40/4 cycles.
+    src.script = {{MemRef::ld(0x1000, 0)},
+                  {MemRef::ld(0x1000, 40)},
+                  {MemRef::ld(0x1000, 0)}};
+    Core::Params cp;
+    cp.issueWidth = 4;
+    Core core(cp, 0, *hier, src, scheme, stats);
+    core.runUntil(1000000);
+    ASSERT_TRUE(core.done());
+    // Cold miss + (40/4 + hit) + hit.
+    Cycle cold = core.cycle() - (40 / 4 + 4) - 4;
+    EXPECT_GT(cold, 4u);
+    EXPECT_EQ(stats.instructions, 1u + 41 + 1);
+    EXPECT_EQ(stats.refs, 3u);
+}
+
+TEST_F(CoreModelTest, QuantumBoundsProgress)
+{
+    for (int i = 0; i < 1000; ++i)
+        src.script.push_back({MemRef::ld(0x1000, 400)});
+    Core core(Core::Params{}, 0, *hier, src, scheme, stats);
+    core.runUntil(500);
+    EXPECT_FALSE(core.done());
+    EXPECT_GE(core.cycle(), 500u);
+    EXPECT_LT(core.cycle(), 1500u) << "stops soon after the quantum";
+}
+
+TEST_F(CoreModelTest, SchemeStallChargedOnStores)
+{
+    src.script = {{MemRef::st(0x2000)}, {MemRef::st(0x2000)}};
+    scheme.stallPerStore = 500;
+    Core core(Core::Params{}, 0, *hier, src, scheme, stats);
+    core.runUntil(1000000);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(scheme.storeCalls, 2u);
+    EXPECT_EQ(stats.barrierStallCycles, 1000u);
+    EXPECT_GE(core.cycle(), 1000u);
+}
+
+TEST_F(CoreModelTest, EmptyOpIdlesBriefly)
+{
+    src.script = {{}, {MemRef::ld(0x1000)}};
+    Core core(Core::Params{}, 0, *hier, src, scheme, stats);
+    core.runUntil(1000000);
+    ASSERT_TRUE(core.done());
+    EXPECT_GE(core.cycle(), 64u) << "blocked op idles the core";
+}
+
+TEST_F(CoreModelTest, AddStallPushesClock)
+{
+    src.script = {{MemRef::ld(0x1000)}};
+    Core core(Core::Params{}, 0, *hier, src, scheme, stats);
+    core.runUntil(1000000);
+    Cycle before = core.cycle();
+    core.addStall(777);
+    EXPECT_EQ(core.cycle(), before + 777);
+}
+
+} // namespace
+} // namespace nvo

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Epoch narrow/wide encoding and the two-group wrap-around scheme
+ * (paper Sec. IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvoverlay/epoch.hh"
+
+namespace nvo
+{
+namespace
+{
+
+TEST(EpochNarrow, RoundTripNearReference)
+{
+    for (EpochWide ref : {0ull, 1000ull, 65530ull, 1000000ull}) {
+        for (std::int64_t d = -1000; d <= 1000; d += 37) {
+            if (static_cast<std::int64_t>(ref) + d < 0)
+                continue;
+            EpochWide truth = ref + d;
+            EpochId n = epoch::narrow(truth);
+            EXPECT_EQ(epoch::widen(n, ref), truth)
+                << "ref=" << ref << " d=" << d;
+        }
+    }
+}
+
+TEST(EpochNarrow, CompareWrapAware)
+{
+    EXPECT_LT(epoch::compareNarrow(5, 10), 0);
+    EXPECT_GT(epoch::compareNarrow(10, 5), 0);
+    EXPECT_EQ(epoch::compareNarrow(7, 7), 0);
+    // Across the wrap boundary: 65535 < 3 in wrapped order.
+    EXPECT_LT(epoch::compareNarrow(65535, 3), 0);
+    EXPECT_GT(epoch::compareNarrow(3, 65535), 0);
+}
+
+TEST(EpochNarrow, CompareMatchesWideWithinHalfSpace)
+{
+    for (EpochWide base = 60000; base < 60000 + 200000; base += 997) {
+        EpochWide a = base;
+        EpochWide b = base + 12345;   // < half space apart
+        EXPECT_LT(epoch::compareNarrow(epoch::narrow(a),
+                                       epoch::narrow(b)),
+                  0);
+    }
+}
+
+TEST(EpochNarrow, GroupAssignment)
+{
+    EXPECT_EQ(epoch::group(0), 0u);
+    EXPECT_EQ(epoch::group(32767), 0u);
+    EXPECT_EQ(epoch::group(32768), 1u);
+    EXPECT_EQ(epoch::group(65535), 1u);
+}
+
+TEST(EpochSense, FlipsOnGroupCrossing)
+{
+    EpochSenseTracker tracker(2);
+    EXPECT_FALSE(tracker.senseBit());
+    EXPECT_FALSE(tracker.onAdvance(0, 100));
+    EXPECT_FALSE(tracker.onAdvance(1, 200));
+    // First VD crossing into group U flips the sense bit.
+    EXPECT_TRUE(tracker.onAdvance(0, epoch::halfSpace + 5));
+    EXPECT_TRUE(tracker.senseBit());
+    // Second VD following into U does not flip again.
+    EXPECT_FALSE(tracker.onAdvance(1, epoch::halfSpace + 9));
+    EXPECT_EQ(tracker.flips(), 1u);
+    // Crossing back into L (wrap) flips again.
+    EXPECT_TRUE(tracker.onAdvance(0, 2 * epoch::halfSpace + 1));
+    EXPECT_FALSE(tracker.senseBit());
+    EXPECT_EQ(tracker.flips(), 2u);
+}
+
+TEST(EpochSense, TracksSkew)
+{
+    EpochSenseTracker tracker(3);
+    tracker.onAdvance(0, 5000);
+    tracker.onAdvance(1, 100);
+    tracker.onAdvance(2, 2000);
+    // VDs that have not advanced yet count from epoch 0, so the
+    // largest observed skew is against them.
+    EXPECT_EQ(tracker.maxSkew(), 5000u);
+    EXPECT_TRUE(tracker.skewWithinBound());
+    tracker.onAdvance(0, 100 + epoch::halfSpace);
+    EXPECT_FALSE(tracker.skewWithinBound());
+}
+
+TEST(EpochSense, ManyWrapAroundsStayConsistent)
+{
+    EpochSenseTracker tracker(4);
+    EpochWide e[4] = {1, 1, 1, 1};
+    std::uint64_t crossings = 0;
+    for (int step = 0; step < 100000; ++step) {
+        unsigned vd = step % 4;
+        unsigned before = epoch::group(epoch::narrow(e[vd]));
+        e[vd] += 1 + (step % 7);
+        unsigned after = epoch::group(epoch::narrow(e[vd]));
+        tracker.onAdvance(vd, e[vd]);
+        if (before != after)
+            ++crossings;
+    }
+    EXPECT_TRUE(tracker.skewWithinBound());
+    EXPECT_GT(tracker.flips(), 0u);
+    EXPECT_LE(tracker.flips(), crossings);
+}
+
+} // namespace
+} // namespace nvo

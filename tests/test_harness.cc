@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Harness-level tests: the experiment driver, environment overrides,
+ * the table printer, and the default (Table II) configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/table_printer.hh"
+
+namespace nvo
+{
+namespace
+{
+
+TEST(DefaultConfig, MatchesTableII)
+{
+    Config cfg = defaultConfig();
+    EXPECT_EQ(cfg.getU64("sys.cores", 0), 16u);
+    EXPECT_EQ(cfg.getU64("sys.cores_per_vd", 0), 2u);
+    EXPECT_EQ(cfg.getU64("l1.kb", 0), 32u);
+    EXPECT_EQ(cfg.getU64("l2.kb", 0), 256u);
+    EXPECT_EQ(cfg.getU64("llc.mb", 0), 32u);
+    EXPECT_EQ(cfg.getU64("nvm.write_occupancy", 0), 400u);
+    EXPECT_EQ(cfg.getU64("epoch.stores_global", 0), 1u << 20);
+}
+
+TEST(ApplyOverrides, EnvAndArgs)
+{
+    setenv("NVO_OPS", "1234", 1);
+    setenv("NVO_SEED", "77", 1);
+    Config cfg = defaultConfig();
+    applyOverrides(cfg, {"l2.kb=512"});
+    EXPECT_EQ(cfg.getU64("wl.ops", 0), 1234u);
+    EXPECT_EQ(cfg.getU64("wl.seed", 0), 77u);
+    EXPECT_EQ(cfg.getU64("l2.kb", 0), 512u);
+    unsetenv("NVO_OPS");
+    unsetenv("NVO_SEED");
+}
+
+TEST(RunExperiment, ProducesStatsAndTiming)
+{
+    setQuiet(true);
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(4));
+    cfg.set("wl.ops", std::uint64_t(50));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(128));
+    auto r = runExperiment(cfg, "none", "hashtable");
+    EXPECT_EQ(r.scheme, "none");
+    EXPECT_EQ(r.workload, "hashtable");
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_GT(r.hostSeconds, 0.0);
+}
+
+TEST(TablePrinterTest, AlignedOutput)
+{
+    TablePrinter table({"a", "b"}, 6);
+    std::ostringstream os;
+    table.printHeader(os);
+    table.printRow({"x", "1.50"}, os);
+    EXPECT_EQ(os.str(), "     a     b\n------------\n     x  1.50\n");
+}
+
+TEST(TablePrinterTest, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.234, 2), "1.23");
+    EXPECT_EQ(TablePrinter::num(1.235, 1), "1.2");
+    EXPECT_EQ(TablePrinter::num(10, 0), "10");
+}
+
+} // namespace
+} // namespace nvo

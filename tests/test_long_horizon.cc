@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Long-horizon integration tests: epoch counts crossing the 16-bit
+ * group boundary under live traffic (Sec. IV-D wrap-around scheme),
+ * version compaction triggered by real pool pressure, and recovery
+ * correctness in both regimes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "nvoverlay/epoch.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+#include "nvoverlay/recovery.hh"
+
+namespace nvo
+{
+namespace
+{
+
+Config
+horizonConfig()
+{
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(8));
+    cfg.set("sys.cores_per_vd", std::uint64_t(2));
+    cfg.set("l1.kb", std::uint64_t(4));
+    cfg.set("l2.kb", std::uint64_t(16));
+    cfg.set("llc.mb", std::uint64_t(1));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(512));
+    cfg.set("wl.vacation.rows", std::uint64_t(4096));
+    cfg.set("sim.track_writes", "true");
+    return cfg;
+}
+
+void
+checkTheorem(System &sys, NVOverlayScheme &scheme)
+{
+    RecoveryManager rm(scheme.backend());
+    auto result = rm.recover();
+    unsigned mismatches = 0, checked = 0;
+    for (Addr line : sys.tracker()->trackedLines()) {
+        auto expect =
+            sys.tracker()->expectedDigest(line, result.recEpoch);
+        if (!expect)
+            continue;
+        ++checked;
+        LineData got;
+        result.image->readLine(line, got);
+        if (got.digest() != *expect)
+            ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0u);
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(LongHorizon, EpochsCrossTheGroupBoundary)
+{
+    setQuiet(true);
+    Config cfg = horizonConfig();
+    // One epoch per store per VD: epochs race far past the 16-bit
+    // half-space boundary within a modest run.
+    cfg.set("nvo.stores_per_epoch_vd", std::uint64_t(1));
+    cfg.set("wl.ops", std::uint64_t(4200));
+
+    System sys(cfg, "nvoverlay", "hashtable");
+    sys.run();
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+
+    EXPECT_GT(scheme.globalEpoch(), epoch::halfSpace)
+        << "the run must actually cross the group boundary";
+    EXPECT_GE(scheme.senseTracker().flips(), 1u)
+        << "the epoch-sense bit flipped on the crossing";
+    EXPECT_TRUE(scheme.senseTracker().skewWithinBound())
+        << "inter-VD skew stayed below half the space";
+    EXPECT_TRUE(sys.tracker()->epochsMonotonic());
+    EXPECT_EQ(sys.hierarchy().checkInvariants(), "");
+    checkTheorem(sys, scheme);
+}
+
+TEST(LongHorizon, NarrowTagsStayDecodableAcrossTheRun)
+{
+    setQuiet(true);
+    Config cfg = horizonConfig();
+    cfg.set("nvo.stores_per_epoch_vd", std::uint64_t(1));
+    cfg.set("wl.ops", std::uint64_t(3000));
+
+    System sys(cfg, "nvoverlay", "vacation");
+    sys.run();
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+
+    // Every VD's wide epoch must round-trip through the 16-bit tag
+    // against every other VD's epoch as reference — exactly the
+    // decode hardware performs under bounded skew.
+    for (unsigned a = 0; a < sys.hierarchy().numVds(); ++a) {
+        EpochWide ea = scheme.domain(a).epoch();
+        for (unsigned b = 0; b < sys.hierarchy().numVds(); ++b) {
+            EpochWide eb = scheme.domain(b).epoch();
+            EXPECT_EQ(epoch::widen(epoch::narrow(ea), eb), ea)
+                << "VD " << a << " tag undecodable from VD " << b;
+        }
+    }
+}
+
+TEST(LongHorizon, CompactionUnderLivePressure)
+{
+    setQuiet(true);
+    Config cfg = horizonConfig();
+    cfg.set("wl.ops", std::uint64_t(2500));
+    cfg.set("epoch.stores_global", std::uint64_t(30000));
+    cfg.set("sys.llc_slices", std::uint64_t(1));   // one 1 MB pool
+    // A small pool with an aggressive quota forces real compactions.
+    cfg.set("mnm.pool_mb_per_omc", std::uint64_t(1));
+    cfg.set("mnm.compaction_threshold", 0.7);
+
+    System sys(cfg, "nvoverlay", "hashtable");
+    sys.run();
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+    EXPECT_GT(sys.stats().gcCompactions, 0u)
+        << "the quota must have triggered version compaction";
+    // The consistent image survives compaction.
+    RecoveryManager rm(scheme.backend());
+    auto result = rm.recover();
+    EXPECT_EQ(RecoveryManager::validate(result, scheme.backend()), "");
+    checkTheorem(sys, scheme);
+}
+
+TEST(LongHorizon, AutoReclaimKeepsPoolBounded)
+{
+    setQuiet(true);
+    Config cfg = horizonConfig();
+    cfg.set("wl.ops", std::uint64_t(800));
+    cfg.set("epoch.stores_global", std::uint64_t(20000));
+    // Note: dropping merged tables would also drop the GC refcounts,
+    // so eager reclamation keeps the tables and frees sub-pages.
+    cfg.set("mnm.auto_reclaim", "true");
+
+    System keep(cfg, "nvoverlay", "vacation");
+    keep.run();
+    auto &scheme = dynamic_cast<NVOverlayScheme &>(keep.scheme());
+    std::uint64_t reclaimed_bytes = 0;
+    for (unsigned o = 0; o < scheme.backend().numOmcs(); ++o)
+        reclaimed_bytes += scheme.backend().pool(o).bytesAllocated();
+
+    Config retain = cfg;
+    retain.set("mnm.auto_reclaim", "false");
+    System full(retain, "nvoverlay", "vacation");
+    full.run();
+    auto &fscheme = dynamic_cast<NVOverlayScheme &>(full.scheme());
+    std::uint64_t retained_bytes = 0;
+    for (unsigned o = 0; o < fscheme.backend().numOmcs(); ++o)
+        retained_bytes += fscheme.backend().pool(o).bytesAllocated();
+
+    EXPECT_LT(reclaimed_bytes, retained_bytes)
+        << "reclaiming stale sub-pages must shrink the pool";
+    checkTheorem(keep, scheme);
+}
+
+} // namespace
+} // namespace nvo

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Mesh NoC model tests: geometry, hop math, placement, and the
+ * hop-based latency path through the hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/noc.hh"
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+
+namespace nvo
+{
+namespace
+{
+
+TEST(MeshNocTest, GeometryIsApproximatelySquare)
+{
+    MeshNoc noc4(MeshNoc::Params{4, 2, 3, 2});
+    EXPECT_EQ(noc4.width(), 2u);
+    EXPECT_EQ(noc4.height(), 2u);
+    MeshNoc noc8(MeshNoc::Params{8, 4, 3, 2});
+    EXPECT_EQ(noc8.width(), 3u);
+    EXPECT_EQ(noc8.height(), 3u);
+}
+
+TEST(MeshNocTest, HopCountIsManhattan)
+{
+    MeshNoc noc(MeshNoc::Params{16, 4, 3, 2});
+    EXPECT_EQ(noc.hops(0, 0, 0, 0), 0u);
+    EXPECT_EQ(noc.hops(0, 0, 3, 0), 3u);
+    EXPECT_EQ(noc.hops(1, 2, 3, 0), 4u);
+    EXPECT_EQ(noc.hops(3, 0, 1, 2), 4u) << "symmetric";
+}
+
+TEST(MeshNocTest, TilePlacementCoversMesh)
+{
+    MeshNoc::Params p{16, 4, 3, 2};
+    MeshNoc noc(p);
+    for (unsigned vd = 0; vd < p.numVds; ++vd) {
+        unsigned x, y;
+        noc.vdTile(vd, x, y);
+        EXPECT_LT(x, noc.width());
+        EXPECT_LT(y, noc.height());
+    }
+    for (unsigned s = 0; s < p.numSlices; ++s) {
+        unsigned x, y;
+        noc.sliceTile(s, x, y);
+        EXPECT_LT(x, noc.width());
+        EXPECT_LT(y, noc.height());
+    }
+}
+
+TEST(MeshNocTest, LatencyScalesWithDistance)
+{
+    MeshNoc noc(MeshNoc::Params{16, 4, 3, 2});
+    // Slice 0 sits at tile 0: VD 0 is local, VD 15 is far.
+    Cycle near = noc.vdToSlice(0, 0);
+    Cycle far = noc.vdToSlice(15, 0);
+    EXPECT_EQ(near, 2u) << "zero hops: port latency only";
+    EXPECT_GT(far, near);
+    EXPECT_LE(far, noc.diameterLatency());
+    EXPECT_EQ(noc.vdToSlice(15, 0), noc.sliceToVd(0, 15));
+}
+
+TEST(MeshNocTest, SystemRunsWithNocEnabled)
+{
+    setQuiet(true);
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(8));
+    cfg.set("sys.cores_per_vd", std::uint64_t(2));
+    cfg.set("l1.kb", std::uint64_t(4));
+    cfg.set("l2.kb", std::uint64_t(16));
+    cfg.set("llc.mb", std::uint64_t(1));
+    cfg.set("wl.ops", std::uint64_t(200));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(512));
+
+    System flat(cfg, "nvoverlay", "hashtable");
+    flat.run();
+    EXPECT_EQ(flat.hierarchy().checkInvariants(), "");
+
+    Config ncfg = cfg;
+    ncfg.set("sys.noc", "true");
+    ncfg.set("noc.hop_lat", std::uint64_t(12));   // slow mesh
+    System meshy(ncfg, "nvoverlay", "hashtable");
+    meshy.run();
+    EXPECT_EQ(meshy.hierarchy().checkInvariants(), "");
+    EXPECT_EQ(meshy.stats().refs, flat.stats().refs);
+    EXPECT_GT(meshy.stats().cycles, flat.stats().cycles)
+        << "a slow mesh must cost more than the flat constants";
+}
+
+} // namespace
+} // namespace nvo

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Battery-backed OMC buffer tests (paper Sec. IV-E, Fig. 16).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvoverlay/omc_buffer.hh"
+
+namespace nvo
+{
+namespace
+{
+
+OmcBuffer::Params
+smallBuffer()
+{
+    OmcBuffer::Params p;
+    p.sizeBytes = 4 * 64;   // one set, 4 ways
+    p.ways = 4;
+    return p;
+}
+
+TEST(OmcBuffer, AbsorbsSameEpochRewrites)
+{
+    OmcBuffer buf(smallBuffer());
+    auto r1 = buf.insert(0x1000, 5);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_FALSE(r1.evicted.has_value());
+    auto r2 = buf.insert(0x1000, 5);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(buf.hits(), 1u);
+    EXPECT_EQ(buf.misses(), 1u);
+    EXPECT_EQ(buf.occupancy(), 1u);
+}
+
+TEST(OmcBuffer, DifferentEpochForcesWriteThrough)
+{
+    OmcBuffer buf(smallBuffer());
+    buf.insert(0x1000, 5);
+    auto r = buf.insert(0x1000, 6);
+    EXPECT_FALSE(r.hit);
+    ASSERT_TRUE(r.evicted.has_value());
+    EXPECT_EQ(r.evicted->addr, 0x1000u);
+    EXPECT_EQ(r.evicted->epoch, 5u)
+        << "the old snapshot's version must reach NVM";
+}
+
+TEST(OmcBuffer, CapacityEvictionReturnsVictim)
+{
+    OmcBuffer buf(smallBuffer());
+    // All map to the single set.
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_FALSE(buf.insert(a * 64, 1).evicted.has_value());
+    auto r = buf.insert(4 * 64, 1);
+    ASSERT_TRUE(r.evicted.has_value());
+    EXPECT_EQ(r.evicted->addr, 0u) << "LRU victim";
+}
+
+TEST(OmcBuffer, LruUpdatedOnHit)
+{
+    OmcBuffer buf(smallBuffer());
+    for (Addr a = 0; a < 4; ++a)
+        buf.insert(a * 64, 1);
+    buf.insert(0, 1);   // hit: 0 becomes MRU
+    auto r = buf.insert(4 * 64, 1);
+    ASSERT_TRUE(r.evicted.has_value());
+    EXPECT_EQ(r.evicted->addr, 64u);
+}
+
+TEST(OmcBuffer, DrainReturnsEverythingOnce)
+{
+    OmcBuffer buf(smallBuffer());
+    buf.insert(0x1000, 1);
+    buf.insert(0x2040, 2);
+    auto drained = buf.drainAll();
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_EQ(buf.occupancy(), 0u);
+    EXPECT_TRUE(buf.drainAll().empty());
+}
+
+} // namespace
+} // namespace nvo

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Baseline scheme tests: write-amplification accounting, barrier
+ * stall behaviour, epoch bookkeeping, and the scheme factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/hw_shadow.hh"
+#include "baselines/picl.hh"
+#include "baselines/scheme.hh"
+#include "baselines/sw_log.hh"
+#include "baselines/sw_shadow.hh"
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+
+namespace nvo
+{
+namespace
+{
+
+Config
+tinyCfg()
+{
+    Config cfg;
+    cfg.set("epoch.stores_refs", std::uint64_t(100));
+    return cfg;
+}
+
+TEST(SchemeFactory, BuildsEveryScheme)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    Config cfg;
+    for (const char *name : {"none", "nvoverlay", "swlog", "swshadow",
+                             "hwshadow", "picl", "picl-l2"}) {
+        auto scheme = makeScheme(name, cfg, nvm, st);
+        ASSERT_NE(scheme, nullptr) << name;
+        EXPECT_STREQ(scheme->name(), name);
+    }
+}
+
+TEST(SwLog, BarrierPerStore)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    SwLogScheme scheme(tinyCfg(), nvm, st);
+    Cycle s1 = scheme.onStore(0, 0, 0x1000, 0);
+    EXPECT_GT(s1, 0u) << "undo log persist stalls the pipeline";
+    EXPECT_EQ(st.nvmWriteBytes[static_cast<int>(NvmWriteKind::Log)],
+              72u);
+}
+
+TEST(SwLog, EpochFlushWritesWriteSetOnce)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    SwLogScheme scheme(tinyCfg(), nvm, st);
+    // 100 stores to 10 distinct lines trigger one epoch flush.
+    for (int i = 0; i < 100; ++i)
+        scheme.onStore(0, 0, 0x1000 + (i % 10) * 64, 0);
+    EXPECT_EQ(st.nvmDataBytes(), 10u * 64)
+        << "write set flushed per line, not per store";
+    EXPECT_EQ(scheme.globalEpoch(), 2u);
+    EXPECT_EQ(st.nvmWriteBytes[static_cast<int>(NvmWriteKind::Log)],
+              100u * 72);
+}
+
+TEST(SwShadow, TxnFlushWritesDataOncePlusMapping)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    Config cfg = tinyCfg();
+    cfg.set("sw.txn_stores", std::uint64_t(16));
+    SwShadowScheme scheme(cfg, nvm, st);
+    Cycle total_stall = 0;
+    for (int i = 0; i < 16; ++i)
+        total_stall += scheme.onStore(0, 0, 0x1000 + i * 64, 0);
+    EXPECT_GT(total_stall, 0u) << "txn boundary barrier";
+    EXPECT_EQ(st.nvmDataBytes(), 16u * 64);
+    EXPECT_GT(st.nvmWriteBytes[static_cast<int>(
+                  NvmWriteKind::Mapping)],
+              0u);
+    EXPECT_EQ(st.nvmWriteBytes[static_cast<int>(NvmWriteKind::Log)],
+              0u)
+        << "shadow paging writes no log";
+}
+
+TEST(HwShadow, OverlapsPersistButStallsOnMapping)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    HwShadowScheme scheme(tinyCfg(), nvm, st);
+    for (int i = 0; i < 99; ++i)
+        EXPECT_EQ(scheme.onStore(0, 0, 0x1000 + i * 64, 0), 0u)
+            << "no per-store overhead";
+    scheme.onStore(0, 0, 0x40000, 0);   // crosses the epoch boundary
+    EXPECT_GT(scheme.takeGlobalStall(), 0u)
+        << "synchronous mapping-table update stalls all cores";
+    EXPECT_EQ(st.nvmDataBytes(), 100u * 64);
+    EXPECT_EQ(scheme.epochsCompleted(), 1u);
+}
+
+TEST(Picl, LogsFirstStorePerEpochPerLine)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    Config cfg = tinyCfg();
+    PiclScheme scheme(cfg, nvm, st, false);
+    scheme.onStore(0, 0, 0x1000, 0);
+    scheme.onStore(0, 0, 0x1000, 0);
+    scheme.onStore(0, 0, 0x1040, 0);
+    EXPECT_EQ(st.nvmWriteBytes[static_cast<int>(NvmWriteKind::Log)],
+              2u * 72)
+        << "one undo entry per line per epoch";
+}
+
+TEST(Picl, TagWalkEvictsPreviousEpoch)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    PiclScheme scheme(tinyCfg(), nvm, st, false);
+    for (int i = 0; i < 100; ++i)
+        scheme.onStore(0, 0, 0x1000 + (i % 20) * 64, 0);
+    EXPECT_EQ(scheme.drainBacklog(), 20u)
+        << "ACS collected the dirty lines of the closed epoch";
+    scheme.tick(0);
+    EXPECT_EQ(scheme.drainBacklog(), 0u);
+    EXPECT_EQ(st.nvmDataBytes(), 20u * 64);
+    EXPECT_EQ(st.tagWalkWriteBacks, 20u);
+}
+
+TEST(Picl, ApproximatelyDoubleWriteAmplification)
+{
+    RunStats st;
+    NvmModel nvm(NvmModel::Params{}, &st);
+    PiclScheme scheme(tinyCfg(), nvm, st, false);
+    // Unique lines, several epochs.
+    for (int i = 0; i < 500; ++i)
+        scheme.onStore(0, 0, 0x10000 + i * 64, 0);
+    Cycle fin = scheme.finalize(0);
+    (void)fin;
+    std::uint64_t data = st.nvmDataBytes();
+    std::uint64_t log =
+        st.nvmWriteBytes[static_cast<int>(NvmWriteKind::Log)];
+    EXPECT_EQ(data, 500u * 64);
+    EXPECT_EQ(log, 500u * 72);
+    EXPECT_NEAR(static_cast<double>(data + log) / data, 2.125, 0.01);
+}
+
+TEST(PiclL2, SmallerTagsEvictMore)
+{
+    RunStats st_llc, st_l2;
+    NvmModel nvm1(NvmModel::Params{}, &st_llc);
+    NvmModel nvm2(NvmModel::Params{}, &st_l2);
+    Config cfg;
+    cfg.set("epoch.stores_refs", std::uint64_t(1) << 30);
+    cfg.set("picl.tag_bytes", std::uint64_t(64 * 1024));
+    cfg.set("picl.l2_tag_bytes", std::uint64_t(4 * 1024));
+    PiclScheme big(cfg, nvm1, st_llc, false);
+    PiclScheme small(cfg, nvm2, st_l2, true);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = lineAlign(rng.below(32 * 1024) * 64);
+        big.onStore(0, 0, a, 0);
+        small.onStore(0, 0, a, 0);
+    }
+    EXPECT_GT(st_l2.nvmDataBytes(), st_llc.nvmDataBytes())
+        << "capacity evictions from the smaller tag structure";
+}
+
+TEST(SchemeIntegration, GlobalStallReachesAllCores)
+{
+    setQuiet(true);
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(4));
+    cfg.set("sys.cores_per_vd", std::uint64_t(2));
+    cfg.set("wl.ops", std::uint64_t(200));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(256));
+    cfg.set("epoch.stores_global", std::uint64_t(4000));
+
+    System base(cfg, "none", "hashtable");
+    base.run();
+    System slow(cfg, "hwshadow", "hashtable");
+    slow.run();
+    EXPECT_GT(slow.stats().cycles, base.stats().cycles);
+    EXPECT_GT(slow.stats().barrierStallCycles, 0u);
+}
+
+TEST(SchemeIntegration, EpochAdvanceCountsMatch)
+{
+    setQuiet(true);
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(4));
+    cfg.set("sys.cores_per_vd", std::uint64_t(2));
+    cfg.set("wl.ops", std::uint64_t(400));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(256));
+    cfg.set("epoch.stores_global", std::uint64_t(8000));
+
+    System sys(cfg, "picl", "hashtable");
+    sys.run();
+    EXPECT_EQ(sys.stats().epochAdvances,
+              sys.scheme().epochsCompleted() - 1)
+        << "finalize closes one extra epoch";
+    EXPECT_GT(sys.stats().epochAdvances, 1u);
+}
+
+} // namespace
+} // namespace nvo

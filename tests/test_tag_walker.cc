@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tag walker unit tests: scan scheduling, budgeted draining, min-ver
+ * reporting, opportunistic delay, and the disabled mode
+ * (paper Sec. IV-C, V-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "mem/backing_store.hh"
+#include "mem/dram_model.hh"
+#include "mem/nvm_model.hh"
+#include "nvoverlay/omc.hh"
+#include "nvoverlay/tag_walker.hh"
+
+namespace nvo
+{
+namespace
+{
+
+/** Fixed-epoch controller so the hierarchy's versioned mode works. */
+struct FixedCtrl : VersionCtrl
+{
+    EpochWide vdEpoch(unsigned) const override { return cur; }
+    Cycle observeRemoteVersion(unsigned, EpochWide, Cycle) override
+    {
+        return 0;
+    }
+    Cycle
+    acceptVersion(unsigned, Addr, EpochWide, SeqNo, const LineData &,
+                  EvictReason, Cycle) override
+    {
+        return 0;
+    }
+    EpochWide cur = 1;
+};
+
+class TagWalkerTest : public ::testing::Test
+{
+  protected:
+    TagWalkerTest()
+        : dram(DramModel::Params{}, &stats),
+          nvm(NvmModel::Params{}, &stats)
+    {
+        Hierarchy::Params p;
+        p.numCores = 4;
+        p.coresPerVd = 2;
+        p.numLlcSlices = 1;
+        p.l1.sizeBytes = 4 * 1024;
+        p.l2.sizeBytes = 16 * 1024;
+        p.llc.sliceBytes = 64 * 1024;
+        hier = std::make_unique<Hierarchy>(p, backing, dram, stats);
+        hier->setVersionCtrl(&ctrl);
+
+        MnmBackend::Params mp;
+        mp.numOmcs = 1;
+        mp.numVds = 2;
+        backend = std::make_unique<MnmBackend>(mp, nvm, stats);
+
+        TagWalker::Params wp;
+        wp.vd = 0;
+        wp.linesPerTick = 4;
+        walker = std::make_unique<TagWalker>(wp, *hier, *backend,
+                                             stats);
+    }
+
+    RunStats stats;
+    BackingStore backing;
+    DramModel dram;
+    NvmModel nvm;
+    FixedCtrl ctrl;
+    std::unique_ptr<Hierarchy> hier;
+    std::unique_ptr<MnmBackend> backend;
+    std::unique_ptr<TagWalker> walker;
+};
+
+TEST_F(TagWalkerTest, IdleWithoutRequest)
+{
+    EXPECT_TRUE(walker->idle());
+    walker->tick(0);
+    EXPECT_EQ(stats.tagWalkWriteBacks, 0u);
+}
+
+TEST_F(TagWalkerTest, BudgetedDrainAndMinVerReport)
+{
+    for (unsigned i = 0; i < 10; ++i)
+        hier->store(0, 0x10000 + i * 64, nullptr, 8, 0);
+    ctrl.cur = 2;
+    walker->requestWalk();
+    EXPECT_FALSE(walker->idle());
+
+    walker->tick(0);   // scan + 4 drains
+    EXPECT_EQ(stats.tagWalkWriteBacks, 4u);
+    EXPECT_EQ(backend->minVerOf(0), 0u) << "report only after drain";
+    walker->tick(0);
+    walker->tick(0);   // 10 total
+    EXPECT_EQ(stats.tagWalkWriteBacks, 10u);
+    EXPECT_EQ(backend->minVerOf(0), 1u)
+        << "min-ver = smallest dirty OID encountered";
+    EXPECT_TRUE(walker->idle());
+    EXPECT_EQ(walker->walksCompleted(), 1u);
+}
+
+TEST_F(TagWalkerTest, OpportunisticDelayHonored)
+{
+    hier->store(0, 0x10000, nullptr, 8, 0);
+    ctrl.cur = 2;
+    walker->requestWalk();
+    walker->tick(0, /*allow_scan=*/false);
+    EXPECT_EQ(stats.tagWalkWriteBacks, 0u) << "scan deferred";
+    EXPECT_FALSE(walker->idle());
+    walker->tick(0, true);
+    EXPECT_EQ(stats.tagWalkWriteBacks, 1u);
+}
+
+TEST_F(TagWalkerTest, VersionsReachTheBackend)
+{
+    hier->store(0, 0x10000, nullptr, 8, 0);
+    LineData expect;
+    backing.readLine(0x10000, expect);
+    ctrl.cur = 5;
+    walker->requestWalk();
+    walker->drainFully(0);
+
+    EpochTable *t = backend->epochTable(0, 1);
+    ASSERT_NE(t, nullptr);
+    LineData got;
+    ASSERT_TRUE(t->readVersion(0x10000, got));
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(backend->minVerOf(0), 1u);
+}
+
+TEST_F(TagWalkerTest, DisabledWalkerDoesNothing)
+{
+    TagWalker::Params wp;
+    wp.vd = 0;
+    wp.enabled = false;
+    TagWalker off(wp, *hier, *backend, stats);
+    hier->store(0, 0x10000, nullptr, 8, 0);
+    ctrl.cur = 2;
+    off.requestWalk();
+    off.tick(0);
+    EXPECT_TRUE(off.idle());
+    EXPECT_EQ(stats.tagWalkWriteBacks, 0u);
+    EXPECT_TRUE(hier->l1Line(0, 0x10000)->dirty)
+        << "versions stay in the hierarchy";
+}
+
+TEST_F(TagWalkerTest, RepeatedWalksAdvanceCertificates)
+{
+    for (EpochWide e = 2; e <= 5; ++e) {
+        hier->store(0, 0x20000 + e * 64, nullptr, 8, 0);
+        ctrl.cur = e;
+        walker->requestWalk();
+        walker->drainFully(0);
+        EXPECT_EQ(backend->minVerOf(0), e - 1);
+    }
+    EXPECT_EQ(walker->walksCompleted(), 4u);
+}
+
+} // namespace
+} // namespace nvo

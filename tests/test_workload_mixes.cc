@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lookup-mix and Zipf-sampler tests for the workload extensions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+namespace
+{
+
+std::pair<std::uint64_t, std::uint64_t>
+mixOf(WorkloadBase &wl)
+{
+    std::uint64_t loads = 0, stores = 0;
+    std::vector<MemRef> batch;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (unsigned t = 0; t < wl.params().numThreads; ++t) {
+            if (wl.nextOp(t, batch)) {
+                progress = true;
+                for (const auto &r : batch)
+                    (r.isStore ? stores : loads) += 1;
+            }
+        }
+    }
+    return {loads, stores};
+}
+
+TEST(LookupMix, BTreeLookupsShiftReadRatio)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 4;
+    p.opsPerThread = 800;
+    Config insert_cfg;
+    insert_cfg.set("wl.btree.prefill", std::uint64_t(4096));
+    BTreeWorkload inserts(p, insert_cfg);
+    auto [l0, s0] = mixOf(inserts);
+
+    Config mixed_cfg = insert_cfg;
+    mixed_cfg.set("wl.btree.lookup_pct", 0.8);
+    BTreeWorkload mixed(p, mixed_cfg);
+    auto [l1, s1] = mixOf(mixed);
+
+    double write_ratio0 = static_cast<double>(s0) / (l0 + s0);
+    double write_ratio1 = static_cast<double>(s1) / (l1 + s1);
+    EXPECT_LT(write_ratio1, write_ratio0 / 2)
+        << "80% lookups must slash the store fraction";
+    EXPECT_GT(s1, 0u) << "remaining 20% still insert";
+}
+
+TEST(LookupMix, BTreeStaysValidUnderMixedOps)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 2;
+    p.opsPerThread = 1500;
+    Config cfg;
+    cfg.set("wl.btree.prefill", std::uint64_t(1024));
+    cfg.set("wl.btree.lookup_pct", 0.5);
+    BTreeWorkload wl(p, cfg);
+    mixOf(wl);
+    EXPECT_TRUE(wl.selfCheck());
+}
+
+TEST(LookupMix, HashTableLookupsAreLockFree)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 2;
+    p.opsPerThread = 400;
+    Config cfg;
+    cfg.set("wl.hashtable.prefill", std::uint64_t(512));
+    cfg.set("wl.hashtable.lookup_pct", 1.0);   // all probes
+    HashTableWorkload wl(p, cfg);
+    auto [loads, stores] = mixOf(wl);
+    EXPECT_GT(loads, 0u);
+    EXPECT_EQ(stores, 0u) << "probes take no lock and write nothing";
+}
+
+TEST(Zipf, SkewsTowardLowRanks)
+{
+    Rng rng(42);
+    ZipfSampler zipf(10000, 2.0);
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i)
+        if (zipf.sample(rng) < 1000)   // lowest 10% of ranks
+            ++low;
+    // rank = n*u^2: P(rank < 0.1n) = sqrt(0.1) ~ 31.6%, vs 10%
+    // under a uniform distribution.
+    EXPECT_GT(low, total / 4);
+    EXPECT_LT(low, total * 2 / 5);
+}
+
+TEST(Zipf, ThetaControlsSkew)
+{
+    Rng a(7), b(7);
+    ZipfSampler mild(10000, 1.0), heavy(10000, 3.0);
+    std::uint64_t mild_low = 0, heavy_low = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (mild.sample(a) < 1000)
+            ++mild_low;
+        if (heavy.sample(b) < 1000)
+            ++heavy_low;
+    }
+    EXPECT_GT(heavy_low, mild_low);
+}
+
+TEST(Zipf, StaysInRange)
+{
+    Rng rng(3);
+    ZipfSampler zipf(17, 1.5);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), 17u);
+}
+
+} // namespace
+} // namespace nvo

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Workload tests: determinism, reference-stream validity, data
+ * structure self-checks (sorted B+Tree, balanced red-black tree, ART
+ * membership), and factory coverage of all twelve paper workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+namespace
+{
+
+Config
+smallCfg()
+{
+    Config cfg;
+    cfg.set("wl.threads", std::uint64_t(4));
+    cfg.set("wl.ops", std::uint64_t(300));
+    cfg.set("wl.btree.prefill", std::uint64_t(512));
+    cfg.set("wl.art.prefill", std::uint64_t(512));
+    cfg.set("wl.rbtree.prefill", std::uint64_t(512));
+    cfg.set("wl.hashtable.prefill", std::uint64_t(512));
+    return cfg;
+}
+
+/** Drain a workload fully, returning all refs per thread. */
+std::vector<std::vector<MemRef>>
+drain(WorkloadBase &wl)
+{
+    std::vector<std::vector<MemRef>> all(wl.params().numThreads);
+    std::vector<MemRef> batch;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (unsigned t = 0; t < wl.params().numThreads; ++t) {
+            if (wl.nextOp(t, batch)) {
+                progress = true;
+                all[t].insert(all[t].end(), batch.begin(),
+                              batch.end());
+            }
+        }
+    }
+    return all;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloads, FactoryBuildsAndGenerates)
+{
+    Config cfg = smallCfg();
+    auto wl = makeWorkload(GetParam(), cfg);
+    ASSERT_NE(wl, nullptr);
+    EXPECT_EQ(wl->name(), GetParam());
+    auto refs = drain(*wl);
+    std::uint64_t total = 0;
+    for (const auto &per_thread : refs)
+        total += per_thread.size();
+    EXPECT_GT(total, 300u * 4 / 2) << "each op emits refs";
+    EXPECT_EQ(wl->opsCompleted(), 300u * 4);
+}
+
+TEST_P(AllWorkloads, RefsAreWellFormed)
+{
+    Config cfg = smallCfg();
+    auto wl = makeWorkload(GetParam(), cfg);
+    for (const auto &per_thread : drain(*wl)) {
+        for (const auto &r : per_thread) {
+            EXPECT_GT(r.size, 0u);
+            EXPECT_LE(r.size, 64u);
+            // No reference crosses a cache line.
+            EXPECT_EQ(lineAlign(r.addr),
+                      lineAlign(r.addr + r.size - 1));
+            EXPECT_GE(r.addr, 1ull << 32) << "sim-heap range";
+        }
+    }
+}
+
+TEST_P(AllWorkloads, DeterministicForSeed)
+{
+    Config cfg = smallCfg();
+    cfg.set("wl.ops", std::uint64_t(80));
+    auto a = makeWorkload(GetParam(), cfg);
+    auto b = makeWorkload(GetParam(), cfg);
+    auto ra = drain(*a);
+    auto rb = drain(*b);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (unsigned t = 0; t < ra.size(); ++t) {
+        ASSERT_EQ(ra[t].size(), rb[t].size()) << "thread " << t;
+        for (unsigned i = 0; i < ra[t].size(); ++i) {
+            EXPECT_EQ(ra[t][i].addr, rb[t][i].addr);
+            EXPECT_EQ(ra[t][i].isStore, rb[t][i].isStore);
+        }
+    }
+}
+
+TEST_P(AllWorkloads, MixContainsLoadsAndStores)
+{
+    Config cfg = smallCfg();
+    auto wl = makeWorkload(GetParam(), cfg);
+    std::uint64_t loads = 0, stores = 0;
+    for (const auto &per_thread : drain(*wl))
+        for (const auto &r : per_thread)
+            (r.isStore ? stores : loads) += 1;
+    EXPECT_GT(loads, 0u);
+    EXPECT_GT(stores, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, AllWorkloads,
+                         ::testing::ValuesIn(paperWorkloads()));
+
+TEST(BTree, SelfCheckAfterBulkInsert)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 4;
+    p.opsPerThread = 2000;
+    Config cfg;
+    cfg.set("wl.btree.prefill", std::uint64_t(1000));
+    BTreeWorkload wl(p, cfg);
+    drain(wl);
+    EXPECT_TRUE(wl.selfCheck()) << "sorted order + uniform depth";
+    EXPECT_GT(wl.entries(), 7000u);
+    EXPECT_GE(wl.height(), 2u);
+}
+
+TEST(BTree, SplitsPropagate)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 1;
+    p.opsPerThread = 20000;
+    Config cfg;
+    cfg.set("wl.btree.prefill", std::uint64_t(0));
+    cfg.set("wl.btree.fanout", std::uint64_t(8));
+    BTreeWorkload wl(p, cfg);
+    drain(wl);
+    EXPECT_TRUE(wl.selfCheck());
+    EXPECT_GE(wl.height(), 4u) << "small fanout forces deep tree";
+}
+
+TEST(RbTree, InvariantsAfterBulkInsert)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 4;
+    p.opsPerThread = 2500;
+    Config cfg;
+    cfg.set("wl.rbtree.prefill", std::uint64_t(1000));
+    RbTreeWorkload wl(p, cfg);
+    drain(wl);
+    EXPECT_TRUE(wl.selfCheck())
+        << "no red-red edges, equal black heights, sorted";
+    EXPECT_GT(wl.entries(), 9000u);
+}
+
+TEST(Art, ContainsEverythingInserted)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 2;
+    p.opsPerThread = 1500;
+    p.seed = 5;
+    Config cfg;
+    cfg.set("wl.art.prefill", std::uint64_t(0));
+    ArtWorkload wl(p, cfg);
+    drain(wl);
+    EXPECT_GT(wl.entries(), 2900u);
+    // Re-generate the same keys and verify membership.
+    Rng r0(5 * 1000003 + 0), r1(5 * 1000003 + 1);
+    for (int i = 0; i < 1500; ++i) {
+        EXPECT_TRUE(wl.contains(r0.next()));
+        EXPECT_TRUE(wl.contains(r1.next()));
+    }
+    EXPECT_FALSE(wl.contains(0xdeadbeefull));
+}
+
+TEST(HashTable, EntriesGrowWithInserts)
+{
+    WorkloadBase::Params p;
+    p.numThreads = 2;
+    p.opsPerThread = 500;
+    Config cfg;
+    cfg.set("wl.hashtable.prefill", std::uint64_t(100));
+    HashTableWorkload wl(p, cfg);
+    EXPECT_EQ(wl.entries(), 100u);
+    drain(wl);
+    EXPECT_GT(wl.entries(), 1000u);
+}
+
+TEST(SimHeapTest, ArenaIsolation)
+{
+    SimHeap heap(3, 1ull << 32, 1ull << 20);
+    Addr a0 = heap.alloc(0, 100);
+    Addr a1 = heap.alloc(1, 100);
+    Addr a2 = heap.alloc(2, 100);
+    EXPECT_LT(a0 + 100, a1);
+    EXPECT_LT(a1 + 100, a2);
+    EXPECT_EQ(heap.allocatedBytes(0), 100u);
+}
+
+TEST(SimHeapTest, AlignmentHonored)
+{
+    SimHeap heap(1);
+    heap.alloc(0, 3);
+    Addr aligned = heap.alloc(0, 64, 64);
+    EXPECT_EQ(aligned % 64, 0u);
+    Addr page = heap.alloc(0, 8, pageBytes);
+    EXPECT_EQ(pageAlign(page), page);
+}
+
+TEST(SimHashSetTest, InsertAndProbeEmitRefs)
+{
+    SimHeap heap(2);
+    SimHashSet set(heap, 0, 256, 4);
+    std::vector<MemRef> refs;
+    EXPECT_TRUE(set.insert(42, refs));
+    EXPECT_GE(refs.size(), 3u);
+    refs.clear();
+    EXPECT_FALSE(set.insert(42, refs)) << "duplicate";
+    refs.clear();
+    EXPECT_TRUE(set.contains(42, refs));
+    EXPECT_FALSE(set.contains(43, refs));
+    EXPECT_EQ(set.size(), 1u);
+}
+
+} // namespace
+} // namespace nvo
