@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_subpage"
+  "../bench/ablation_subpage.pdb"
+  "CMakeFiles/ablation_subpage.dir/ablation_subpage.cc.o"
+  "CMakeFiles/ablation_subpage.dir/ablation_subpage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

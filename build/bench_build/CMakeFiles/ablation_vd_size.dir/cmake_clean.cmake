@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vd_size"
+  "../bench/ablation_vd_size.pdb"
+  "CMakeFiles/ablation_vd_size.dir/ablation_vd_size.cc.o"
+  "CMakeFiles/ablation_vd_size.dir/ablation_vd_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vd_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

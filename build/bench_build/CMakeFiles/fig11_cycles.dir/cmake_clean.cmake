@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_cycles"
+  "../bench/fig11_cycles.pdb"
+  "CMakeFiles/fig11_cycles.dir/fig11_cycles.cc.o"
+  "CMakeFiles/fig11_cycles.dir/fig11_cycles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

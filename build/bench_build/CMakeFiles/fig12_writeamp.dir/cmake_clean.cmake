@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_writeamp"
+  "../bench/fig12_writeamp.pdb"
+  "CMakeFiles/fig12_writeamp.dir/fig12_writeamp.cc.o"
+  "CMakeFiles/fig12_writeamp.dir/fig12_writeamp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_writeamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_metadata"
+  "../bench/fig13_metadata.pdb"
+  "CMakeFiles/fig13_metadata.dir/fig13_metadata.cc.o"
+  "CMakeFiles/fig13_metadata.dir/fig13_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_epoch_sweep"
+  "../bench/fig14_epoch_sweep.pdb"
+  "CMakeFiles/fig14_epoch_sweep.dir/fig14_epoch_sweep.cc.o"
+  "CMakeFiles/fig14_epoch_sweep.dir/fig14_epoch_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_epoch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

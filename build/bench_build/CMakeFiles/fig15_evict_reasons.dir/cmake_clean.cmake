@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_evict_reasons"
+  "../bench/fig15_evict_reasons.pdb"
+  "CMakeFiles/fig15_evict_reasons.dir/fig15_evict_reasons.cc.o"
+  "CMakeFiles/fig15_evict_reasons.dir/fig15_evict_reasons.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_evict_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_omc_buffer"
+  "../bench/fig16_omc_buffer.pdb"
+  "CMakeFiles/fig16_omc_buffer.dir/fig16_omc_buffer.cc.o"
+  "CMakeFiles/fig16_omc_buffer.dir/fig16_omc_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_omc_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_bandwidth"
+  "../bench/fig17_bandwidth.pdb"
+  "CMakeFiles/fig17_bandwidth.dir/fig17_bandwidth.cc.o"
+  "CMakeFiles/fig17_bandwidth.dir/fig17_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

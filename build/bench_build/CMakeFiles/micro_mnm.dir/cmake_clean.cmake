@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_mnm"
+  "../bench/micro_mnm.pdb"
+  "CMakeFiles/micro_mnm.dir/micro_mnm.cc.o"
+  "CMakeFiles/micro_mnm.dir/micro_mnm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mnm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/remote_replication"
+  "../examples/remote_replication.pdb"
+  "CMakeFiles/remote_replication.dir/remote_replication.cpp.o"
+  "CMakeFiles/remote_replication.dir/remote_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/timetravel_debug"
+  "../examples/timetravel_debug.pdb"
+  "CMakeFiles/timetravel_debug.dir/timetravel_debug.cpp.o"
+  "CMakeFiles/timetravel_debug.dir/timetravel_debug.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timetravel_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hw_shadow.cc" "src/CMakeFiles/nvoverlay.dir/baselines/hw_shadow.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/baselines/hw_shadow.cc.o.d"
+  "/root/repo/src/baselines/picl.cc" "src/CMakeFiles/nvoverlay.dir/baselines/picl.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/baselines/picl.cc.o.d"
+  "/root/repo/src/baselines/scheme.cc" "src/CMakeFiles/nvoverlay.dir/baselines/scheme.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/baselines/scheme.cc.o.d"
+  "/root/repo/src/baselines/sw_log.cc" "src/CMakeFiles/nvoverlay.dir/baselines/sw_log.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/baselines/sw_log.cc.o.d"
+  "/root/repo/src/baselines/sw_shadow.cc" "src/CMakeFiles/nvoverlay.dir/baselines/sw_shadow.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/baselines/sw_shadow.cc.o.d"
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/nvoverlay.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/nvoverlay.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/l1_cache.cc" "src/CMakeFiles/nvoverlay.dir/cache/l1_cache.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cache/l1_cache.cc.o.d"
+  "/root/repo/src/cache/l2_cache.cc" "src/CMakeFiles/nvoverlay.dir/cache/l2_cache.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cache/l2_cache.cc.o.d"
+  "/root/repo/src/cache/llc.cc" "src/CMakeFiles/nvoverlay.dir/cache/llc.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cache/llc.cc.o.d"
+  "/root/repo/src/cache/noc.cc" "src/CMakeFiles/nvoverlay.dir/cache/noc.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cache/noc.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/nvoverlay.dir/common/config.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/nvoverlay.dir/common/log.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/nvoverlay.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/nvoverlay.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/cpu/core.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/nvoverlay.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/nvoverlay.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/harness/system.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/nvoverlay.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/nvoverlay.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/dram_model.cc" "src/CMakeFiles/nvoverlay.dir/mem/dram_model.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/mem/dram_model.cc.o.d"
+  "/root/repo/src/mem/nvm_model.cc" "src/CMakeFiles/nvoverlay.dir/mem/nvm_model.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/mem/nvm_model.cc.o.d"
+  "/root/repo/src/mem/write_tracker.cc" "src/CMakeFiles/nvoverlay.dir/mem/write_tracker.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/mem/write_tracker.cc.o.d"
+  "/root/repo/src/nvoverlay/epoch.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/epoch.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/epoch.cc.o.d"
+  "/root/repo/src/nvoverlay/epoch_table.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/epoch_table.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/epoch_table.cc.o.d"
+  "/root/repo/src/nvoverlay/master_table.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/master_table.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/master_table.cc.o.d"
+  "/root/repo/src/nvoverlay/nvoverlay_scheme.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/nvoverlay_scheme.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/nvoverlay_scheme.cc.o.d"
+  "/root/repo/src/nvoverlay/omc.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/omc.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/omc.cc.o.d"
+  "/root/repo/src/nvoverlay/omc_buffer.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/omc_buffer.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/omc_buffer.cc.o.d"
+  "/root/repo/src/nvoverlay/page_pool.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/page_pool.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/page_pool.cc.o.d"
+  "/root/repo/src/nvoverlay/recovery.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/recovery.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/recovery.cc.o.d"
+  "/root/repo/src/nvoverlay/snapshot_reader.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/snapshot_reader.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/snapshot_reader.cc.o.d"
+  "/root/repo/src/nvoverlay/tag_walker.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/tag_walker.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/tag_walker.cc.o.d"
+  "/root/repo/src/nvoverlay/versioned_domain.cc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/versioned_domain.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/nvoverlay/versioned_domain.cc.o.d"
+  "/root/repo/src/workload/art.cc" "src/CMakeFiles/nvoverlay.dir/workload/art.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/art.cc.o.d"
+  "/root/repo/src/workload/bayes.cc" "src/CMakeFiles/nvoverlay.dir/workload/bayes.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/bayes.cc.o.d"
+  "/root/repo/src/workload/btree.cc" "src/CMakeFiles/nvoverlay.dir/workload/btree.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/btree.cc.o.d"
+  "/root/repo/src/workload/genome.cc" "src/CMakeFiles/nvoverlay.dir/workload/genome.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/genome.cc.o.d"
+  "/root/repo/src/workload/hash_table.cc" "src/CMakeFiles/nvoverlay.dir/workload/hash_table.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/hash_table.cc.o.d"
+  "/root/repo/src/workload/intruder.cc" "src/CMakeFiles/nvoverlay.dir/workload/intruder.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/intruder.cc.o.d"
+  "/root/repo/src/workload/kmeans.cc" "src/CMakeFiles/nvoverlay.dir/workload/kmeans.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/kmeans.cc.o.d"
+  "/root/repo/src/workload/labyrinth.cc" "src/CMakeFiles/nvoverlay.dir/workload/labyrinth.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/labyrinth.cc.o.d"
+  "/root/repo/src/workload/rbtree.cc" "src/CMakeFiles/nvoverlay.dir/workload/rbtree.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/rbtree.cc.o.d"
+  "/root/repo/src/workload/sim_heap.cc" "src/CMakeFiles/nvoverlay.dir/workload/sim_heap.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/sim_heap.cc.o.d"
+  "/root/repo/src/workload/ssca2.cc" "src/CMakeFiles/nvoverlay.dir/workload/ssca2.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/ssca2.cc.o.d"
+  "/root/repo/src/workload/stamp_common.cc" "src/CMakeFiles/nvoverlay.dir/workload/stamp_common.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/stamp_common.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/nvoverlay.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/vacation.cc" "src/CMakeFiles/nvoverlay.dir/workload/vacation.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/vacation.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/nvoverlay.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/workload.cc.o.d"
+  "/root/repo/src/workload/yada.cc" "src/CMakeFiles/nvoverlay.dir/workload/yada.cc.o" "gcc" "src/CMakeFiles/nvoverlay.dir/workload/yada.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_array.cc" "tests/CMakeFiles/nvo_tests.dir/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_cache_array.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/nvo_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/nvo_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_config_derivation.cc" "tests/CMakeFiles/nvo_tests.dir/test_config_derivation.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_config_derivation.cc.o.d"
+  "/root/repo/tests/test_core_model.cc" "tests/CMakeFiles/nvo_tests.dir/test_core_model.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_core_model.cc.o.d"
+  "/root/repo/tests/test_epoch.cc" "tests/CMakeFiles/nvo_tests.dir/test_epoch.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_epoch.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/nvo_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_long_horizon.cc" "tests/CMakeFiles/nvo_tests.dir/test_long_horizon.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_long_horizon.cc.o.d"
+  "/root/repo/tests/test_mapping_tables.cc" "tests/CMakeFiles/nvo_tests.dir/test_mapping_tables.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_mapping_tables.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/nvo_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_misc_edges.cc" "tests/CMakeFiles/nvo_tests.dir/test_misc_edges.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_misc_edges.cc.o.d"
+  "/root/repo/tests/test_mnm_backend.cc" "tests/CMakeFiles/nvo_tests.dir/test_mnm_backend.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_mnm_backend.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/nvo_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_omc_buffer.cc" "tests/CMakeFiles/nvo_tests.dir/test_omc_buffer.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_omc_buffer.cc.o.d"
+  "/root/repo/tests/test_page_pool.cc" "tests/CMakeFiles/nvo_tests.dir/test_page_pool.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_page_pool.cc.o.d"
+  "/root/repo/tests/test_rebuild.cc" "tests/CMakeFiles/nvo_tests.dir/test_rebuild.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_rebuild.cc.o.d"
+  "/root/repo/tests/test_recovery.cc" "tests/CMakeFiles/nvo_tests.dir/test_recovery.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_recovery.cc.o.d"
+  "/root/repo/tests/test_schemes.cc" "tests/CMakeFiles/nvo_tests.dir/test_schemes.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_schemes.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/nvo_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/nvo_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tag_walker.cc" "tests/CMakeFiles/nvo_tests.dir/test_tag_walker.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_tag_walker.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/nvo_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_version_protocol.cc" "tests/CMakeFiles/nvo_tests.dir/test_version_protocol.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_version_protocol.cc.o.d"
+  "/root/repo/tests/test_workload_mixes.cc" "tests/CMakeFiles/nvo_tests.dir/test_workload_mixes.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_workload_mixes.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/nvo_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/nvo_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvoverlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/nvo_sim"
+  "../tools/nvo_sim.pdb"
+  "CMakeFiles/nvo_sim.dir/nvo_sim.cc.o"
+  "CMakeFiles/nvo_sim.dir/nvo_sim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
