@@ -18,6 +18,7 @@
 namespace nvo
 {
 
+class Auditor;
 class Hierarchy;
 class NvmModel;
 
@@ -54,6 +55,13 @@ class Scheme
 
     /** Epochs completed so far (for experiment bookkeeping). */
     virtual std::uint64_t epochsCompleted() const { return 0; }
+
+    /**
+     * Register this scheme's invariant sweeps (NVO_AUDIT) with the
+     * System's auditor. The default registers nothing; schemes with
+     * protocol state (NVOverlay) add their own sweeps.
+     */
+    virtual void registerAudits(Auditor &auditor) { (void)auditor; }
 
     /**
      * Drain the pending system-wide stall (epoch-boundary flushes

@@ -1,5 +1,7 @@
 #include "cache/cache_array.hh"
 
+#include "common/audit.hh"
+#include "common/bitutil.hh"
 #include "common/log.hh"
 
 namespace nvo
@@ -112,6 +114,47 @@ CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
     for (auto &line : lines)
         if (line.valid())
             fn(line);
+}
+
+void
+CacheArray::forEachValid(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const auto &line : lines)
+        if (line.valid())
+            fn(line);
+}
+
+void
+CacheArray::audit() const
+{
+    if (!audit::enabled)
+        return;
+    for (unsigned set = 0; set < sets; ++set) {
+        const CacheLine *base =
+            &lines[static_cast<std::size_t>(set) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            const CacheLine &line = base[w];
+            if (!line.valid()) {
+                NVO_AUDIT(line.state == CohState::I &&
+                              !line.dirty && !line.sealed(),
+                          "invalid slot carries residual state");
+                continue;
+            }
+            NVO_AUDIT(lineAlign(line.addr) == line.addr,
+                      "cached address not line-aligned");
+            NVO_AUDIT(setOf(line.addr) == set,
+                      "line stored in the wrong set");
+            NVO_AUDIT(line.state != CohState::I,
+                      "valid line in coherence state I");
+            NVO_AUDIT(line.lru <= lruClock,
+                      "replacement stamp ahead of the LRU clock");
+            for (unsigned w2 = w + 1; w2 < ways_; ++w2)
+                NVO_AUDIT(!base[w2].valid() ||
+                              base[w2].addr != line.addr,
+                          "address mapped by two ways of one set");
+        }
+    }
 }
 
 } // namespace nvo

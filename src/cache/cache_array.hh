@@ -65,6 +65,16 @@ class CacheArray
 
     /** Visit every valid line. */
     void forEachValid(const std::function<void(CacheLine &)> &fn);
+    void forEachValid(
+        const std::function<void(const CacheLine &)> &fn) const;
+
+    /**
+     * Structural invariant sweep (NVO_AUDIT): every valid line sits
+     * in the set its address hashes to, no address occupies two ways
+     * of a set (NVOverlay looks up by address only, paper Sec. IV-A1),
+     * and replacement stamps never run ahead of the LRU clock.
+     */
+    void audit() const;
 
   private:
     unsigned setOf(Addr line_addr) const;

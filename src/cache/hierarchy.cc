@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -850,7 +851,7 @@ Hierarchy::dirEntry(Addr addr) const
 }
 
 std::string
-Hierarchy::checkInvariants() const
+Hierarchy::checkInvariants(bool quiescent) const
 {
     std::ostringstream err;
     auto fail = [&err](const std::string &msg) {
@@ -874,7 +875,12 @@ Hierarchy::checkInvariants() const
                     fail("L1 line without L2 sharer bit");
                 if (line.sealed())
                     fail("sealed payload in an L1");
-                if (line.oid < l2_line->oid)
+                // A store hit on a writable L1 line commits without
+                // consulting sibling copies, so a stale clean S copy
+                // can lag the L2 tag until it is invalidated or
+                // evicted; the relation only holds at quiescent
+                // points.
+                if (quiescent && line.oid < l2_line->oid)
                     fail("L1 version older than L2 version");
             });
     }
@@ -921,6 +927,73 @@ Hierarchy::checkInvariants() const
     }
 
     return err.str();
+}
+
+void
+Hierarchy::audit() const
+{
+    if (!audit::enabled)
+        return;
+
+    // Per-level structural sweeps.
+    for (const auto &l1 : l1s)
+        l1->audit();
+    for (const auto &l2 : l2s)
+        l2->audit();
+    for (const auto &sl : slices)
+        sl->audit();
+
+    // Cross-level MESI structure (inclusion, sharer bits, directory).
+    std::string err = checkInvariants(false);
+    NVO_AUDIT(err.empty(), err);
+
+    // Version-protocol epoch rules (Sec. IV-A/IV-B).
+    EpochWide max_epoch = 0;
+    for (unsigned vd = 0; vd < numVds_; ++vd) {
+        EpochWide cur = curEpoch(vd);
+        max_epoch = std::max(max_epoch, cur);
+
+        for (unsigned i = 0; i < p.coresPerVd; ++i) {
+            l1s[vd * p.coresPerVd + i]->array().forEachValid(
+                [cur](const CacheLine &line) {
+                    NVO_AUDIT(!line.dirty || line.oid <= cur,
+                              "dirty L1 OID ahead of its VD's epoch");
+                });
+        }
+
+        l2s[vd]->array().forEachValid([&](const CacheLine &line) {
+            NVO_AUDIT(!line.dirty || line.oid <= cur,
+                      "dirty L2 OID ahead of its VD's epoch");
+            if (!line.sealed())
+                return;
+            // A sealed payload exists only because a newer version
+            // was created above it, so its epoch is strictly past.
+            NVO_AUDIT(line.oid < cur,
+                      "sealed version from the current epoch");
+            if (wtracker) {
+                // Immutability: the payload must still be the
+                // architectural content of its epoch — the content
+                // after the last store with epoch <= oid (DESIGN.md
+                // Sec. 2 premise: per-line epochs are non-decreasing).
+                auto expect =
+                    wtracker->expectedDigest(line.addr, line.oid);
+                NVO_AUDIT(expect.has_value(),
+                          "sealed version with no recorded store");
+                NVO_AUDIT(!expect ||
+                              *expect == line.sealedData->digest(),
+                          "sealed version content mutated");
+            }
+        });
+    }
+
+    // LLC OIDs only move forward (Sec. IV-A4) and never past the
+    // leading VD epoch.
+    for (const auto &sl : slices) {
+        sl->array().forEachValid([max_epoch](const CacheLine &line) {
+            NVO_AUDIT(line.oid <= max_epoch,
+                      "LLC OID ahead of every VD epoch");
+        });
+    }
 }
 
 } // namespace nvo

@@ -143,9 +143,23 @@ class Hierarchy
     /**
      * Verify structural invariants; returns an empty string when all
      * hold, else a description of the first violation. Exercised by
-     * property tests after random traffic.
+     * property tests after random traffic. Pass @p quiescent = false
+     * when called mid-run: a store hit on a writable L1 line commits
+     * without consulting stale clean sibling copies, so the
+     * L1-tag-vs-L2-tag relation only holds once traffic stops.
      */
-    std::string checkInvariants() const;
+    std::string checkInvariants(bool quiescent = true) const;
+
+    /**
+     * Invariant sweep (NVO_AUDIT): per-level array audits, the
+     * structural checks of checkInvariants(), and the version
+     * protocol's epoch rules — dirty OIDs never run ahead of their
+     * VD's epoch (Sec. IV-B), sealed versions are strictly older than
+     * the current epoch, and (when a WriteTracker is installed)
+     * sealed payloads still match the architectural content of their
+     * epoch, i.e. sealed versions are immutable (Fig. 4).
+     */
+    void audit() const;
 
     // --- Introspection (tests, examples) ---
     unsigned numCores() const { return p.numCores; }

@@ -1,5 +1,7 @@
 #include "cache/l1_cache.hh"
 
+#include "common/audit.hh"
+
 namespace nvo
 {
 
@@ -7,6 +9,20 @@ L1Cache::L1Cache(const Params &params, unsigned core_id)
     : arr(params.sizeBytes, params.ways), lat(params.latency),
       core(core_id)
 {
+}
+
+void
+L1Cache::audit() const
+{
+    if (!audit::enabled)
+        return;
+    arr.audit();
+    arr.forEachValid([](const CacheLine &line) {
+        NVO_AUDIT(!line.sealed(), "sealed payload in an L1");
+        NVO_AUDIT(line.sharers == 0, "sharer bits on an L1 line");
+        NVO_AUDIT(!line.dirty || writable(line.state),
+                  "dirty L1 line without write permission");
+    });
 }
 
 } // namespace nvo

@@ -30,6 +30,13 @@ class L1Cache
     Cycle latency() const { return lat; }
     unsigned coreId() const { return core; }
 
+    /**
+     * Invariant sweep (NVO_AUDIT): array structure is sound, no L1
+     * line carries a sealed payload (sealing happens on the way down
+     * to the L2, Fig. 4), and the L2-only sharer mask is unused.
+     */
+    void audit() const;
+
   private:
     CacheArray arr;
     Cycle lat;

@@ -1,5 +1,6 @@
 #include "cache/l2_cache.hh"
 
+#include "common/audit.hh"
 #include "common/log.hh"
 
 namespace nvo
@@ -37,6 +38,22 @@ bool
 L2Cache::hasSharer(const CacheLine &line, unsigned local_idx)
 {
     return (line.sharers >> local_idx) & 1u;
+}
+
+void
+L2Cache::audit() const
+{
+    if (!audit::enabled)
+        return;
+    arr.audit();
+    const std::uint16_t local_mask =
+        static_cast<std::uint16_t>((1u << localCores) - 1);
+    arr.forEachValid([local_mask](const CacheLine &line) {
+        NVO_AUDIT((line.sharers & ~local_mask) == 0,
+                  "sharer bit outside the VD's local L1s");
+        NVO_AUDIT(!line.sealed() || line.dirty,
+                  "sealed but clean L2 line");
+    });
 }
 
 std::vector<unsigned>

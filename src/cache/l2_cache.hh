@@ -44,6 +44,14 @@ class L2Cache
     /** Local L1 indices currently sharing @p line. */
     std::vector<unsigned> sharerList(const CacheLine &line) const;
 
+    /**
+     * Invariant sweep (NVO_AUDIT): array structure is sound, sharer
+     * masks stay within the VD's local L1 population, and sealed
+     * versions are dirty (a sealed payload is an immutable old-epoch
+     * version awaiting write-back, Fig. 4).
+     */
+    void audit() const;
+
   private:
     CacheArray arr;
     Cycle lat;

@@ -1,5 +1,8 @@
 #include "cache/llc.hh"
 
+#include "common/audit.hh"
+#include "common/bitutil.hh"
+
 namespace nvo
 {
 
@@ -26,6 +29,35 @@ void
 LlcSlice::dirErase(Addr line_addr)
 {
     directory.erase(line_addr);
+}
+
+void
+LlcSlice::forEachDirEntry(
+    const std::function<void(Addr, const DirEntry &)> &fn) const
+{
+    for (const auto &kv : directory)
+        fn(kv.first, kv.second);
+}
+
+void
+LlcSlice::audit() const
+{
+    if (!audit::enabled)
+        return;
+    arr.audit();
+    arr.forEachValid([](const CacheLine &line) {
+        NVO_AUDIT(line.sharers == 0,
+                  "L2-private sharer bits on an LLC line");
+        NVO_AUDIT(!line.sealed(), "sealed payload in the LLC");
+    });
+    for (const auto &kv : directory) {
+        NVO_AUDIT(lineAlign(kv.first) == kv.first,
+                  "directory keyed by an unaligned address");
+        const DirEntry &e = kv.second;
+        NVO_AUDIT(e.ownerVd < 0 ||
+                      e.isSharer(static_cast<unsigned>(e.ownerVd)),
+                  "directory owner VD is not a sharer");
+    }
 }
 
 } // namespace nvo

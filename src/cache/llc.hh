@@ -13,6 +13,7 @@
 #define NVO_CACHE_LLC_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "cache/cache_array.hh"
@@ -63,6 +64,17 @@ class LlcSlice
     void dirErase(Addr line_addr);
 
     std::size_t dirSize() const { return directory.size(); }
+
+    /** Visit every directory entry: fn(line_addr, entry). */
+    void forEachDirEntry(
+        const std::function<void(Addr, const DirEntry &)> &fn) const;
+
+    /**
+     * Invariant sweep (NVO_AUDIT): array structure is sound, no LLC
+     * line carries L2-private sharer bits or a sealed payload, and
+     * directory owners are listed among their entry's sharers.
+     */
+    void audit() const;
 
   private:
     CacheArray arr;

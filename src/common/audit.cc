@@ -1,0 +1,74 @@
+#include "common/audit.hh"
+
+#include "common/log.hh"
+
+namespace nvo
+{
+namespace audit
+{
+namespace detail
+{
+
+namespace
+{
+std::uint64_t checkCounter = 0;
+}
+
+void
+onCheck()
+{
+    ++checkCounter;
+}
+
+void
+fail(const char *file, int line, const char *cond_str,
+     const std::string &msg)
+{
+    panic("audit failure at %s:%d: '%s'%s%s", file, line, cond_str,
+          msg.empty() ? "" : " — ", msg.c_str());
+}
+
+} // namespace detail
+
+std::uint64_t
+checksExecuted()
+{
+    return detail::checkCounter;
+}
+
+} // namespace audit
+
+void
+Auditor::add(std::string name, std::function<void()> fn, Tier tier)
+{
+    nvo_assert(fn != nullptr, "audit sweep needs a callable");
+    checks.push_back({std::move(name), std::move(fn), tier});
+}
+
+void
+Auditor::runTier(bool light_only)
+{
+    for (const auto &check : checks) {
+        if (light_only && check.tier != Tier::Light)
+            continue;
+        current = check.name;
+        check.fn();
+        ++runCount;
+    }
+    current.clear();
+    ++sweepCount;
+}
+
+void
+Auditor::runAll()
+{
+    runTier(false);
+}
+
+void
+Auditor::runLight()
+{
+    runTier(true);
+}
+
+} // namespace nvo

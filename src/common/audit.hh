@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Protocol invariant auditor.
+ *
+ * The paper's correctness story rests on invariants the simulator
+ * otherwise only hopes are true: sealed versions are immutable, dirty
+ * OIDs never run ahead of their VD's epoch, inter-VD skew stays under
+ * half the 16-bit OID space (Sec. IV-D), min-ver / rec-epoch advance
+ * monotonically, and the MNM page pool never double-maps a sub-page.
+ * Checkpointing bugs are silent-corruption bugs — a recovered snapshot
+ * "works" until it is diffed against ground truth — so this module
+ * makes them loud instead.
+ *
+ * Two pieces:
+ *
+ *  - `NVO_AUDIT(cond, msg)`: an assert-like check compiled in only
+ *    when the build defines NVO_AUDIT_ENABLED (CMake option
+ *    `NVO_AUDIT`, default ON for Debug). A failed check panics with
+ *    file/line, the condition text, and @p msg; @p msg is evaluated
+ *    only on failure, so call sites may build expensive diagnostics.
+ *
+ *  - `Auditor`: a registry of named sweeps (the `audit()` methods of
+ *    CacheArray, Hierarchy, PagePool, EpochTable, MasterTable,
+ *    MnmBackend, TagWalker, ...). Sweeps come in two tiers: Light
+ *    sweeps are O(#VDs)-cheap epoch-scoped checks (skew bound,
+ *    min-ver vs VD epoch) the System runs unconditionally at every
+ *    epoch boundary; Full sweeps walk whole structures and run at a
+ *    configurable quantum stride and at the end of the run. Tests
+ *    invoke the registry directly.
+ *
+ * Every audited invariant is catalogued in docs/INVARIANTS.md with
+ * its paper section.
+ */
+
+#ifndef NVO_COMMON_AUDIT_HH
+#define NVO_COMMON_AUDIT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nvo
+{
+namespace audit
+{
+
+/** True when the build compiles invariant checks in. */
+#ifdef NVO_AUDIT_ENABLED
+constexpr bool enabled = true;
+#else
+constexpr bool enabled = false;
+#endif
+
+namespace detail
+{
+
+/** Count one executed check (global, single-threaded simulator). */
+void onCheck();
+
+/** Report a failed check and abort. */
+[[noreturn]] void fail(const char *file, int line, const char *cond_str,
+                       const std::string &msg);
+
+} // namespace detail
+
+/** Total NVO_AUDIT checks executed since process start. */
+std::uint64_t checksExecuted();
+
+} // namespace audit
+} // namespace nvo
+
+#ifdef NVO_AUDIT_ENABLED
+#define NVO_AUDIT(cond, msg)                                           \
+    do {                                                               \
+        ::nvo::audit::detail::onCheck();                               \
+        if (!(cond))                                                   \
+            ::nvo::audit::detail::fail(__FILE__, __LINE__, #cond,      \
+                                       (msg));                         \
+    } while (0)
+#else
+/* Compiled out: operands stay type-checked but are never evaluated. */
+#define NVO_AUDIT(cond, msg)                                           \
+    do {                                                               \
+        if (false) {                                                   \
+            static_cast<void>(cond);                                   \
+            static_cast<void>(msg);                                    \
+        }                                                              \
+    } while (0)
+#endif
+
+namespace nvo
+{
+
+/**
+ * Registry of named audit sweeps. Components register a closure that
+ * walks their structures running NVO_AUDIT checks; `runAll()` invokes
+ * every registered sweep once. Registration order is preserved so
+ * failures in foundational structures (pools, tables) surface before
+ * failures in the layers built on them.
+ */
+class Auditor
+{
+  public:
+    /**
+     * Sweep cost tier. Light sweeps must be cheap enough to run at
+     * every epoch boundary (epochs can advance every quantum); Full
+     * sweeps may walk entire caches and mapping tables.
+     */
+    enum class Tier
+    {
+        Light,
+        Full,
+    };
+
+    /** Register sweep @p fn under @p name (diagnostics only). */
+    void add(std::string name, std::function<void()> fn,
+             Tier tier = Tier::Full);
+
+    /** Run every registered sweep once. */
+    void runAll();
+
+    /** Run only the Light-tier sweeps (epoch-boundary pass). */
+    void runLight();
+
+    std::size_t numChecks() const { return checks.size(); }
+
+    /** Completed runAll() passes. */
+    std::uint64_t sweeps() const { return sweepCount; }
+
+    /** Individual sweep invocations across all passes. */
+    std::uint64_t sweepsExecuted() const { return runCount; }
+
+    /** Name of the sweep currently executing ("" outside runAll). */
+    const std::string &currentSweep() const { return current; }
+
+  private:
+    struct Check
+    {
+        std::string name;
+        std::function<void()> fn;
+        Tier tier;
+    };
+
+    void runTier(bool light_only);
+
+    std::vector<Check> checks;
+    std::string current;
+    std::uint64_t sweepCount = 0;
+    std::uint64_t runCount = 0;
+};
+
+} // namespace nvo
+
+#endif // NVO_COMMON_AUDIT_HH

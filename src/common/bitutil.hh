@@ -6,6 +6,7 @@
 #ifndef NVO_COMMON_BITUTIL_HH
 #define NVO_COMMON_BITUTIL_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "common/log.hh"
@@ -13,6 +14,13 @@
 
 namespace nvo
 {
+
+/** Number of set bits in @p v. */
+constexpr unsigned
+popcount64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
 
 /** True iff @p v is a power of two (and nonzero). */
 constexpr bool

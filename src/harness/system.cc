@@ -132,6 +132,27 @@ System::build(const std::string &scheme_name)
     for (unsigned c = 0; c < num_cores; ++c)
         cores.push_back(std::make_unique<Core>(
             cp, c, *hier, *wl, *scheme_, stats_));
+
+    // Invariant sweeps (NVO_AUDIT builds): the hierarchy's structural
+    // audit plus whatever protocol sweeps the scheme registers. Light
+    // (epoch-scoped) sweeps run at every epoch boundary; full
+    // structural sweeps every audit.stride quanta and at end of run.
+    if (audit::enabled) {
+        auditStride = cfg_.getU64("audit.stride", 64);
+        Hierarchy *h = hier.get();
+        auditor_.add("hierarchy", [h] { h->audit(); });
+        scheme_->registerAudits(auditor_);
+    }
+}
+
+void
+System::auditNow()
+{
+    if (!audit::enabled)
+        return;
+    auditor_.runAll();
+    quantaSinceAudit = 0;
+    epochsAtLastAudit = scheme_->epochsCompleted();
 }
 
 void
@@ -145,6 +166,23 @@ System::stepQuantum()
         for (auto &core : cores)
             core->addStall(gs);
         stats_.barrierStallCycles += gs;
+    }
+
+    if (audit::enabled) {
+        ++quantaSinceAudit;
+        bool epoch_boundary =
+            scheme_->epochsCompleted() != epochsAtLastAudit;
+        bool stride_hit =
+            auditStride != 0 && quantaSinceAudit >= auditStride;
+        if (stride_hit) {
+            auditNow();
+        } else if (epoch_boundary) {
+            // Epochs can advance every quantum, so the boundary pass
+            // is restricted to the Light (O(#VDs)) sweeps; the full
+            // structural walk waits for the stride.
+            auditor_.runLight();
+            epochsAtLastAudit = scheme_->epochsCompleted();
+        }
     }
 }
 
@@ -184,6 +222,10 @@ System::run()
     stats_.cycles = max_core;
     stats_.extra["finalize_drain_cycles"] =
         flush_done > max_core ? flush_done - max_core : 0;
+
+    // Everything is quiescent after finalize; a full sweep here
+    // catches anything the periodic sweeps missed.
+    auditNow();
 }
 
 } // namespace nvo

@@ -16,6 +16,7 @@
 #include "baselines/scheme.hh"
 #include "cache/hierarchy.hh"
 #include "cache/noc.hh"
+#include "common/audit.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "cpu/core.hh"
@@ -41,6 +42,10 @@ class System
      *   nvm.queue_depth
      *   epoch.stores_global (1M store uops, Sec. VI-B)
      *   sim.track_writes (enable the verification tracker)
+     *   audit.stride (run full invariant sweeps every N quanta when
+     *   the build compiles audits in; 0 disables periodic full
+     *   sweeps; epoch boundaries always run the light epoch-scoped
+     *   sweeps)
      *   wl.* (workload sizing), nvo.* / mnm.* / picl.* / sw.*
      */
     System(const Config &cfg, const std::string &scheme_name,
@@ -73,6 +78,12 @@ class System
     WriteTracker *tracker() { return wtracker.get(); }
     const Config &config() const { return cfg_; }
 
+    /** Run every registered invariant sweep once (no-op when the
+     *  build compiles audits out). */
+    void auditNow();
+
+    Auditor &auditor() { return auditor_; }
+
   private:
     void build(const std::string &scheme_name);
     void stepQuantum();
@@ -91,6 +102,10 @@ class System
     Cycle quantum;
     Cycle quantumEnd = 0;
     bool finalized = false;
+    Auditor auditor_;
+    std::uint64_t auditStride = 0;
+    std::uint64_t quantaSinceAudit = 0;
+    std::uint64_t epochsAtLastAudit = 0;
 };
 
 } // namespace nvo

@@ -1,5 +1,6 @@
 #include "nvoverlay/epoch_table.hh"
 
+#include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -246,6 +247,67 @@ const EpochTable::PageEntry *
 EpochTable::pageEntry(Addr page_addr) const
 {
     return findEntry(page_addr);
+}
+
+void
+EpochTable::audit() const
+{
+    if (!audit::enabled)
+        return;
+    for (const auto &pe : entries) {
+        NVO_AUDIT(pageAlign(pe->pageAddr) == pe->pageAddr,
+                  "overlay page entry for an unaligned page");
+        if (pe->reclaimed)
+            continue;
+        NVO_AUDIT(popcount64(pe->bitmap) == pe->used,
+                  "line bitmap population diverged from slot count");
+        NVO_AUDIT(pe->used <= pe->capacity,
+                  "overlay page uses more slots than its capacity");
+        NVO_AUDIT(pe->liveMaster <= pe->used,
+                  "GC refcount exceeds stored versions");
+        if (pe->used == 0)
+            continue;
+        NVO_AUDIT(pe->subPage != invalidAddr,
+                  "versioned overlay page without NVM storage");
+        NVO_AUDIT(pool.pageAllocated(pe->subPage),
+                  "overlay page maps into an unallocated pool page");
+
+        // line -> slot must be injective within capacity, and the
+        // persistent header must tell the same story (it is what
+        // recovery rebuilds the table from, Sec. V-E).
+        std::uint64_t slots_taken = 0;
+        for (unsigned li = 0; li < linesPerPage; ++li) {
+            if (!((pe->bitmap >> li) & 1ull))
+                continue;
+            unsigned slot = pe->lineSlot[li];
+            NVO_AUDIT(slot < pe->capacity,
+                      "line slot outside the sub-page capacity");
+            NVO_AUDIT(!((slots_taken >> slot) & 1ull),
+                      "two lines share one sub-page slot");
+            slots_taken |= 1ull << slot;
+        }
+
+        const PagePool::SubPageHeader *hdr = pool.header(pe->subPage);
+        NVO_AUDIT(hdr != nullptr,
+                  "live overlay page without a persistent header");
+        if (!hdr)
+            continue;
+        NVO_AUDIT(hdr->srcPage == pe->pageAddr,
+                  "header source page diverged from the entry");
+        NVO_AUDIT(hdr->epoch == epoch_,
+                  "header epoch diverged from the table epoch");
+        NVO_AUDIT(hdr->capacityLines == pe->capacity,
+                  "header capacity diverged from the entry");
+        NVO_AUDIT(hdr->usedLines == pe->used,
+                  "header fill diverged from the entry");
+        for (unsigned slot = 0; slot < pe->used; ++slot) {
+            unsigned li = hdr->slotLine[slot];
+            NVO_AUDIT(li < linesPerPage &&
+                          ((pe->bitmap >> li) & 1ull) &&
+                          pe->lineSlot[li] == slot,
+                      "header slot map diverged from the entry");
+        }
+    }
 }
 
 std::uint64_t

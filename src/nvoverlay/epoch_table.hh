@@ -115,6 +115,15 @@ class EpochTable
     std::uint64_t tableBytes() const;   ///< DRAM footprint of the tree
     std::uint64_t relocatedBytes() const { return relocBytes; }
 
+    /**
+     * Invariant sweep (NVO_AUDIT): every live overlay page maps into
+     * an allocated pool sub-page whose persistent header agrees with
+     * the volatile entry (source page, epoch, capacity, fill), the
+     * line bitmap matches the slot count, and line->slot assignments
+     * are injective within the sub-page capacity (Sec. V-C).
+     */
+    void audit() const;
+
   private:
     struct Node
     {

@@ -1,5 +1,6 @@
 #include "nvoverlay/master_table.hh"
 
+#include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -142,6 +143,23 @@ MasterTable::forEach(
     const std::function<void(Addr, const Entry &)> &fn) const
 {
     forEachRec(root, 0, 0, fn);
+}
+
+void
+MasterTable::audit() const
+{
+    if (!audit::enabled)
+        return;
+    std::uint64_t walked = 0;
+    forEach([&walked](Addr line_addr, const Entry &entry) {
+        ++walked;
+        NVO_AUDIT(lineAlign(line_addr) == line_addr,
+                  "master table maps an unaligned address");
+        NVO_AUDIT(entry.nvmAddr != invalidAddr,
+                  "master entry without NVM storage");
+    });
+    NVO_AUDIT(walked == mapped,
+              "mapped-line counter diverged from the tree");
 }
 
 } // namespace nvo

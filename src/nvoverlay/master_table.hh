@@ -64,6 +64,13 @@ class MasterTable
     /** Cumulative 8-byte entry/pointer writes issued. */
     std::uint64_t metaWrites() const { return metaWriteCount; }
 
+    /**
+     * Invariant sweep (NVO_AUDIT): the mapped-line counter matches
+     * the tree's population and every mapped entry points at real
+     * NVM storage (Fig. 10: entries are never left dangling).
+     */
+    void audit() const;
+
   private:
     struct InnerNode
     {

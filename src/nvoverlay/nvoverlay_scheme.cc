@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/hierarchy.hh"
+#include "common/audit.hh"
 #include "common/log.hh"
 
 namespace nvo
@@ -215,6 +216,37 @@ NVOverlayScheme::epochsCompleted() const
     for (const auto &vd : vds)
         total += vd.advances();
     return total;
+}
+
+void
+NVOverlayScheme::registerAudits(Auditor &auditor)
+{
+    auditor.add("nvo.epochs", [this] {
+        // Two-group wrap-around scheme (Sec. IV-D): every pairwise
+        // inter-VD skew must stay below half the 16-bit epoch space,
+        // or narrow OID comparisons become ambiguous.
+        EpochWide lo = vds.empty() ? 0 : vds[0].epoch();
+        EpochWide hi = lo;
+        for (const auto &vd : vds) {
+            lo = std::min(lo, vd.epoch());
+            hi = std::max(hi, vd.epoch());
+        }
+        NVO_AUDIT(hi - lo < epoch::halfSpace,
+                  "inter-VD epoch skew reached half the OID space");
+        NVO_AUDIT(sense->skewWithinBound(),
+                  "sense tracker saw skew reach half the OID space");
+        // A VD's certified min-ver can never run ahead of its own
+        // epoch (min-ver is initialized from the epoch at scan time,
+        // Sec. IV-C).
+        for (const auto &vd : vds)
+            NVO_AUDIT(backend_->minVerOf(vd.id()) <= vd.epoch(),
+                      "min-ver ran ahead of its VD's epoch");
+    }, Auditor::Tier::Light);
+    auditor.add("nvo.walkers", [this] {
+        for (unsigned v = 0; v < walkers.size(); ++v)
+            walkers[v]->audit(vds[v].epoch());
+    });
+    auditor.add("nvo.backend", [this] { backend_->audit(); });
 }
 
 } // namespace nvo

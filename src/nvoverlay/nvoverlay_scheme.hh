@@ -40,6 +40,14 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
     EpochWide globalEpoch() const override;
     std::uint64_t epochsCompleted() const override;
 
+    /**
+     * Register the NVOverlay protocol sweeps: inter-VD skew below
+     * half the 16-bit epoch space (Sec. IV-D), per-VD min-ver never
+     * ahead of the VD's epoch, the walkers' queue discipline, and
+     * the full MNM backend audit.
+     */
+    void registerAudits(Auditor &auditor) override;
+
     // --- VersionCtrl interface ---
     EpochWide vdEpoch(unsigned vd) const override;
     Cycle observeRemoteVersion(unsigned vd, EpochWide rv,

@@ -1,7 +1,9 @@
 #include "nvoverlay/omc.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -118,6 +120,30 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
             ok = table.insert(line_addr, seq, content, sinks);
         }
         nvo_assert(ok, "pool exhausted even after extension");
+    }
+
+    // A version can land behind the recoverable epoch: the newest
+    // dirty version transfers cache-to-cache on invalidation without
+    // an OMC write (Fig. 6 optimization 2), so a line written in an
+    // old epoch can outlive its source VD's certified min-ver inside
+    // another VD and only reach us after rec-epoch passed its epoch.
+    // mergeUpTo() never revisits merged epochs, so map the late
+    // version into the master here — otherwise the recovered image
+    // would silently miss it.
+    if (recEpoch_ != 0 && oid <= recEpoch_) {
+        const MasterTable::Entry *cur = part.master->lookup(line_addr);
+        if (cur == nullptr || cur->epoch <= oid) {
+            Addr nvm_addr = table.lookupNvm(line_addr);
+            nvo_assert(nvm_addr != invalidAddr);
+            auto replaced = part.master->insert(line_addr, nvm_addr, oid);
+            EpochTable::PageEntry *pe =
+                table.pageEntry(pageAlign(line_addr));
+            nvo_assert(pe != nullptr);
+            ++pe->liveMaster;
+            if (replaced)
+                unref(part, line_addr, *replaced);
+            stats.extra["late_merges"] += 1;
+        }
     }
 
     if (buffered) {
@@ -428,6 +454,112 @@ MnmBackend::updateStats()
     stats.masterMappedLines = masterMappedLinesTotal();
     stats.epochTableBytes = epochTableBytesTotal();
     stats.poolPagesInUse = poolPagesInUseTotal();
+}
+
+void
+MnmBackend::audit() const
+{
+    if (!audit::enabled)
+        return;
+
+    // rec-epoch protocol (Sec. V-B): the only writer is
+    // reportMinVer, which sets it to min(min-vers) - 1, and min-vers
+    // never regress; so the equality holds at every quiescent point
+    // once all VDs have certified something.
+    EpochWide smallest = minVers.empty() ? 0 : minVers[0];
+    for (EpochWide v : minVers)
+        smallest = std::min(smallest, v);
+    if (smallest == 0)
+        NVO_AUDIT(recEpoch_ == 0,
+                  "rec-epoch advanced before every VD certified");
+    else
+        NVO_AUDIT(recEpoch_ == smallest - 1,
+                  "rec-epoch diverged from min(min-vers) - 1");
+
+    for (unsigned i = 0; i < parts.size(); ++i) {
+        const Part &part = parts[i];
+        part.pool->audit();
+        part.master->audit();
+
+        // Live sub-page extents, sorted for point lookups below.
+        std::vector<std::pair<Addr, Addr>> extents;
+        part.pool->forEachHeader(
+            [&extents](Addr sub, const PagePool::SubPageHeader &hdr) {
+                extents.emplace_back(
+                    sub, sub + static_cast<Addr>(hdr.capacityLines) *
+                                   lineBytes);
+            });
+        std::sort(extents.begin(), extents.end());
+        auto in_live_sub_page = [&extents](Addr a) {
+            auto it = std::upper_bound(
+                extents.begin(), extents.end(),
+                std::make_pair(a, ~static_cast<Addr>(0)));
+            if (it == extents.begin())
+                return false;
+            --it;
+            return a >= it->first && a + lineBytes <= it->second;
+        };
+
+        for (const auto &kv : part.tables) {
+            NVO_AUDIT(kv.first == kv.second->epochId(),
+                      "epoch table keyed under the wrong epoch");
+            kv.second->audit();
+
+            // Merge completeness: tables at or below rec-epoch were
+            // folded into the master when rec-epoch advanced (or, for
+            // versions arriving late behind rec-epoch, mapped by
+            // insertVersion's late-merge path), and the master never
+            // regresses to an older epoch. A violation here means a
+            // version certified recoverable is invisible to recovery
+            // — a silent snapshot hole.
+            if (kv.first > recEpoch_)
+                continue;
+            kv.second->forEachVersion(
+                [&part, &kv](Addr line_addr, Addr) {
+                    const auto *entry =
+                        part.master->lookup(line_addr);
+                    NVO_AUDIT(entry != nullptr,
+                              "merged version missing from the "
+                              "master table");
+                    NVO_AUDIT(!entry || entry->epoch >= kv.first,
+                              "master maps an older epoch than a "
+                              "merged table");
+                });
+        }
+
+        part.master->forEach(
+            [this, i, &part, &in_live_sub_page](
+                Addr line_addr, const MasterTable::Entry &entry) {
+                NVO_AUDIT(omcOf(line_addr) == i,
+                          "master entry filed in the wrong OMC "
+                          "partition");
+                NVO_AUDIT(part.pool->pageAllocated(entry.nvmAddr),
+                          "master entry points into an unallocated "
+                          "pool page");
+                NVO_AUDIT(in_live_sub_page(entry.nvmAddr),
+                          "master entry points outside every live "
+                          "sub-page");
+                NVO_AUDIT(entry.epoch <= recEpoch_,
+                          "master maps a version newer than the "
+                          "recoverable epoch");
+            });
+
+        if (part.buffer) {
+            part.buffer->audit();
+            part.buffer->forEachPending(
+                [&part](const OmcBuffer::Pending &pending) {
+                    auto it = part.tables.find(pending.epoch);
+                    NVO_AUDIT(it != part.tables.end(),
+                              "buffered version lost its epoch "
+                              "table");
+                    NVO_AUDIT(it == part.tables.end() ||
+                                  it->second->lookupNvm(
+                                      pending.addr) != invalidAddr,
+                              "buffered version missing from its "
+                              "table");
+                });
+        }
+    }
 }
 
 const MasterTable &

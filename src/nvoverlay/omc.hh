@@ -125,6 +125,19 @@ class MnmBackend
     /** Refresh the RunStats aggregates (table sizes, pool usage). */
     void updateStats();
 
+    /**
+     * Invariant sweep (NVO_AUDIT), paper Sec. V: rec-epoch equals
+     * min(min-vers) - 1 once every VD certified something; every
+     * version of a merged epoch (table epoch <= rec-epoch) is
+     * reachable through the master, which never regresses to an older
+     * epoch; master entries resolve into live, allocated pool
+     * sub-pages and never map past the recoverable epoch; buffered
+     * pending writes still resolve through their epoch tables. Also
+     * recurses into the per-part pool, master, table, and buffer
+     * audits.
+     */
+    void audit() const;
+
     // --- Introspection (tests) ---
     const MasterTable &master(unsigned omc) const;
     PagePool &pool(unsigned omc);

@@ -1,5 +1,6 @@
 #include "nvoverlay/omc_buffer.hh"
 
+#include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -70,6 +71,46 @@ OmcBuffer::insert(Addr line_addr, EpochWide epoch)
     target->epoch = epoch;
     target->lru = ++lruClock;
     return result;
+}
+
+void
+OmcBuffer::forEachPending(
+    const std::function<void(const Pending &)> &fn) const
+{
+    for (const auto &s : slots)
+        if (s.valid)
+            fn(Pending{s.addr, s.epoch});
+}
+
+void
+OmcBuffer::audit() const
+{
+    if (!audit::enabled)
+        return;
+    std::uint64_t valid = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Slot &s = slots[i];
+        if (!s.valid)
+            continue;
+        ++valid;
+        NVO_AUDIT(lineAlign(s.addr) == s.addr,
+                  "buffered pending write for an unaligned address");
+        NVO_AUDIT(setOf(s.addr) == i / ways_,
+                  "pending write buffered in the wrong set");
+        NVO_AUDIT(s.lru <= lruClock,
+                  "pending write stamped from the future");
+        // Within the set, an (address, epoch) pair may appear once.
+        const Slot *base = &slots[(i / ways_) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            const Slot *o = &base[w];
+            if (o == &s || !o->valid)
+                continue;
+            NVO_AUDIT(o->addr != s.addr,
+                      "one address buffered in two ways of a set");
+        }
+    }
+    NVO_AUDIT(valid == validCount,
+              "buffer occupancy counter diverged from the slots");
 }
 
 std::vector<OmcBuffer::Pending>

@@ -14,6 +14,7 @@
 #define NVO_NVOVERLAY_OMC_BUFFER_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -54,6 +55,18 @@ class OmcBuffer
     std::uint64_t hits() const { return hitCount; }
     std::uint64_t misses() const { return missCount; }
     std::uint64_t occupancy() const { return validCount; }
+
+    /** Visit every pending write without draining it. */
+    void forEachPending(
+        const std::function<void(const Pending &)> &fn) const;
+
+    /**
+     * Invariant sweep (NVO_AUDIT): the occupancy counter matches the
+     * valid-slot population, pending addresses are line aligned and
+     * hash to the set holding them, and no (address, epoch) pair is
+     * buffered twice.
+     */
+    void audit() const;
 
   private:
     struct Slot

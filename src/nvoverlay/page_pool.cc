@@ -1,5 +1,8 @@
 #include "nvoverlay/page_pool.hh"
 
+#include <algorithm>
+
+#include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -141,6 +144,86 @@ PagePool::forEachHeader(
 {
     for (const auto &kv : headers)
         fn(kv.first, kv.second);
+}
+
+bool
+PagePool::pageAllocated(Addr addr) const
+{
+    if (addr < base)
+        return false;
+    std::uint64_t page = (addr - base) / pageBytes;
+    if (page >= numPages)
+        return false;
+    return (bitmap[page / 64] >> (page % 64)) & 1ull;
+}
+
+void
+PagePool::audit() const
+{
+    if (!audit::enabled)
+        return;
+
+    // Bitmap population backs the used-page counter.
+    std::uint64_t pop = 0;
+    for (std::uint64_t w : bitmap)
+        pop += popcount64(w);
+    NVO_AUDIT(pop == usedPages, "used-page count diverged from bitmap");
+    NVO_AUDIT(usedPages <= numPages, "more pages used than exist");
+
+    // Collect every extent the allocator considers spoken for: free
+    // blocks awaiting reuse and live sub-page headers. None of them
+    // may overlap — an overlap is a double-mapped sub-page, the
+    // silent-corruption bug class of Sec. V-C.
+    struct Extent
+    {
+        Addr lo;
+        Addr hi;
+        bool free;
+    };
+    std::vector<Extent> extents;
+    std::uint64_t free_bytes = 0;
+    for (unsigned order = 0; order <= maxOrder; ++order) {
+        const std::uint64_t block_bytes =
+            (static_cast<std::uint64_t>(1) << order) * lineBytes;
+        for (Addr a : freeLists[order]) {
+            NVO_AUDIT(pageAllocated(a),
+                      "free block outside any allocated page");
+            NVO_AUDIT((a - base) % block_bytes == 0,
+                      "free block misaligned for its order");
+            extents.push_back({a, a + block_bytes, true});
+            free_bytes += block_bytes;
+        }
+    }
+    for (const auto &kv : headers) {
+        const SubPageHeader &hdr = kv.second;
+        NVO_AUDIT(pageAllocated(kv.first),
+                  "sub-page header outside any allocated page");
+        NVO_AUDIT(hdr.capacityLines >= 1 &&
+                      hdr.capacityLines <= linesPerPage,
+                  "sub-page header with impossible capacity");
+        NVO_AUDIT(hdr.usedLines <= hdr.capacityLines,
+                  "sub-page header uses more lines than it holds");
+        extents.push_back(
+            {kv.first,
+             kv.first + static_cast<Addr>(hdr.capacityLines) *
+                            lineBytes,
+             false});
+    }
+    std::sort(extents.begin(), extents.end(),
+              [](const Extent &a, const Extent &b) {
+                  return a.lo < b.lo;
+              });
+    for (std::size_t i = 1; i < extents.size(); ++i)
+        NVO_AUDIT(extents[i - 1].hi <= extents[i].lo,
+                  extents[i - 1].free || extents[i].free
+                      ? "free list overlaps a mapped sub-page"
+                      : "two sub-page headers map the same lines");
+
+    // Every byte of an in-use page is either handed out or free:
+    // allocPage() introduces whole pages as maxOrder blocks and
+    // alloc/free keep the split exact.
+    NVO_AUDIT(allocatedBytes + free_bytes == usedPages * pageBytes,
+              "allocator byte accounting out of balance");
 }
 
 } // namespace nvo

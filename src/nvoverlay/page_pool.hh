@@ -86,6 +86,19 @@ class PagePool
     /** Round @p lines up to an allocatable power of two. */
     static unsigned roundLines(unsigned lines);
 
+    /** True when the page containing @p addr is marked allocated. */
+    bool pageAllocated(Addr addr) const;
+
+    /**
+     * Invariant sweep (NVO_AUDIT): the allocator never double-maps a
+     * sub-page. Free blocks are aligned, lie inside allocated pages,
+     * and overlap neither each other nor any live sub-page header;
+     * every byte of an in-use page is accounted exactly once
+     * (allocated + free-listed == usedPages * pageBytes); the
+     * used-page count matches the bitmap population.
+     */
+    void audit() const;
+
   private:
     /** Take one fresh page from the bitmap. */
     Addr allocPage();

@@ -1,5 +1,8 @@
 #include "nvoverlay/tag_walker.hh"
 
+#include "common/audit.hh"
+#include "common/bitutil.hh"
+
 namespace nvo
 {
 
@@ -49,10 +52,42 @@ TagWalker::tick(Cycle now, bool allow_scan)
 
     if (reportPending && drainQueue.empty() && !scanPending) {
         backend.reportMinVer(p.vd, pendingMinVer, now);
+        // The raw scan min-ver may regress (a dirty line written in
+        // an old epoch can migrate here from a lagging VD), but the
+        // backend's *certified* min-ver must only ever advance
+        // (Sec. V-B) — a regression there would let rec-epoch expose
+        // an epoch whose versions are still volatile.
+        NVO_AUDIT(backend.minVerOf(p.vd) >= lastReported,
+                  "certified min-ver regressed at the backend");
+        lastReported = backend.minVerOf(p.vd);
         reportPending = false;
         ++walks;
     }
     return stall;
+}
+
+void
+TagWalker::audit(EpochWide vd_epoch) const
+{
+    if (!audit::enabled)
+        return;
+    if (!p.enabled) {
+        NVO_AUDIT(!scanPending && !reportPending && drainQueue.empty(),
+                  "disabled walker holds work");
+        return;
+    }
+    for (const auto &v : drainQueue) {
+        NVO_AUDIT(lineAlign(v.addr) == v.addr,
+                  "queued version for an unaligned address");
+        NVO_AUDIT(v.oid < vd_epoch,
+                  "queued version not older than the VD epoch");
+    }
+    if (reportPending) {
+        NVO_AUDIT(pendingMinVer <= vd_epoch,
+                  "pending min-ver runs ahead of the VD epoch");
+    }
+    NVO_AUDIT(backend.minVerOf(p.vd) >= lastReported,
+              "certified min-ver regressed at the backend");
 }
 
 void

@@ -59,6 +59,16 @@ class TagWalker
 
     std::uint64_t walksCompleted() const { return walks; }
 
+    /**
+     * Invariant sweep (NVO_AUDIT), paper Sec. IV-C / V-B: a disabled
+     * walker holds no work; queued versions are line aligned and
+     * strictly older than the VD's current epoch (@p vd_epoch, passed
+     * in by the scheme); a pending report never regresses below the
+     * last min-ver reported (min-ver monotonicity — the certification
+     * the rec-epoch protocol is built on).
+     */
+    void audit(EpochWide vd_epoch) const;
+
   private:
     Params p;
     Hierarchy &hier;
@@ -68,6 +78,9 @@ class TagWalker
     bool scanPending = false;
     EpochWide pendingMinVer = 0;
     bool reportPending = false;
+    /** Backend-certified min-ver seen after our last report; the
+     *  certified value must only ever advance (audit anchor). */
+    EpochWide lastReported = 0;
     std::deque<Hierarchy::WalkVersion> drainQueue;
     std::uint64_t walks = 0;
 };

@@ -48,6 +48,65 @@ TEST(EpochNarrow, CompareMatchesWideWithinHalfSpace)
     }
 }
 
+TEST(EpochNarrow, RoundTripAcrossTheWrapBoundary)
+{
+    // References straddling the 16-bit boundary: the wide epoch must
+    // reconstruct exactly even when (truth, ref) sit on opposite
+    // sides of a multiple of 2^16.
+    for (EpochWide ref = 65532; ref <= 65540; ++ref) {
+        for (std::int64_t d = -8; d <= 8; ++d) {
+            EpochWide truth = ref + d;
+            EXPECT_EQ(epoch::widen(epoch::narrow(truth), ref), truth)
+                << "ref=" << ref << " d=" << d;
+        }
+    }
+    // Several laps later the same property still holds.
+    EpochWide lap = 5 * 65536ull;
+    EXPECT_EQ(epoch::widen(epoch::narrow(lap + 2), lap - 3), lap + 2);
+    EXPECT_EQ(epoch::widen(epoch::narrow(lap - 3), lap + 2), lap - 3);
+}
+
+TEST(EpochNarrow, CompareAtExactlyHalfSpaceSkew)
+{
+    // The comparison contract (Sec. IV-D) only holds for distances
+    // strictly below halfSpace. One below the bound must order
+    // correctly in both directions, wrapped or not.
+    EpochId a = 0;
+    EpochId b = epoch::narrow(epoch::halfSpace - 1);
+    EXPECT_LT(epoch::compareNarrow(a, b), 0);
+    EXPECT_GT(epoch::compareNarrow(b, a), 0);
+
+    // Same distance placed across the wrap boundary.
+    EpochId c = epoch::narrow(65530);
+    EpochId d = epoch::narrow(65530 + epoch::halfSpace - 1);
+    EXPECT_LT(epoch::compareNarrow(c, d), 0);
+    EXPECT_GT(epoch::compareNarrow(d, c), 0);
+
+    // At exactly halfSpace the encoding is saturated: the difference
+    // is its own negation (INT16_MIN), so the comparison collapses to
+    // "less" from both sides — the documented ambiguity the
+    // epoch-sense scheme exists to exclude.
+    EpochId e = 0;
+    EpochId f = epoch::narrow(epoch::halfSpace);
+    EXPECT_LT(epoch::compareNarrow(e, f), 0);
+    EXPECT_LT(epoch::compareNarrow(f, e), 0);
+}
+
+TEST(EpochNarrow, WidenAtExactlyHalfSpaceMapsBackward)
+{
+    // widen() is only contracted for |truth - ref| < halfSpace; at
+    // exactly halfSpace the delta saturates negative, so the
+    // reconstruction lands halfSpace *behind* the reference. Pin the
+    // behaviour so nobody "fixes" it silently.
+    EpochWide ref = 10 * 65536ull;
+    EXPECT_EQ(epoch::widen(epoch::narrow(ref + epoch::halfSpace), ref),
+              ref - epoch::halfSpace);
+    // One inside the bound reconstructs exactly.
+    EXPECT_EQ(
+        epoch::widen(epoch::narrow(ref + epoch::halfSpace - 1), ref),
+        ref + epoch::halfSpace - 1);
+}
+
 TEST(EpochNarrow, GroupAssignment)
 {
     EXPECT_EQ(epoch::group(0), 0u);

@@ -125,6 +125,31 @@ TEST_F(MnmTest, MergeMovesNoData)
               0u);
 }
 
+TEST_F(MnmTest, LateVersionBehindRecEpochReachesMaster)
+{
+    backend->insertVersion(0x1000, 5, ++seq, lineOf(7), 0);
+    backend->reportMinVer(0, 6, 0);
+    backend->reportMinVer(1, 6, 0);
+    ASSERT_EQ(backend->recEpoch(), 5u);
+
+    // A dirty line can migrate between VDs cache-to-cache (Fig. 6
+    // optimization 2) and outlive its source VD's certified min-ver,
+    // so its write-back can arrive after its epoch's merge pass
+    // already ran; it must still become visible to recovery.
+    backend->insertVersion(0x2000, 3, ++seq, lineOf(4), 0);
+    LineData out;
+    ASSERT_TRUE(backend->readMaster(0x2000, out))
+        << "late version never merged: silent snapshot hole";
+    EXPECT_EQ(out, lineOf(4));
+
+    // ...but a late arrival must never displace a newer mapping.
+    backend->insertVersion(0x1000, 2, ++seq, lineOf(9), 0);
+    ASSERT_TRUE(backend->readMaster(0x1000, out));
+    EXPECT_EQ(out, lineOf(7));
+
+    backend->audit();
+}
+
 TEST_F(MnmTest, SnapshotFallThroughSemantics)
 {
     backend->insertVersion(0x1000, 2, ++seq, lineOf(2), 0);
