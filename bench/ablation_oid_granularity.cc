@@ -16,7 +16,10 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("ablation_oid_granularity",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "btree");
 
     std::printf("Ablation — DRAM OID tracking granularity "
@@ -31,6 +34,16 @@ main(int argc, char **argv)
         c.set("sim.oid_granularity", std::uint64_t(gran));
         System sys(c, "nvoverlay", "btree");
         sys.run();
+        std::string cell = std::to_string(gran) + "-lines";
+        report.add(cell, "nvoverlay", "cycles",
+                   static_cast<double>(sys.stats().cycles));
+        report.add(cell, "nvoverlay", "epoch_advances",
+                   static_cast<double>(sys.stats().epochAdvances));
+        report.add(cell, "nvoverlay", "lamport_advances",
+                   static_cast<double>(sys.stats().lamportAdvances));
+        report.add(cell, "nvoverlay", "nvm_write_bytes",
+                   static_cast<double>(
+                       sys.stats().totalNvmWriteBytes()));
         table.printRow(
             {std::to_string(gran),
              TablePrinter::num(100.0 * 2 / (64.0 * gran), 2),
@@ -40,5 +53,6 @@ main(int argc, char **argv)
              TablePrinter::num(
                  sys.stats().totalNvmWriteBytes() / 1e6, 1)});
     }
+    report.write();
     return 0;
 }

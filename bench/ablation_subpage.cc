@@ -17,7 +17,10 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("ablation_subpage",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "vacation");
 
     std::printf("Ablation — sparse sub-page policy (vacation)\n");
@@ -45,6 +48,14 @@ main(int argc, char **argv)
         std::uint64_t pool_bytes = 0;
         for (unsigned o = 0; o < scheme.backend().numOmcs(); ++o)
             pool_bytes += scheme.backend().pool(o).bytesAllocated();
+        report.add(pol.label, "nvoverlay", "pool_bytes",
+                   static_cast<double>(pool_bytes));
+        report.add(pol.label, "nvoverlay", "reloc_bytes",
+                   static_cast<double>(
+                       sys.stats().extra["subpage_reloc_bytes"]));
+        report.add(pol.label, "nvoverlay", "nvm_write_bytes",
+                   static_cast<double>(
+                       sys.stats().totalNvmWriteBytes()));
         table.printRow(
             {pol.label, TablePrinter::num(pool_bytes / 1e6, 2),
              TablePrinter::num(
@@ -52,5 +63,6 @@ main(int argc, char **argv)
              TablePrinter::num(
                  sys.stats().totalNvmWriteBytes() / 1e6, 1)});
     }
+    report.write();
     return 0;
 }

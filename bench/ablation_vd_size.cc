@@ -17,7 +17,10 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("ablation_vd_size",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "vacation");
 
     std::printf("Ablation — cores per versioned domain (vacation)\n");
@@ -32,6 +35,18 @@ main(int argc, char **argv)
         System sys(c, "nvoverlay", "vacation");
         sys.run();
         auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
+        std::string cell = std::to_string(width) + "-cores";
+        report.add(cell, "nvoverlay", "cycles",
+                   static_cast<double>(sys.stats().cycles));
+        report.add(cell, "nvoverlay", "epoch_advances",
+                   static_cast<double>(sys.stats().epochAdvances));
+        report.add(cell, "nvoverlay", "lamport_advances",
+                   static_cast<double>(sys.stats().lamportAdvances));
+        report.add(cell, "nvoverlay", "nvm_write_bytes",
+                   static_cast<double>(
+                       sys.stats().totalNvmWriteBytes()));
+        report.add(cell, "nvoverlay", "rec_epoch",
+                   static_cast<double>(scheme.backend().recEpoch()));
         table.printRow(
             {std::to_string(width),
              std::to_string(sys.stats().cycles),
@@ -41,5 +56,6 @@ main(int argc, char **argv)
                  sys.stats().totalNvmWriteBytes() / 1e6, 1),
              std::to_string(scheme.backend().recEpoch())});
     }
+    report.write();
     return 0;
 }

@@ -5,19 +5,27 @@
  * kernels finish in comparable wall time), and row helpers.
  *
  * Every bench accepts NVO_OPS / NVO_EPOCH_STORES / NVO_SEED
- * environment overrides and "key=value" command-line arguments.
+ * environment overrides, "key=value" command-line arguments, and
+ * `--json <path>` to additionally write the run's results as a
+ * machine-readable file (schema "nvo-bench-v1": bench name, resolved
+ * config, and one {workload, scheme, metric, value} row per measured
+ * cell).
  */
 
 #ifndef NVO_BENCH_BENCH_COMMON_HH
 #define NVO_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.hh"
 #include "harness/experiment.hh"
 #include "harness/table_printer.hh"
+#include "obs/json.hh"
+#include "obs/stats_json.hh"
 
 namespace nvo
 {
@@ -41,6 +49,32 @@ opsFor(const std::string &workload, std::uint64_t base)
     return base;
 }
 
+/**
+ * Pull `--json <path>` / `--json=<path>` out of argv (compacting the
+ * remaining arguments in place so benchConfig's key=value parser
+ * never sees the flag). Returns "" when absent.
+ */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return path;
+}
+
 inline Config
 benchConfig(int argc, char **argv)
 {
@@ -53,6 +87,83 @@ benchConfig(int argc, char **argv)
     applyOverrides(cfg, args);
     return cfg;
 }
+
+/**
+ * Machine-readable bench results. Collect one row per measured cell
+ * while the tables print as usual; write() emits the file and is a
+ * no-op when the run had no `--json`.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string bench_name, std::string path)
+        : name(std::move(bench_name)), path_(std::move(path))
+    {
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    void
+    setConfig(const Config &cfg)
+    {
+        cfg_ = cfg;
+        haveCfg = true;
+    }
+
+    void
+    add(const std::string &workload, const std::string &scheme,
+        const std::string &metric, double value)
+    {
+        rows.push_back({workload, scheme, metric, value});
+    }
+
+    void
+    write() const
+    {
+        if (path_.empty())
+            return;
+        std::ofstream os(path_);
+        if (!os)
+            fatal("cannot open --json file '%s'", path_.c_str());
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.kv("format", "nvo-bench-v1");
+        w.kv("bench", name);
+        if (haveCfg) {
+            w.key("config");
+            obs::writeConfig(w, cfg_);
+        }
+        w.key("results").beginArray();
+        for (const auto &r : rows) {
+            w.beginObject();
+            w.kv("workload", r.workload);
+            w.kv("scheme", r.scheme);
+            w.kv("metric", r.metric);
+            w.kv("value", r.value);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        nvo_assert(w.balanced(), "bench report left JSON unbalanced");
+        std::printf("json -> %s\n", path_.c_str());
+    }
+
+  private:
+    struct Row
+    {
+        std::string workload;
+        std::string scheme;
+        std::string metric;
+        double value;
+    };
+
+    std::string name;
+    std::string path_;
+    Config cfg_;
+    bool haveCfg = false;
+    std::vector<Row> rows;
+};
 
 inline Config
 forWorkload(Config cfg, const std::string &workload)

@@ -23,7 +23,10 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig11_cycles",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
 
     const std::vector<std::string> schemes = {
         "swlog", "swshadow", "hwshadow", "picl", "picl-l2",
@@ -44,10 +47,10 @@ main(int argc, char **argv)
         std::vector<std::string> row = {wl};
         for (const auto &scheme : schemes) {
             auto r = runExperiment(wcfg, scheme, wl);
-            row.push_back(TablePrinter::num(
-                static_cast<double>(r.stats.cycles) /
-                    base.stats.cycles,
-                2));
+            double norm = static_cast<double>(r.stats.cycles) /
+                          base.stats.cycles;
+            report.add(wl, scheme, "norm_cycles", norm);
+            row.push_back(TablePrinter::num(norm, 2));
         }
         table.printRow(row);
     }
@@ -66,12 +69,14 @@ main(int argc, char **argv)
         std::vector<std::string> row = {wl};
         for (const char *scheme : {"picl", "picl-l2", "nvoverlay"}) {
             auto r = runExperiment(wcfg, scheme, wl);
-            row.push_back(TablePrinter::num(
-                static_cast<double>(r.stats.cycles) /
-                    base.stats.cycles,
-                2));
+            double norm = static_cast<double>(r.stats.cycles) /
+                          base.stats.cycles;
+            report.add(wl, scheme, "norm_cycles_bw_constrained",
+                       norm);
+            row.push_back(TablePrinter::num(norm, 2));
         }
         t2.printRow(row);
     }
+    report.write();
     return 0;
 }

@@ -17,7 +17,10 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig12_writeamp",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
 
     std::printf("Figure 12 — NVM Write Bytes normalized to NVOverlay "
                 "(ops/thread=%llu)\n",
@@ -36,9 +39,12 @@ main(int argc, char **argv)
         std::vector<std::string> row = {wl};
         for (const char *scheme : {"hwshadow", "picl", "picl-l2"}) {
             auto r = runExperiment(wcfg, scheme, wl);
-            row.push_back(TablePrinter::num(
-                r.stats.totalNvmWriteBytes() / base, 2));
+            double norm = r.stats.totalNvmWriteBytes() / base;
+            report.add(wl, scheme, "norm_nvm_write_bytes", norm);
+            row.push_back(TablePrinter::num(norm, 2));
         }
+        report.add(wl, "nvoverlay", "norm_nvm_write_bytes", 1.0);
+        report.add(wl, "nvoverlay", "nvm_write_bytes", base);
         row.push_back("1.00");
         row.push_back(TablePrinter::num(base / 1e9, 3));
         table.printRow(row);
@@ -46,5 +52,6 @@ main(int argc, char **argv)
     std::printf("\n(nvo-GB: absolute NVOverlay write volume; the "
                 "paper reports a 29%%-47%% reduction vs logging, "
                 "i.e., PiCL columns of 1.4x-1.9x.)\n");
+    report.write();
     return 0;
 }

@@ -17,6 +17,8 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig13_metadata",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
     // Metadata efficiency depends on page occupancy, which grows with
     // run length; give this (cheap, NVOverlay-only) figure 2x ops and
@@ -24,6 +26,7 @@ main(int argc, char **argv)
     cfg.set("wl.ops", cfg.getU64("wl.ops", bench::defaultOps) * 2);
     cfg.set("mnm.drop_merged_tables", "true");
     cfg.set("mnm.auto_reclaim", "true");
+    report.setConfig(cfg);
 
     std::printf("Figure 13 — Mmaster size as %% of write working set "
                 "(ops/thread=%llu)\n",
@@ -44,6 +47,11 @@ main(int argc, char **argv)
             lineBytes;
         double table_bytes =
             static_cast<double>(be.masterNodeBytesTotal());
+        report.add(wl, "nvoverlay", "mapped_bytes", mapped_bytes);
+        report.add(wl, "nvoverlay", "master_table_bytes",
+                   table_bytes);
+        report.add(wl, "nvoverlay", "master_table_pct",
+                   100.0 * table_bytes / mapped_bytes);
         table.printRow(
             {wl, TablePrinter::num(mapped_bytes / 1e6, 2),
              TablePrinter::num(table_bytes / 1e6, 2),
@@ -51,5 +59,6 @@ main(int argc, char **argv)
                                1)});
     }
     std::printf("\n(radix lower bound: 12.5%%)\n");
+    report.write();
     return 0;
 }

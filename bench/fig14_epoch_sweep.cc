@@ -18,7 +18,10 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig14_epoch_sweep",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
     const std::uint64_t sizes[] = {500'000, 1'000'000, 2'000'000,
                                    4'000'000};
 
@@ -40,6 +43,18 @@ main(int argc, char **argv)
         auto picl2 = runExperiment(wcfg, "picl-l2", "art");
         double nb =
             static_cast<double>(nvo.stats.totalNvmWriteBytes());
+        std::string cell = std::to_string(ep / 1000) + "K";
+        report.add(cell, "picl", "norm_cycles",
+                   double(picl.stats.cycles) / base.stats.cycles);
+        report.add(cell, "picl-l2", "norm_cycles",
+                   double(picl2.stats.cycles) / base.stats.cycles);
+        report.add(cell, "nvoverlay", "norm_cycles",
+                   double(nvo.stats.cycles) / base.stats.cycles);
+        report.add(cell, "picl", "norm_nvm_write_bytes",
+                   picl.stats.totalNvmWriteBytes() / nb);
+        report.add(cell, "picl-l2", "norm_nvm_write_bytes",
+                   picl2.stats.totalNvmWriteBytes() / nb);
+        report.add(cell, "nvoverlay", "nvm_write_bytes", nb);
         table.printRow(
             {std::to_string(ep / 1000) + "K",
              TablePrinter::num(
@@ -54,5 +69,6 @@ main(int argc, char **argv)
                                2),
              TablePrinter::num(nb / 1e9, 3)});
     }
+    report.write();
     return 0;
 }

@@ -17,7 +17,8 @@ namespace
 {
 
 void
-printRow(TablePrinter &table, const std::string &label,
+printRow(TablePrinter &table, bench::JsonReport &report,
+         const std::string &section, const std::string &label,
          const RunStats &st)
 {
     auto reason = [&](EvictReason r) {
@@ -28,16 +29,25 @@ printRow(TablePrinter &table, const std::string &label,
         total += static_cast<double>(c);
     if (total == 0)
         total = 1;
+    double capacity =
+        static_cast<double>(reason(EvictReason::Capacity));
+    double coh_log =
+        static_cast<double>(reason(EvictReason::Coherence)) +
+        static_cast<double>(reason(EvictReason::StoreEvict));
+    double tag_walk =
+        static_cast<double>(reason(EvictReason::TagWalk));
+    double flush =
+        static_cast<double>(reason(EvictReason::EpochFlush));
+    report.add(section, label, "capacity_pct", 100.0 * capacity / total);
+    report.add(section, label, "coh_log_pct", 100.0 * coh_log / total);
+    report.add(section, label, "tag_walk_pct",
+               100.0 * tag_walk / total);
+    report.add(section, label, "flush_pct", 100.0 * flush / total);
     auto pct = [&](double v) {
         return TablePrinter::num(100.0 * v / total, 1);
     };
-    table.printRow(
-        {label, pct(static_cast<double>(reason(EvictReason::Capacity))),
-         pct(static_cast<double>(reason(EvictReason::Coherence)) +
-             static_cast<double>(reason(EvictReason::StoreEvict))),
-         pct(static_cast<double>(reason(EvictReason::TagWalk))),
-         pct(static_cast<double>(
-             reason(EvictReason::EpochFlush)))});
+    table.printRow({label, pct(capacity), pct(coh_log), pct(tag_walk),
+                    pct(flush)});
 }
 
 } // namespace
@@ -45,7 +55,10 @@ printRow(TablePrinter &table, const std::string &label,
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig15_evict_reasons",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "art");
 
     std::printf("Figure 15 — Evict-reason decomposition, ART "
@@ -58,7 +71,7 @@ main(int argc, char **argv)
     table.printHeader();
     for (const char *scheme : {"picl", "picl-l2", "nvoverlay"}) {
         auto r = runExperiment(wcfg, scheme, "art");
-        printRow(table, scheme, r.stats);
+        printRow(table, report, "with_walker", scheme, r.stats);
     }
 
     std::printf("\n(b) without tag walker\n");
@@ -68,7 +81,8 @@ main(int argc, char **argv)
         c.set("picl.walker_enabled", "false");
         c.set("nvo.walker_enabled", "false");
         auto r = runExperiment(c, scheme, "art");
-        printRow(table, scheme, r.stats);
+        printRow(table, report, "no_walker", scheme, r.stats);
     }
+    report.write();
     return 0;
 }

@@ -16,6 +16,8 @@ using namespace nvo;
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig16_omc_buffer",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
     // Redundant same-epoch write backs accumulate with run length;
     // give this (two-run) figure 4x ops.
@@ -29,6 +31,7 @@ main(int argc, char **argv)
     wcfg.set("nvm.banks", std::uint64_t(4));
     wcfg.set("wl.gap", std::uint64_t(8));
     wcfg.set("nvm.buffer_mb", std::uint64_t(4));
+    report.setConfig(wcfg);
 
     std::printf("Figure 16 — OMC buffer (ART, one epoch, constrained "
                 "NVM)\n");
@@ -37,6 +40,10 @@ main(int argc, char **argv)
     table.printHeader();
 
     auto no_buf = runExperiment(wcfg, "nvoverlay", "art");
+    report.add("art", "no-buffer", "cycles",
+               static_cast<double>(no_buf.stats.cycles));
+    report.add("art", "no-buffer", "nvm_write_ops",
+               static_cast<double>(no_buf.stats.nvmWriteOps));
     table.printRow(
         {"no-buffer",
          TablePrinter::num(static_cast<double>(no_buf.stats.cycles),
@@ -49,6 +56,15 @@ main(int argc, char **argv)
     auto buf = runExperiment(bcfg, "nvoverlay", "art");
     double hits = static_cast<double>(buf.stats.omcBufferHits);
     double total = hits + buf.stats.omcBufferMisses;
+    report.add("art", "with-buffer", "cycles",
+               static_cast<double>(buf.stats.cycles));
+    report.add("art", "with-buffer", "nvm_write_ops",
+               static_cast<double>(buf.stats.nvmWriteOps));
+    report.add("art", "with-buffer", "hit_rate_pct",
+               total ? 100.0 * hits / total : 0.0);
+    report.add("art", "with-buffer", "norm_cycles",
+               static_cast<double>(buf.stats.cycles) /
+                   no_buf.stats.cycles);
     table.printRow(
         {"with-buffer",
          TablePrinter::num(static_cast<double>(buf.stats.cycles), 0),
@@ -63,5 +79,6 @@ main(int argc, char **argv)
                     (1.0 -
                      static_cast<double>(buf.stats.nvmWriteOps) /
                          no_buf.stats.nvmWriteOps));
+    report.write();
     return 0;
 }

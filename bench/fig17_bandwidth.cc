@@ -24,7 +24,8 @@ namespace
 constexpr unsigned numBins = 40;
 
 void
-printSeries(const char *label, const RunStats &st)
+printSeries(const char *label, const RunStats &st,
+            bench::JsonReport &report, const std::string &section)
 {
     const auto &bins = st.nvmBandwidth.buckets();
     // Trim the post-run shutdown flush: only buckets within the
@@ -63,6 +64,10 @@ printSeries(const char *label, const RunStats &st)
     std::printf("%-10s peak %.1f GB/s   mean %.1f GB/s\n", "",
                 peak / cyc_per_bin * 3.0,
                 total / (n * cyc_per_bin) * 3.0);
+    report.add(section, label, "peak_gbps",
+               peak / cyc_per_bin * 3.0);
+    report.add(section, label, "mean_gbps",
+               total / (n * cyc_per_bin) * 3.0);
 }
 
 /**
@@ -116,7 +121,10 @@ burstyRun(const Config &cfg, const std::string &scheme)
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport report("fig17_bandwidth",
+                             bench::extractJsonPath(argc, argv));
     Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "btree");
 
     std::printf("Figure 17 — NVM write bandwidth over time "
@@ -127,23 +135,25 @@ main(int argc, char **argv)
     {
         System picl(wcfg, "picl", "btree");
         picl.run();
-        printSeries("picl", picl.stats());
+        printSeries("picl", picl.stats(), report, "default_epochs");
     }
     {
         System nvo(wcfg, "nvoverlay", "btree");
         nvo.run();
-        printSeries("nvoverlay", nvo.stats());
+        printSeries("nvoverlay", nvo.stats(), report,
+                    "default_epochs");
     }
 
     std::printf("\n(b) bursty epochs (1K / 10K / 100K-store "
                 "watch-point windows)\n");
     {
         auto st = burstyRun(wcfg, "picl");
-        printSeries("picl", st);
+        printSeries("picl", st, report, "bursty_epochs");
     }
     {
         auto st = burstyRun(wcfg, "nvoverlay");
-        printSeries("nvoverlay", st);
+        printSeries("nvoverlay", st, report, "bursty_epochs");
     }
+    report.write();
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "common/rng.hh"
 #include "nvoverlay/epoch_table.hh"
 #include "nvoverlay/master_table.hh"
@@ -115,6 +116,53 @@ BM_OmcBufferInsert(benchmark::State &state)
 }
 BENCHMARK(BM_OmcBufferInsert);
 
+/**
+ * Console reporter that additionally captures every finished run
+ * into the shared bench JSON report, so micro_mnm honours the same
+ * `--json <path>` contract as the figure benches.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonCaptureReporter(bench::JsonReport &report)
+        : report_(report)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            report_.add("mnm", run.benchmark_name(), "ns_per_op",
+                        run.GetAdjustedRealTime());
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                report_.add("mnm", run.benchmark_name(),
+                            "items_per_second",
+                            static_cast<double>(it->second));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::JsonReport &report_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::JsonReport report("micro_mnm",
+                             bench::extractJsonPath(argc, argv));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonCaptureReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    report.write();
+    benchmark::Shutdown();
+    return 0;
+}

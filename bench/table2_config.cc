@@ -5,17 +5,26 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "harness/experiment.hh"
 
+using namespace nvo;
+
 int
-main()
+main(int argc, char **argv)
 {
-    nvo::Config cfg = nvo::defaultConfig();
-    nvo::applyOverrides(cfg);
+    bench::JsonReport report("table2_config",
+                             bench::extractJsonPath(argc, argv));
+    Config cfg = defaultConfig();
+    applyOverrides(cfg);
+    report.setConfig(cfg);
     std::printf("Table II — Simulated Configuration\n");
     std::printf("%-28s %s\n", "key", "value");
     for (const auto &kv : cfg.dump())
         std::printf("%-28s %s\n", kv.first.c_str(),
                     kv.second.c_str());
+    report.add("config", "-", "num_keys",
+               static_cast<double>(cfg.dump().size()));
+    report.write();
     return 0;
 }

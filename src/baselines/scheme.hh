@@ -57,6 +57,14 @@ class Scheme
     virtual std::uint64_t epochsCompleted() const { return 0; }
 
     /**
+     * Refresh derived RunStats aggregates (table sizes, pool usage)
+     * from live structures. The harness calls this before sampling
+     * the per-epoch metric series and before printing final stats;
+     * schemes without derived aggregates need nothing.
+     */
+    virtual void updateStats() {}
+
+    /**
      * Register this scheme's invariant sweeps (NVO_AUDIT) with the
      * System's auditor. The default registers nothing; schemes with
      * protocol state (NVOverlay) add their own sweeps.

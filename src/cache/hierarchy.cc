@@ -6,6 +6,7 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -69,6 +70,8 @@ Hierarchy::emitVersion(unsigned vd, Addr line_addr, EpochWide oid,
     if (!vctrl)
         return 0;
     ++stats.evictReason[static_cast<std::size_t>(why)];
+    NVO_TRACE(Cache, CacheWriteBack, obs::trackVd(vd), now, line_addr,
+              static_cast<std::uint64_t>(why));
     Cycle stall;
     if (sealed) {
         stall = vctrl->acceptVersion(vd, line_addr, oid, seq, *sealed,
@@ -635,6 +638,8 @@ Hierarchy::store(unsigned core, Addr addr, const void *data,
         if (l1_line->dirty && l1_line->oid != cur) {
             // Store-eviction (Fig. 4): seal the immutable version and
             // push it to the L2 without invalidating the L1 line.
+            NVO_TRACE(Cache, StoreEvict, obs::trackVd(vd), now,
+                      line_addr, l1_line->oid);
             auto sealed = std::make_unique<LineData>();
             readCurrent(line_addr, *sealed);
             l2AcceptVersion(vd, line_addr, l1_line->oid,
@@ -648,6 +653,8 @@ Hierarchy::store(unsigned core, Addr addr, const void *data,
             nvo_assert(l2_line != nullptr);
             if (l2_line->dirty && !l2_line->sealed() &&
                 l2_line->oid < cur) {
+                NVO_TRACE(Cache, VersionSeal, obs::trackVd(vd), now,
+                          line_addr, l2_line->oid);
                 auto sealed = std::make_unique<LineData>();
                 readCurrent(line_addr, *sealed);
                 l2_line->sealedData = std::move(sealed);

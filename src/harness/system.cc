@@ -1,8 +1,10 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -143,6 +145,57 @@ System::build(const std::string &scheme_name)
         auditor_.add("hierarchy", [h] { h->audit(); });
         scheme_->registerAudits(auditor_);
     }
+
+    // Observability: the event tracer is a process-wide singleton, so
+    // each freshly built System claims and clears it; the per-epoch
+    // series snapshots cumulative RunStats counters at every epoch
+    // boundary (consumers diff adjacent rows for per-epoch rates).
+    obs::tracer().configure(cfg_);
+    seriesEnabled = cfg_.getBool("stats.series", true);
+    if (seriesEnabled) {
+        RunStats *s = &stats_;
+        series_.addProbe("stores", [s] { return s->stores; });
+        series_.addProbe("epoch_advances",
+                         [s] { return s->epochAdvances; });
+        series_.addProbe("lamport_advances",
+                         [s] { return s->lamportAdvances; });
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(EvictReason::NumReasons);
+             ++i) {
+            series_.addProbe(
+                std::string("evict_") +
+                    toString(static_cast<EvictReason>(i)),
+                [s, i] { return s->evictReason[i]; });
+        }
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(NvmWriteKind::NumKinds);
+             ++k) {
+            series_.addProbe(
+                std::string("nvm_write_bytes_") +
+                    toString(static_cast<NvmWriteKind>(k)),
+                [s, k] { return s->nvmWriteBytes[k]; });
+        }
+        series_.addProbe("nvm_write_ops",
+                         [s] { return s->nvmWriteOps; });
+        series_.addProbe("omc_buffer_hits",
+                         [s] { return s->omcBufferHits; });
+        series_.addProbe("omc_buffer_misses",
+                         [s] { return s->omcBufferMisses; });
+        series_.addProbe("master_table_bytes",
+                         [s] { return s->masterTableBytes; });
+        series_.addProbe("master_mapped_lines",
+                         [s] { return s->masterMappedLines; });
+        series_.addProbe("epoch_table_bytes",
+                         [s] { return s->epochTableBytes; });
+        series_.addProbe("pool_pages_in_use",
+                         [s] { return s->poolPagesInUse; });
+        series_.addProbe("gc_compactions",
+                         [s] { return s->gcCompactions; });
+        series_.addProbe("gc_bytes_copied",
+                         [s] { return s->gcBytesCopied; });
+        series_.addProbe("tag_walk_write_backs",
+                         [s] { return s->tagWalkWriteBacks; });
+    }
 }
 
 void
@@ -159,6 +212,7 @@ void
 System::stepQuantum()
 {
     quantumEnd += quantum;
+    obs::tracer().setNow(quantumEnd);
     for (auto &core : cores)
         core->runUntil(quantumEnd);
     scheme_->tick(quantumEnd);
@@ -166,6 +220,15 @@ System::stepQuantum()
         for (auto &core : cores)
             core->addStall(gs);
         stats_.barrierStallCycles += gs;
+    }
+
+    if (seriesEnabled &&
+        scheme_->epochsCompleted() != epochsAtLastSample) {
+        // Derived aggregates (table/pool sizes) are refreshed lazily;
+        // pull them up to date so the sampled row is consistent.
+        scheme_->updateStats();
+        series_.sample(scheme_->globalEpoch(), quantumEnd);
+        epochsAtLastSample = scheme_->epochsCompleted();
     }
 
     if (audit::enabled) {
@@ -207,10 +270,26 @@ System::runUntil(Cycle limit)
 void
 System::run()
 {
+    // Phase self-profiling: host wall clock split between the
+    // execution loop and the shutdown flush, reported through
+    // stats.extra so slow runs are attributable without a profiler.
+    using SteadyClock = std::chrono::steady_clock;
+    auto host_us = [](SteadyClock::time_point a,
+                      SteadyClock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(b -
+                                                                  a)
+                .count());
+    };
+    auto t0 = SteadyClock::now();
+
+    NVO_TRACE(Harness, Phase, obs::trackSim, quantumEnd,
+              static_cast<std::uint64_t>(obs::PhaseId::RunBegin), 0);
     while (!done())
         stepQuantum();
     nvo_assert(!finalized, "run() called twice");
     finalized = true;
+    auto t1 = SteadyClock::now();
 
     Cycle max_core = 0;
     for (const auto &core : cores)
@@ -218,10 +297,26 @@ System::run()
 
     // The paper's normalized-cycles metric is execution wall clock;
     // the post-run drain is a shutdown artifact reported separately.
+    NVO_TRACE(Harness, Phase, obs::trackSim, quantumEnd,
+              static_cast<std::uint64_t>(obs::PhaseId::FinalizeBegin),
+              0);
     Cycle flush_done = scheme_->finalize(std::max(max_core, quantumEnd));
     stats_.cycles = max_core;
     stats_.extra["finalize_drain_cycles"] =
         flush_done > max_core ? flush_done - max_core : 0;
+    NVO_TRACE(Harness, Phase, obs::trackSim, flush_done,
+              static_cast<std::uint64_t>(obs::PhaseId::FinalizeEnd),
+              0);
+
+    // Close the metric series with a post-finalize row: the final
+    // epoch's evictions and the shutdown flush land here.
+    scheme_->updateStats();
+    if (seriesEnabled)
+        series_.sample(scheme_->globalEpoch(), flush_done);
+
+    auto t2 = SteadyClock::now();
+    stats_.extra["host_run_us"] = host_us(t0, t1);
+    stats_.extra["host_finalize_us"] = host_us(t1, t2);
 
     // Everything is quiescent after finalize; a full sweep here
     // catches anything the periodic sweeps missed.

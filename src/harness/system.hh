@@ -24,6 +24,7 @@
 #include "mem/dram_model.hh"
 #include "mem/nvm_model.hh"
 #include "mem/write_tracker.hh"
+#include "obs/metrics.hh"
 #include "workload/workload.hh"
 
 namespace nvo
@@ -46,6 +47,10 @@ class System
      *   the build compiles audits in; 0 disables periodic full
      *   sweeps; epoch boundaries always run the light epoch-scoped
      *   sweeps)
+     *   trace.enabled / trace.cats / trace.ring (event tracer; the
+     *   global tracer is reconfigured and cleared at build time)
+     *   stats.series (sample the per-epoch metric series at every
+     *   epoch boundary; default on)
      *   wl.* (workload sizing), nvo.* / mnm.* / picl.* / sw.*
      */
     System(const Config &cfg, const std::string &scheme_name,
@@ -84,6 +89,9 @@ class System
 
     Auditor &auditor() { return auditor_; }
 
+    /** Per-epoch metric time series sampled at epoch boundaries. */
+    const obs::EpochSeries &epochSeries() const { return series_; }
+
   private:
     void build(const std::string &scheme_name);
     void stepQuantum();
@@ -106,6 +114,10 @@ class System
     std::uint64_t auditStride = 0;
     std::uint64_t quantaSinceAudit = 0;
     std::uint64_t epochsAtLastAudit = 0;
+
+    obs::EpochSeries series_;
+    bool seriesEnabled = true;
+    std::uint64_t epochsAtLastSample = 0;
 };
 
 } // namespace nvo

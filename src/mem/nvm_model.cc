@@ -4,6 +4,7 @@
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -57,7 +58,11 @@ NvmModel::write(Addr addr, std::uint32_t bytes, Cycle now,
         stall = busyUntil - windowCycles - deviceNow;
         stallCycles += stall;
         now += stall;
+        NVO_TRACE(Nvm, NvmStall, obs::trackNvm, now, stall,
+                  busyUntil - deviceNow);
     }
+    NVO_TRACE(Nvm, NvmBacklog, obs::trackNvm, now,
+              busyUntil > deviceNow ? busyUntil - deviceNow : 0, 0);
 
     // Durability model: the write lands in its bank.
     Cycle completion = now;

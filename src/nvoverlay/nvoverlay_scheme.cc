@@ -5,6 +5,7 @@
 #include "cache/hierarchy.hh"
 #include "common/audit.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -86,7 +87,13 @@ NVOverlayScheme::advanceVd(unsigned vd, EpochWide target, bool lamport,
               contextBytesPerCore * coresPerVd, now,
               NvmWriteKind::Context);
     stats.contextDumps += coresPerVd;
+    NVO_TRACE(Epoch, ContextDump, obs::trackVd(vd), now,
+              static_cast<std::uint64_t>(contextBytesPerCore) *
+                  coresPerVd,
+              0);
 
+    NVO_TRACE(Epoch, EpochAdvance, obs::trackVd(vd), now, target,
+              lamport ? 1 : 0);
     vds[vd].advance(target, lamport);
     sense->onAdvance(vd, target);
     ++stats.epochAdvances;
@@ -140,9 +147,13 @@ NVOverlayScheme::tick(Cycle now)
         hi = std::max(hi, vd.epoch());
     if (hi > epoch::halfSpace / 2) {
         EpochWide floor = hi - epoch::halfSpace / 2;
-        for (unsigned v = 0; v < vds.size(); ++v)
-            if (vds[v].epoch() < floor)
+        for (unsigned v = 0; v < vds.size(); ++v) {
+            if (vds[v].epoch() < floor) {
+                NVO_TRACE(Epoch, SkewForce, obs::trackVd(v), now,
+                          floor, hi);
                 advanceVd(v, floor, false, now);
+            }
+        }
     }
 
     for (unsigned v = 0; v < walkers.size(); ++v) {
@@ -216,6 +227,13 @@ NVOverlayScheme::epochsCompleted() const
     for (const auto &vd : vds)
         total += vd.advances();
     return total;
+}
+
+void
+NVOverlayScheme::updateStats()
+{
+    if (backend_)
+        backend_->updateStats();
 }
 
 void

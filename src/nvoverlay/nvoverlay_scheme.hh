@@ -39,6 +39,7 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
     Cycle finalize(Cycle now) override;
     EpochWide globalEpoch() const override;
     std::uint64_t epochsCompleted() const override;
+    void updateStats() override;
 
     /**
      * Register the NVOverlay protocol sweeps: inter-VD skew below

@@ -6,6 +6,7 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -76,8 +77,11 @@ Cycle
 MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
                           const LineData &content, Cycle now)
 {
-    Part &part = parts[omcOf(line_addr)];
+    unsigned oidx = omcOf(line_addr);
+    Part &part = parts[oidx];
     Cycle stall = 0;
+    NVO_TRACE(Omc, OmcInsert, obs::trackOmc(oidx), now, line_addr,
+              oid);
 
     // Compaction pressure check (Sec. V-D / storage quota, Sec. V-F).
     if (p.compactionThreshold < 1.0 &&
@@ -143,6 +147,8 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
             if (replaced)
                 unref(part, line_addr, *replaced);
             stats.extra["late_merges"] += 1;
+            NVO_TRACE(Merge, LateMerge, obs::trackOmc(oidx), now,
+                      line_addr, oid);
         }
     }
 
@@ -152,9 +158,15 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
             ++stats.omcBufferHits;
         } else {
             ++stats.omcBufferMisses;
-            if (result.evicted)
+            if (result.evicted) {
+                NVO_TRACE(Omc, OmcBufferEvict, obs::trackOmc(oidx),
+                          now, result.evicted->addr,
+                          result.evicted->epoch);
                 stall += flushPending(part, *result.evicted, now);
+            }
         }
+        NVO_TRACE(Omc, OmcOccupancy, obs::trackOmc(oidx), now,
+                  part.buffer->occupancy(), 0);
     }
     return stall;
 }
@@ -205,10 +217,13 @@ MnmBackend::persistRecEpoch(Cycle now)
 void
 MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
 {
-    for (auto &part : parts) {
+    for (unsigned oidx = 0; oidx < parts.size(); ++oidx) {
+        Part &part = parts[oidx];
         auto it = part.tables.upper_bound(from);
         while (it != part.tables.end() && it->first <= upto) {
             EpochTable &table = *it->second;
+            NVO_TRACE(Merge, TableMerge, obs::trackOmc(oidx), now,
+                      it->first, 0);
             table.forEachVersion([&](Addr line_addr, Addr nvm_addr) {
                 auto replaced = part.master->insert(
                     line_addr, nvm_addr, table.epochId());
@@ -251,6 +266,8 @@ MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
     // rec-epoch moves first so GC sees the new bound while merge
     // replacements dereference stale versions.
     EpochWide old_rec = recEpoch_;
+    NVO_TRACE(Merge, RecEpochAdvance, obs::trackSim, now, candidate,
+              old_rec);
     recEpoch_ = candidate;
     mergeUpTo(old_rec, candidate, now);
     persistRecEpoch(now);
@@ -259,10 +276,14 @@ MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
 void
 MnmBackend::drainBuffers(Cycle now)
 {
-    for (auto &part : parts) {
+    for (unsigned oidx = 0; oidx < parts.size(); ++oidx) {
+        Part &part = parts[oidx];
         if (!part.buffer)
             continue;
-        for (const auto &pending : part.buffer->drainAll())
+        auto pendings = part.buffer->drainAll();
+        NVO_TRACE(Omc, OmcBufferDrain, obs::trackOmc(oidx), now,
+                  pendings.size(), 0);
+        for (const auto &pending : pendings)
             flushPending(part, pending, now);
     }
 }
@@ -282,7 +303,8 @@ MnmBackend::finalize(Cycle now)
 void
 MnmBackend::compact(Cycle now)
 {
-    for (auto &part : parts) {
+    for (unsigned oidx = 0; oidx < parts.size(); ++oidx) {
+        Part &part = parts[oidx];
         // Oldest merged epoch still holding live versions.
         for (auto &kv : part.tables) {
             EpochWide e = kv.first;
@@ -303,6 +325,8 @@ MnmBackend::compact(Cycle now)
                 continue;
             if (e == recEpoch_)
                 break;   // nothing newer to copy into
+            NVO_TRACE(Merge, Compaction, obs::trackOmc(oidx), now, e,
+                      0);
             if (!any_live) {
                 // Whole epoch stale: reclaim its sub-pages outright.
                 table.forEachPage([&](EpochTable::PageEntry &pe) {

@@ -5,6 +5,7 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -44,6 +45,7 @@ PagePool::allocPage()
         bitmap[idx] |= 1ull << bit;
         scanHint = idx;
         ++usedPages;
+        NVO_TRACE_NOW(Pool, PoolPages, obs::trackSim, usedPages, 0);
         return base + page * pageBytes;
     }
     return invalidAddr;
@@ -79,6 +81,7 @@ PagePool::allocLines(unsigned lines)
                                       lineBytes);
     }
     allocatedBytes += static_cast<std::uint64_t>(rounded) * lineBytes;
+    NVO_TRACE_NOW(Pool, PoolAlloc, obs::trackSim, block, rounded);
     return block;
 }
 
@@ -89,6 +92,7 @@ PagePool::freeLines(Addr addr, unsigned lines)
     unsigned order = log2Exact(rounded);
     freeLists[order].push_back(addr);
     allocatedBytes -= static_cast<std::uint64_t>(rounded) * lineBytes;
+    NVO_TRACE_NOW(Pool, PoolFree, obs::trackSim, addr, rounded);
     // Note: no buddy coalescing; version compaction is the mechanism
     // that reclaims fragmented pools (paper Sec. V-D).
 }
@@ -98,6 +102,7 @@ PagePool::extend(std::uint64_t pages)
 {
     numPages += pages;
     bitmap.resize((numPages + 63) / 64, 0);
+    NVO_TRACE_NOW(Pool, PoolExtend, obs::trackSim, pages, 0);
 }
 
 void

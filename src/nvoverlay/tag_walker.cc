@@ -2,6 +2,7 @@
 
 #include "common/audit.hh"
 #include "common/bitutil.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -31,6 +32,8 @@ TagWalker::tick(Cycle now, bool allow_scan)
         // The scan itself is a fast tag-only pass; version payloads
         // are captured at downgrade time and drained below.
         Hierarchy::WalkScan scan = hier.tagWalkScan(p.vd);
+        NVO_TRACE(Walker, WalkScan, obs::trackVd(p.vd), now,
+                  scan.linesScanned, scan.versions.size());
         pendingMinVer = scan.minVer;
         for (auto &v : scan.versions)
             drainQueue.push_back(std::move(v));
@@ -39,6 +42,7 @@ TagWalker::tick(Cycle now, bool allow_scan)
     }
 
     unsigned budget = p.linesPerTick;
+    unsigned drained = 0;
     while (budget > 0 && !drainQueue.empty()) {
         const auto &v = drainQueue.front();
         ++stats.evictReason[static_cast<std::size_t>(
@@ -48,9 +52,15 @@ TagWalker::tick(Cycle now, bool allow_scan)
                                        now);
         drainQueue.pop_front();
         --budget;
+        ++drained;
     }
+    if (drained > 0)
+        NVO_TRACE(Walker, WalkDrain, obs::trackVd(p.vd), now, drained,
+                  0);
 
     if (reportPending && drainQueue.empty() && !scanPending) {
+        NVO_TRACE(Walker, MinVerReport, obs::trackVd(p.vd), now,
+                  pendingMinVer, 0);
         backend.reportMinVer(p.vd, pendingMinVer, now);
         // The raw scan min-ver may regress (a dirty line written in
         // an old epoch can migrate here from a lagging VD), but the

@@ -1,0 +1,179 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+namespace obs
+{
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;
+    }
+    if (stack.empty())
+        return;
+    if (hasMember.back())
+        os << ',';
+    hasMember.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    os << '{';
+    stack.push_back(Ctx::Object);
+    hasMember.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    nvo_assert(!stack.empty() && stack.back() == Ctx::Object,
+               "endObject outside an object");
+    os << '}';
+    stack.pop_back();
+    hasMember.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    os << '[';
+    stack.push_back(Ctx::Array);
+    hasMember.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    nvo_assert(!stack.empty() && stack.back() == Ctx::Array,
+               "endArray outside an array");
+    os << ']';
+    stack.pop_back();
+    hasMember.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    nvo_assert(!stack.empty() && stack.back() == Ctx::Object,
+               "key outside an object");
+    nvo_assert(!pendingKey, "two keys without a value between them");
+    if (hasMember.back())
+        os << ',';
+    hasMember.back() = true;
+    os << '"' << escape(name) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    os << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    if (!std::isfinite(v)) {
+        os << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    preValue();
+    os << "null";
+    return *this;
+}
+
+} // namespace obs
+} // namespace nvo

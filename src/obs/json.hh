@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by every machine-readable
+ * exporter (Chrome trace files, stats_json, bench --json). Emits
+ * strictly valid JSON: strings are escaped, commas are managed by a
+ * nesting-state stack, and non-finite doubles degrade to null so a
+ * NaN metric can never corrupt a result file.
+ */
+
+#ifndef NVO_OBS_JSON_HH
+#define NVO_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvo
+{
+namespace obs
+{
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os_) : os(os_) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a member key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** All containers closed (diagnostic for exporters). */
+    bool balanced() const { return stack.empty(); }
+
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Ctx : std::uint8_t
+    {
+        Object,
+        Array,
+    };
+
+    /** Comma/indent bookkeeping before a value or key. */
+    void preValue();
+
+    std::ostream &os;
+    std::vector<Ctx> stack;
+    /** Whether the current container already holds a member. */
+    std::vector<bool> hasMember;
+    bool pendingKey = false;
+};
+
+} // namespace obs
+} // namespace nvo
+
+#endif // NVO_OBS_JSON_HH

@@ -1,0 +1,82 @@
+#include "obs/metrics.hh"
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace nvo
+{
+namespace obs
+{
+
+void
+EpochSeries::addProbe(std::string name,
+                      std::function<std::uint64_t()> fn)
+{
+    nvo_assert(rows == 0, "probe added after sampling started");
+    probes.push_back({std::move(name), std::move(fn)});
+}
+
+void
+EpochSeries::sample(EpochWide epoch, Cycle now)
+{
+    data.push_back(epoch);
+    data.push_back(now);
+    for (const auto &probe : probes)
+        data.push_back(probe.fn());
+    ++rows;
+}
+
+std::vector<std::string>
+EpochSeries::columns() const
+{
+    std::vector<std::string> cols = {"epoch", "cycle"};
+    for (const auto &probe : probes)
+        cols.push_back(probe.name);
+    return cols;
+}
+
+std::uint64_t
+EpochSeries::value(std::size_t row, std::size_t col) const
+{
+    std::size_t stride = probes.size() + 2;
+    nvo_assert(row < rows && col < stride, "series index out of range");
+    return data[row * stride + col];
+}
+
+void
+EpochSeries::writeCsv(std::ostream &os) const
+{
+    auto cols = columns();
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        os << (c ? "," : "") << cols[c];
+    os << "\n";
+    std::size_t stride = probes.size() + 2;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < stride; ++c)
+            os << (c ? "," : "") << data[r * stride + c];
+        os << "\n";
+    }
+}
+
+void
+EpochSeries::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("columns").beginArray();
+    for (const auto &col : columns())
+        w.value(col);
+    w.endArray();
+    w.key("rows").beginArray();
+    std::size_t stride = probes.size() + 2;
+    for (std::size_t r = 0; r < rows; ++r) {
+        w.beginArray();
+        for (std::size_t c = 0; c < stride; ++c)
+            w.value(data[r * stride + c]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace nvo

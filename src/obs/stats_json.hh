@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Machine-readable results: JSON serialization for RunStats plus the
+ * whole-run report (`nvo_sim stats_json=...`) bundling the resolved
+ * configuration, the headline counters, the NVM bandwidth series,
+ * and the per-epoch metric time series into one stable, diffable
+ * file.
+ */
+
+#ifndef NVO_OBS_STATS_JSON_HH
+#define NVO_OBS_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace nvo
+{
+namespace obs
+{
+
+class EpochSeries;
+class JsonWriter;
+
+/** Serialize @p stats as one JSON object value into @p w. */
+void writeRunStats(JsonWriter &w, const RunStats &stats);
+
+/** Serialize the resolved @p cfg as one JSON object value. */
+void writeConfig(JsonWriter &w, const Config &cfg);
+
+/**
+ * The complete run report: scheme/workload labels, resolved config,
+ * RunStats, and (when non-null) the per-epoch series.
+ */
+void writeStatsJson(std::ostream &os, const std::string &scheme,
+                    const std::string &workload, const Config &cfg,
+                    const RunStats &stats,
+                    const EpochSeries *series = nullptr,
+                    double host_seconds = 0.0);
+
+} // namespace obs
+} // namespace nvo
+
+#endif // NVO_OBS_STATS_JSON_HH

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Observability subsystem: the event tracer (ring semantics, category
+ * filtering, Chrome trace-event export), the per-epoch metric series,
+ * and the machine-readable stats report. Exported JSON is checked
+ * with a small in-test parser so a malformed escape or unbalanced
+ * brace fails here rather than in chrome://tracing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/stats_json.hh"
+#include "obs/trace.hh"
+
+namespace nvo
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the RFC
+ * 8259 grammar (objects, arrays, strings with escapes, numbers,
+ * true/false/null) and rejects trailing garbage.
+ */
+class JsonCheck
+{
+  public:
+    explicit JsonCheck(std::string text) : s(std::move(text)) {}
+
+    bool
+    valid()
+    {
+        ws();
+        if (!value())
+            return false;
+        ws();
+        return pos == s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos;   // '{'
+        ws();
+        if (eat('}'))
+            return true;
+        while (true) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (!eat(':'))
+                return false;
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (eat('}'))
+                return true;
+            if (!eat(','))
+                return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos;   // '['
+        ws();
+        if (eat(']'))
+            return true;
+        while (true) {
+            ws();
+            if (!value())
+                return false;
+            ws();
+            if (eat(']'))
+                return true;
+            if (!eat(','))
+                return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;   // raw control character
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s[pos])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        eat('-');
+        if (!digits())
+            return false;
+        if (eat('.') && !digits())
+            return false;
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (!digits())
+                return false;
+        }
+        return pos > start;
+    }
+
+    bool
+    digits()
+    {
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        return pos > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    std::string s;
+    std::size_t pos = 0;
+};
+
+TEST(JsonWriter, EscapesAndBalances)
+{
+    std::ostringstream os;
+    {
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.kv("quote\"back\\slash", std::string("tab\there\n"));
+        w.key("nested");
+        w.beginArray();
+        w.value(std::uint64_t(42));
+        w.value(-7);
+        w.value(1.5);
+        w.value(true);
+        w.null();
+        w.endArray();
+        w.endObject();
+        EXPECT_TRUE(w.balanced());
+    }
+    EXPECT_TRUE(JsonCheck(os.str()).valid()) << os.str();
+    EXPECT_NE(os.str().find("\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginArray();
+    w.value(0.0 / 0.0);
+    w.value(1e308 * 10);
+    w.endArray();
+    EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(Tracer, RingWrapKeepsNewestRecords)
+{
+    obs::Tracer t;
+    t.setRingCapacity(8);
+    t.setMask(obs::allCats);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        t.record(obs::Ev::EpochAdvance, obs::trackVd(0), i * 10, i, 0);
+
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t.recorded(), 20u);
+    EXPECT_EQ(t.dropped(), 12u);
+
+    // Oldest-first iteration yields exactly records 12..19.
+    std::uint64_t expect = 12;
+    t.forEach([&](const obs::Tracer::Rec &r) {
+        EXPECT_EQ(r.a0, expect);
+        EXPECT_EQ(r.cycle, expect * 10);
+        ++expect;
+    });
+    EXPECT_EQ(expect, 20u);
+
+    t.reset();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, CategoryMaskGatesWants)
+{
+    obs::Tracer t;
+    t.setMask(static_cast<std::uint32_t>(obs::Cat::Epoch) |
+              static_cast<std::uint32_t>(obs::Cat::Nvm));
+    EXPECT_TRUE(t.wants(obs::Cat::Epoch));
+    EXPECT_TRUE(t.wants(obs::Cat::Nvm));
+    EXPECT_FALSE(t.wants(obs::Cat::Omc));
+    EXPECT_FALSE(t.wants(obs::Cat::Pool));
+}
+
+TEST(Tracer, ParseCats)
+{
+    EXPECT_EQ(obs::parseCats("all"), obs::allCats);
+    EXPECT_EQ(obs::parseCats("none"), 0u);
+    EXPECT_EQ(obs::parseCats("epoch,omc"),
+              static_cast<std::uint32_t>(obs::Cat::Epoch) |
+                  static_cast<std::uint32_t>(obs::Cat::Omc));
+    EXPECT_EQ(obs::parseCats("walker"),
+              static_cast<std::uint32_t>(obs::Cat::Walker));
+}
+
+TEST(Tracer, MacroRespectsMaskAndCompileSwitch)
+{
+    obs::Tracer &t = obs::tracer();
+    t.setRingCapacity(64);
+    t.reset();
+    t.setMask(static_cast<std::uint32_t>(obs::Cat::Epoch));
+
+    NVO_TRACE(Epoch, EpochAdvance, obs::trackVd(0), 100, 1, 0);
+    NVO_TRACE(Omc, OmcInsert, obs::trackOmc(0), 100, 2, 0);
+
+    if (obs::traceCompiled) {
+        // Only the enabled category records.
+        EXPECT_EQ(t.recorded(), 1u);
+        t.forEach([](const obs::Tracer::Rec &r) {
+            EXPECT_EQ(r.ev, obs::Ev::EpochAdvance);
+        });
+    } else {
+        EXPECT_EQ(t.recorded(), 0u);
+    }
+    t.setMask(0);
+    t.reset();
+}
+
+TEST(Tracer, ChromeExportIsValidJson)
+{
+    obs::Tracer t;
+    t.setRingCapacity(32);
+    t.setMask(obs::allCats);
+    t.record(obs::Ev::EpochAdvance, obs::trackVd(0), 100, 5, 1);
+    t.record(obs::Ev::OmcInsert, obs::trackOmc(1), 200, 0xdead, 7);
+    t.record(obs::Ev::PoolPages, obs::trackOmc(1), 300, 12, 0);
+    t.record(obs::Ev::NvmStall, obs::trackNvm, 400, 50, 80);
+
+    std::ostringstream os;
+    t.exportChrome(os);
+    std::string text = os.str();
+    EXPECT_TRUE(JsonCheck(text).valid()) << text;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("thread_name"), std::string::npos);
+    // Instants and counters both present.
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(text.find("epoch_advance"), std::string::npos);
+}
+
+TEST(Tracer, EveryEventHasMetadata)
+{
+    for (unsigned e = 0;
+         e < static_cast<unsigned>(obs::Ev::NumEvents); ++e) {
+        const obs::EvInfo &i = obs::info(static_cast<obs::Ev>(e));
+        EXPECT_NE(i.name, nullptr);
+        EXPECT_NE(obs::toString(i.cat), nullptr);
+    }
+}
+
+TEST(EpochSeries, SamplesAndExports)
+{
+    obs::EpochSeries series;
+    std::uint64_t stores = 0, evicts = 0;
+    series.addProbe("stores", [&] { return stores; });
+    series.addProbe("evictions", [&] { return evicts; });
+
+    stores = 10;
+    evicts = 1;
+    series.sample(1, 1000);
+    stores = 25;
+    evicts = 4;
+    series.sample(2, 2000);
+
+    ASSERT_EQ(series.numSamples(), 2u);
+    auto cols = series.columns();
+    ASSERT_EQ(cols.size(), 4u);
+    EXPECT_EQ(cols[0], "epoch");
+    EXPECT_EQ(cols[1], "cycle");
+    EXPECT_EQ(cols[2], "stores");
+    EXPECT_EQ(series.value(0, 2), 10u);
+    EXPECT_EQ(series.value(1, 2), 25u);
+    EXPECT_EQ(series.value(1, 3), 4u);
+
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    EXPECT_NE(csv.str().find("epoch,cycle,stores,evictions"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("2,2000,25,4"), std::string::npos);
+
+    std::ostringstream js;
+    {
+        obs::JsonWriter w(js);
+        series.writeJson(w);
+        EXPECT_TRUE(w.balanced());
+    }
+    EXPECT_TRUE(JsonCheck(js.str()).valid()) << js.str();
+}
+
+Config
+smallConfig()
+{
+    Config cfg = defaultConfig();
+    cfg.set("sys.cores", std::uint64_t(8));
+    cfg.set("l1.kb", std::uint64_t(4));
+    cfg.set("l2.kb", std::uint64_t(16));
+    cfg.set("llc.mb", std::uint64_t(1));
+    cfg.set("wl.ops", std::uint64_t(300));
+    cfg.set("wl.btree.prefill", std::uint64_t(1024));
+    cfg.set("epoch.stores_global", std::uint64_t(8000));
+    return cfg;
+}
+
+TEST(StatsJson, FullRunReportIsValidJson)
+{
+    setQuiet(true);
+    Config cfg = smallConfig();
+    System sys(cfg, "nvoverlay", "btree");
+    sys.run();
+
+    std::ostringstream os;
+    obs::writeStatsJson(os, "nvoverlay", "btree", sys.config(),
+                        sys.stats(), &sys.epochSeries(), 0.25);
+    std::string text = os.str();
+    EXPECT_TRUE(JsonCheck(text).valid()) << text.substr(0, 400);
+    EXPECT_NE(text.find("\"format\":\"nvo-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"epoch_series\""), std::string::npos);
+    EXPECT_NE(text.find("\"nvm_write_bytes\""), std::string::npos);
+
+    // The harness sampled at every epoch boundary plus finalize.
+    ASSERT_GE(sys.epochSeries().numSamples(), 2u);
+    for (std::size_t r = 1; r < sys.epochSeries().numSamples(); ++r) {
+        EXPECT_GE(sys.epochSeries().value(r, 0),
+                  sys.epochSeries().value(r - 1, 0))
+            << "epoch column must be monotonic";
+        EXPECT_GE(sys.epochSeries().value(r, 1),
+                  sys.epochSeries().value(r - 1, 1))
+            << "cycle column must be monotonic";
+    }
+}
+
+TEST(TraceIntegration, RunCoversMultipleSubsystems)
+{
+    if (!obs::traceCompiled)
+        GTEST_SKIP() << "built with NVO_TRACE=OFF";
+    setQuiet(true);
+    Config cfg = smallConfig();
+    cfg.set("trace.enabled", "true");
+    cfg.set("trace.ring", std::uint64_t(1) << 18);
+    System sys(cfg, "nvoverlay", "btree");
+    sys.run();
+
+    obs::Tracer &t = obs::tracer();
+    EXPECT_GT(t.recorded(), 0u);
+    std::uint32_t cats_seen = 0;
+    t.forEach([&](const obs::Tracer::Rec &r) {
+        cats_seen |=
+            static_cast<std::uint32_t>(obs::info(r.ev).cat);
+    });
+    unsigned distinct = 0;
+    for (unsigned bit = 0; bit < 8; ++bit)
+        distinct += (cats_seen >> bit) & 1u;
+    EXPECT_GE(distinct, 4u)
+        << "trace should span >= 4 subsystems, mask=" << cats_seen;
+
+    std::ostringstream os;
+    t.exportChrome(os);
+    EXPECT_TRUE(JsonCheck(os.str()).valid());
+
+    // Leave the global tracer disabled for later tests.
+    t.setMask(0);
+    t.reset();
+}
+
+TEST(TraceIntegration, DisabledByDefault)
+{
+    setQuiet(true);
+    Config cfg = smallConfig();
+    System sys(cfg, "nvoverlay", "btree");
+    sys.run();
+    EXPECT_EQ(obs::tracer().recorded(), 0u)
+        << "tracing must be off unless trace.enabled is set";
+}
+
+} // namespace
+} // namespace nvo

@@ -16,6 +16,11 @@
  *  - raw-new-delete: no raw new/delete expressions; containers and
  *                    unique_ptr own everything except the two radix
  *                    trees, which are allowlisted.
+ *  - raw-io:         no direct console output (printf/std::cout and
+ *                    friends) in src/; simulator output must flow
+ *                    through common/log, the obs/ exporters, or the
+ *                    harness table printer so machine-readable runs
+ *                    stay clean. Those three locations are exempt.
  *
  * Suppression: an allowlist file ("<rule> <path-suffix>" per line) or
  * an inline "nvo-lint: allow(rule)" marker on the offending line.
@@ -329,7 +334,8 @@ checkIncludeGuard(const std::string &display, const std::string &text,
 
 void
 lintTokens(const std::string &display, const std::vector<Token> &toks,
-           bool is_epoch_header, std::vector<Violation> &out)
+           bool is_epoch_header, bool raw_io_exempt,
+           std::vector<Violation> &out)
 {
     // Pass 1: identifiers declared with type EpochId.
     std::set<std::string> epoch_ids;
@@ -368,6 +374,18 @@ lintTokens(const std::string &display, const std::vector<Token> &toks,
                  "(narrow through epoch::narrow)"});
         }
 
+        static const std::set<std::string> raw_io = {
+            "printf", "fprintf", "vprintf", "vfprintf",
+            "puts",   "fputs",   "putchar", "fputc",
+            "putc",   "cout",    "cerr",    "clog"};
+        if (!raw_io_exempt && t.ident && raw_io.count(t.text)) {
+            out.push_back(
+                {display, t.line, "raw-io",
+                 "direct console output (" + t.text +
+                     "); route through common/log, obs/, or the "
+                     "harness table printer"});
+        }
+
         if (t.text == "new") {
             out.push_back({display, t.line, "raw-new-delete",
                            "raw new expression (own memory with "
@@ -398,9 +416,13 @@ lintText(const std::string &display, const std::string &guard_path,
     bool is_header = guard_path.size() > 3 &&
                      guard_path.substr(guard_path.size() - 3) == ".hh";
     bool is_epoch_header = guard_path == "nvoverlay/epoch.hh";
+    bool raw_io_exempt =
+        guard_path.rfind("obs/", 0) == 0 ||
+        guard_path.rfind("common/log", 0) == 0 ||
+        guard_path.rfind("harness/table_printer", 0) == 0;
     if (is_header)
         checkIncludeGuard(display, text, guard_path, out);
-    lintTokens(display, toks, is_epoch_header, out);
+    lintTokens(display, toks, is_epoch_header, raw_io_exempt, out);
 
     // Drop violations suppressed by an inline marker.
     out.erase(std::remove_if(
@@ -523,6 +545,30 @@ selfTest()
          nullptr},
         {"inline allow marker suppresses", "common/foo.cc",
          "int *p = new int;   // nvo-lint: allow(raw-new-delete)\n",
+         nullptr},
+        {"raw printf flagged", "cache/foo.cc",
+         "void f() { printf(\"%d\", 1); }\n",
+         "raw-io"},
+        {"std::cout flagged", "nvoverlay/foo.cc",
+         "void f() { std::cout << 1; }\n",
+         "raw-io"},
+        {"fprintf to stderr flagged", "mem/foo.cc",
+         "void f() { std::fprintf(stderr, \"x\"); }\n",
+         "raw-io"},
+        {"printf exempt under obs/", "obs/foo.cc",
+         "void f() { std::printf(\"%d\", 1); }\n",
+         nullptr},
+        {"printf exempt in common/log", "common/log.cc",
+         "void f() { std::vfprintf(stderr, \"x\", {}); }\n",
+         nullptr},
+        {"printf exempt in table printer", "harness/table_printer.cc",
+         "void f() { std::printf(\"x\"); }\n",
+         nullptr},
+        {"string mentioning printf is clean", "cache/foo.cc",
+         "const char *s = \"printf cout\";\n",
+         nullptr},
+        {"raw-io allow marker suppresses", "cache/foo.cc",
+         "void f() { puts(\"x\"); }  // nvo-lint: allow(raw-io)\n",
          nullptr},
     };
 

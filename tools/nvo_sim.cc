@@ -9,11 +9,15 @@
  *   nvo_sim scheme=nvoverlay workload=btree wl.ops=20000
  *   nvo_sim scheme=picl workload=kmeans epoch.stores_global=500000
  *   nvo_sim scheme=nvoverlay workload=vacation crash_at=2000000 verify=1
+ *   nvo_sim scheme=nvoverlay workload=btree trace_out=trace.json \
+ *           stats_json=stats.json
  *   nvo_sim list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,6 +27,8 @@
 #include "harness/system.hh"
 #include "nvoverlay/nvoverlay_scheme.hh"
 #include "nvoverlay/recovery.hh"
+#include "obs/stats_json.hh"
+#include "obs/trace.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -43,6 +49,14 @@ usage()
         "  record=<path>      capture the workload's trace and exit\n"
         "  verify=1           track writes; after a crash, recover "
         "and check the image\n"
+        "  trace_out=<path>   write the event trace as Chrome "
+        "trace-event JSON\n"
+        "                     (implies trace.enabled=1; open in "
+        "chrome://tracing or Perfetto)\n"
+        "  stats_csv=<path>   write the per-epoch metric series as "
+        "CSV\n"
+        "  stats_json=<path>  write config + stats + per-epoch "
+        "series as JSON\n"
         "  list               print workloads and exit\n"
         "  any other key=value becomes a Config override "
         "(see README)\n",
@@ -57,6 +71,9 @@ main(int argc, char **argv)
     std::string scheme = "nvoverlay";
     std::string workload = "btree";
     std::string record_path;
+    std::string trace_path;
+    std::string stats_csv_path;
+    std::string stats_json_path;
     Cycle crash_at = 0;
     bool verify = false;
 
@@ -91,11 +108,19 @@ main(int argc, char **argv)
             verify = val == "1" || val == "true";
         else if (key == "record")
             record_path = val;
+        else if (key == "trace_out")
+            trace_path = val;
+        else if (key == "stats_csv")
+            stats_csv_path = val;
+        else if (key == "stats_json")
+            stats_json_path = val;
         else
             cfg.set(key, val);
     }
     if (verify)
         cfg.set("sim.track_writes", "true");
+    if (!trace_path.empty() && !cfg.has("trace.enabled"))
+        cfg.set("trace.enabled", "true");
 
     if (!record_path.empty()) {
         cfg.set("wl.threads", cfg.getU64("sys.cores", 16));
@@ -107,12 +132,48 @@ main(int argc, char **argv)
         return 0;
     }
 
+    auto host_t0 = std::chrono::steady_clock::now();
     System sys(cfg, scheme, workload);
     bool completed = true;
     if (crash_at > 0)
         completed = sys.runUntil(crash_at);
     else
         sys.run();
+    double host_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - host_t0)
+            .count();
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot open trace_out file '%s'",
+                  trace_path.c_str());
+        obs::tracer().exportChrome(out);
+        std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(
+                        obs::tracer().size()),
+                    static_cast<unsigned long long>(
+                        obs::tracer().dropped()),
+                    trace_path.c_str());
+    }
+    if (!stats_csv_path.empty()) {
+        std::ofstream out(stats_csv_path);
+        if (!out)
+            fatal("cannot open stats_csv file '%s'",
+                  stats_csv_path.c_str());
+        sys.epochSeries().writeCsv(out);
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream out(stats_json_path);
+        if (!out)
+            fatal("cannot open stats_json file '%s'",
+                  stats_json_path.c_str());
+        obs::writeStatsJson(out, scheme, workload, sys.config(),
+                            sys.stats(), &sys.epochSeries(),
+                            host_seconds);
+        std::printf("stats json -> %s\n", stats_json_path.c_str());
+    }
 
     sys.stats().print(std::cout,
                       scheme + " / " + workload +
