@@ -1,0 +1,250 @@
+#include "fault/crash_sim.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "fault/fault.hh"
+#include "harness/system.hh"
+#include "mem/write_tracker.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+#include "nvoverlay/recovery.hh"
+
+namespace nvo
+{
+namespace fault
+{
+
+CrashSimulator::CrashSimulator(const Config &cfg, std::string scheme,
+                               std::string workload)
+    : cfg_(cfg), scheme_(std::move(scheme)),
+      workload_(std::move(workload))
+{
+}
+
+CrashReport
+CrashSimulator::run(const CrashPlan &plan)
+{
+    CrashReport report;
+    Config cfg = cfg_;
+    cfg.set("sim.track_writes", "true");
+    cfg.set("persist.armed", "true");
+    System sys(cfg, scheme_, workload_);
+
+    auto *scheme = dynamic_cast<NVOverlayScheme *>(&sys.scheme());
+    nvo_assert(scheme != nullptr,
+               "crash campaigns need scheme=nvoverlay");
+
+    if (!plan.point.empty()) {
+        nvo_assert(enabled, "point-based crash plans need a build "
+                            "with NVO_FAULT=ON");
+        FaultPlan fp;
+        fp.crashAt(plan.point, plan.hit);
+        ScopedPlan armed(std::move(fp));
+        try {
+            // If the plan never fires the run completes with a clean
+            // finalize; the crash below then truncates nothing and
+            // verification checks the final image.
+            sys.run();
+        } catch (const CrashFault &crash) {
+            report.crashed = true;
+            report.firedPoint = crash.point;
+            report.firedHit = crash.hit;
+        }
+    } else {
+        // Power cut at a planned cycle: stop mid-run, no finalize.
+        sys.runUntil(plan.cycle);
+        report.crashed = true;
+        report.firedPoint = "cycle";
+        report.firedHit = plan.cycle;
+    }
+
+    MnmBackend &backend = scheme->backend();
+    backend.crashReset();
+
+    RecoveryManager rm(backend);
+    auto result = rm.recover();
+    report.recEpoch = result.recEpoch;
+    report.linesRestored = result.linesRestored;
+    report.error = RecoveryManager::validate(result, backend);
+
+    // Byte-exact shadow verification: every tracked line must carry
+    // the content of its last store at or before the recovered
+    // rec-epoch — unless that store never reached the backend (the
+    // tolerated in-flight window, see file header).
+    for (Addr line : sys.tracker()->trackedLines()) {
+        auto expect =
+            sys.tracker()->expectedEntry(line, result.recEpoch);
+        if (!expect)
+            continue;
+        LineData got;
+        result.image->readLine(line, got);
+        ++report.linesChecked;
+        if (got.digest() == expect->digest)
+            continue;
+        if (backend.ackedEpoch(line) < expect->epoch) {
+            ++report.inflightSkips;
+            continue;
+        }
+        ++report.mismatches;
+    }
+    return report;
+}
+
+namespace
+{
+
+struct Probe
+{
+    /** (fault point, hits observed over a full run). */
+    std::vector<std::pair<std::string, std::uint64_t>> points;
+    Cycle cycles = 0;
+};
+
+Probe
+probeWorkload(const Config &base_cfg, const std::string &scheme,
+              const std::string &workload)
+{
+    Probe probe;
+    Config cfg = base_cfg;
+    cfg.set("sim.track_writes", "true");
+    System sys(cfg, scheme, workload);
+    if (enabled) {
+        registry().setCounting(true);
+        sys.run();
+        registry().setCounting(false);
+        for (const auto &kv : registry().allHits())
+            probe.points.emplace_back(kv.first, kv.second);
+        registry().resetCounters();
+    } else {
+        sys.run();
+    }
+    probe.cycles = sys.now();
+    return probe;
+}
+
+std::string
+reproLine(const CampaignParams &params, const std::string &workload,
+          const CrashPlan &plan)
+{
+    std::string line = "nvo_sim scheme=" + params.scheme +
+                       " workload=" + workload;
+    if (plan.point.empty()) {
+        line += " crash_cycle=" + std::to_string(plan.cycle);
+    } else {
+        line += " crash_point=" + plan.point +
+                " crash_hit=" + std::to_string(plan.hit);
+    }
+    return line;
+}
+
+/** Bisect toward the earliest still-failing trigger of the plan. */
+CrashPlan
+minimizePlan(const Config &base_cfg, const CampaignParams &params,
+             const std::string &workload, CrashPlan plan)
+{
+    auto fails = [&](const CrashPlan &candidate) {
+        CrashSimulator sim(base_cfg, params.scheme, workload);
+        return !sim.run(candidate).consistent();
+    };
+    bool cycle_mode = plan.point.empty();
+    std::uint64_t lo = 1;
+    std::uint64_t hi = cycle_mode ? plan.cycle : plan.hit;
+    std::uint64_t best = hi;
+    while (lo < hi) {
+        std::uint64_t mid = lo + (hi - lo) / 2;
+        CrashPlan candidate = plan;
+        if (cycle_mode)
+            candidate.cycle = mid;
+        else
+            candidate.hit = mid;
+        if (fails(candidate)) {
+            best = mid;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if (cycle_mode)
+        plan.cycle = best;
+    else
+        plan.hit = best;
+    return plan;
+}
+
+} // namespace
+
+CampaignResult
+runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
+{
+    CampaignResult res;
+    nvo_assert(!params.workloads.empty(),
+               "crash campaign needs at least one workload");
+    nvo_assert(params.trials > 0);
+
+    std::vector<Probe> probes;
+    for (const auto &workload : params.workloads) {
+        Probe probe =
+            probeWorkload(base_cfg, params.scheme, workload);
+        inform("crash-campaign: probe %s: %zu fault points, %llu "
+               "cycles",
+               workload.c_str(), probe.points.size(),
+               static_cast<unsigned long long>(probe.cycles));
+        probes.push_back(std::move(probe));
+    }
+
+    Rng rng(params.seed);
+    for (unsigned t = 0; t < params.trials; ++t) {
+        unsigned wi =
+            t % static_cast<unsigned>(params.workloads.size());
+        const Probe &probe = probes[wi];
+        const std::string &workload = params.workloads[wi];
+
+        CrashPlan plan;
+        if (enabled && !probe.points.empty()) {
+            const auto &pt =
+                probe.points[rng.below(probe.points.size())];
+            plan.point = pt.first;
+            plan.hit = 1 + rng.below(std::max<std::uint64_t>(
+                               pt.second, 1));
+        } else {
+            plan.cycle =
+                1 + rng.below(std::max<Cycle>(probe.cycles, 2) - 1);
+        }
+
+        CrashSimulator sim(base_cfg, params.scheme, workload);
+        CrashReport rep = sim.run(plan);
+        ++res.trials;
+        if (rep.crashed)
+            ++res.crashes;
+        res.linesChecked += rep.linesChecked;
+        res.inflightSkips += rep.inflightSkips;
+        inform("crash-campaign: trial %u/%u %s @ %s:%llu "
+               "rec-epoch=%llu checked=%llu mismatches=%llu "
+               "skips=%llu%s",
+               t + 1, params.trials, workload.c_str(),
+               rep.crashed ? rep.firedPoint.c_str() : "completed",
+               static_cast<unsigned long long>(rep.firedHit),
+               static_cast<unsigned long long>(rep.recEpoch),
+               static_cast<unsigned long long>(rep.linesChecked),
+               static_cast<unsigned long long>(rep.mismatches),
+               static_cast<unsigned long long>(rep.inflightSkips),
+               rep.consistent() ? "" : "  ** FAIL **");
+        if (!rep.consistent()) {
+            if (res.failures == 0) {
+                CrashPlan minimized =
+                    minimizePlan(base_cfg, params, workload, plan);
+                res.failingRepro =
+                    reproLine(params, workload, minimized);
+                warn("crash-campaign: minimized repro: %s",
+                     res.failingRepro.c_str());
+            }
+            ++res.failures;
+        }
+    }
+    return res;
+}
+
+} // namespace fault
+} // namespace nvo

@@ -1,0 +1,113 @@
+#include "fault/fault.hh"
+
+#include "obs/trace.hh"
+
+namespace nvo
+{
+namespace fault
+{
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+Registry::arm(FaultPlan new_plan)
+{
+    plan = std::move(new_plan);
+    armed_ = true;
+    counters.clear();
+}
+
+void
+Registry::disarm()
+{
+    armed_ = false;
+    plan.triggers.clear();
+}
+
+void
+Registry::setCounting(bool on)
+{
+    counting_ = on;
+    if (on)
+        counters.clear();
+}
+
+std::uint64_t
+Registry::hits(const std::string &point) const
+{
+    auto it = counters.find(point);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+Registry::step(const char *point, std::uint64_t &hit_no,
+               Action &action)
+{
+    std::uint64_t n = ++counters[point];
+    hit_no = n;
+    if (!armed_)
+        return false;
+    for (const auto &t : plan.triggers) {
+        if (t.point != point)
+            continue;
+        bool fires = t.action == Action::Crash
+                         ? n == t.hit
+                         : n >= t.hit && n < t.hit + t.count;
+        if (fires) {
+            action = t.action;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Registry::hitPoint(const char *point)
+{
+    if (!armed_ && !counting_)
+        return;
+    std::uint64_t hit_no = 0;
+    Action action{};
+    if (!step(point, hit_no, action))
+        return;
+    // A statement hook cannot report a write error; only crash here.
+    if (action == Action::Crash) {
+        NVO_TRACE_NOW(Fault, FaultCrash, obs::trackSim, hit_no, 0);
+        throw CrashFault{point, hit_no};
+    }
+}
+
+bool
+Registry::errorPoint(const char *point)
+{
+    if (!armed_ && !counting_)
+        return false;
+    std::uint64_t hit_no = 0;
+    Action action{};
+    if (!step(point, hit_no, action))
+        return false;
+    if (action == Action::Crash) {
+        NVO_TRACE_NOW(Fault, FaultCrash, obs::trackSim, hit_no, 0);
+        throw CrashFault{point, hit_no};
+    }
+    NVO_TRACE_NOW(Fault, FaultNvmError, obs::trackNvm, hit_no, 0);
+    return true;
+}
+
+ScopedPlan::ScopedPlan(FaultPlan plan)
+{
+    registry().arm(std::move(plan));
+}
+
+ScopedPlan::~ScopedPlan()
+{
+    registry().disarm();
+}
+
+} // namespace fault
+} // namespace nvo

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Fault-injection registry for crash-consistency testing.
+ *
+ * The durability argument of the paper (Sec. V-E) is "crash anywhere,
+ * recover at rec-epoch". To test "anywhere", protocol code is seeded
+ * with named fault points:
+ *
+ *  - `NVO_FAULT_POINT(name)`: a statement hook. When a `FaultPlan` is
+ *    armed and schedules a crash at the Nth hit of @p name, the hook
+ *    throws `CrashFault`, unwinding mid-operation exactly as a power
+ *    failure would interrupt the hardware (volatile structures are
+ *    left torn; the persist domain still holds the undrained suffix).
+ *  - `NVO_FAULT_ERROR(name)`: an expression hook evaluating to true
+ *    when the plan injects a transient device-write error at this
+ *    hit. Callers own the retry/backoff policy (the OMC drain path).
+ *
+ * Cost model mirrors NVO_AUDIT / NVO_TRACE: hooks compile to nothing
+ * unless the build defines NVO_FAULT_ENABLED (CMake option
+ * `NVO_FAULT`, default ON for Debug); compiled in but disarmed, a
+ * hook is one load and one branch. The simulator is single-threaded,
+ * so one process-wide registry keeps hooks free of plumbing.
+ */
+
+#ifndef NVO_FAULT_FAULT_HH
+#define NVO_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvo
+{
+namespace fault
+{
+
+/** True when the build compiles fault hooks in. */
+#ifdef NVO_FAULT_ENABLED
+constexpr bool enabled = true;
+#else
+constexpr bool enabled = false;
+#endif
+
+/** Thrown from a fault point to simulate a power failure. */
+struct CrashFault
+{
+    std::string point;
+    std::uint64_t hit = 0;
+};
+
+/** What a trigger does when its hit count is reached. */
+enum class Action
+{
+    Crash,      ///< throw CrashFault at the Nth hit
+    NvmError,   ///< report a transient write error for `count` hits
+};
+
+/**
+ * A deterministic fault schedule: triggers keyed by fault-point name.
+ * Hits are 1-based; an NvmError trigger fails hits [hit, hit+count).
+ */
+struct FaultPlan
+{
+    struct Trigger
+    {
+        std::string point;
+        std::uint64_t hit = 1;
+        Action action = Action::Crash;
+        std::uint64_t count = 1;   ///< NvmError: consecutive failures
+    };
+
+    std::vector<Trigger> triggers;
+
+    FaultPlan &
+    crashAt(std::string point, std::uint64_t hit)
+    {
+        triggers.push_back({std::move(point), hit, Action::Crash, 1});
+        return *this;
+    }
+
+    FaultPlan &
+    nvmErrorAt(std::string point, std::uint64_t hit,
+               std::uint64_t count = 1)
+    {
+        triggers.push_back(
+            {std::move(point), hit, Action::NvmError, count});
+        return *this;
+    }
+};
+
+/**
+ * Process-wide fault registry. Counts hits per point while armed (or
+ * while counting is on, which campaign probe runs use to learn each
+ * point's hit population before planning crashes).
+ */
+class Registry
+{
+  public:
+    /** Install @p plan and reset hit counters. */
+    void arm(FaultPlan plan);
+
+    /** Remove the plan; counters stop advancing unless counting. */
+    void disarm();
+
+    bool armed() const { return armed_; }
+
+    /** Count hits with no plan installed (campaign probe runs). */
+    void setCounting(bool on);
+
+    /** Hits observed for @p point since the last arm/reset. */
+    std::uint64_t hits(const std::string &point) const;
+
+    /** All points hit since the last arm/reset, with counts. */
+    const std::map<std::string, std::uint64_t> &allHits() const
+    {
+        return counters;
+    }
+
+    void resetCounters() { counters.clear(); }
+
+    /** Statement hook body; throws CrashFault when the plan says so. */
+    void hitPoint(const char *point);
+
+    /** Expression hook body; true = inject a transient write error. */
+    bool errorPoint(const char *point);
+
+  private:
+    struct Match
+    {
+        Action action;
+        bool fired;
+    };
+
+    /** Advance @p point's counter and match it against the plan. */
+    bool step(const char *point, std::uint64_t &hit_no,
+              Action &action);
+
+    bool armed_ = false;
+    bool counting_ = false;
+    FaultPlan plan;
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/** The process-wide registry (single-threaded simulator). */
+Registry &registry();
+
+/** RAII guard: arms @p plan now, disarms on scope exit. */
+class ScopedPlan
+{
+  public:
+    explicit ScopedPlan(FaultPlan plan);
+    ~ScopedPlan();
+    ScopedPlan(const ScopedPlan &) = delete;
+    ScopedPlan &operator=(const ScopedPlan &) = delete;
+};
+
+} // namespace fault
+} // namespace nvo
+
+#ifdef NVO_FAULT_ENABLED
+#define NVO_FAULT_POINT(name)                                          \
+    do {                                                               \
+        ::nvo::fault::registry().hitPoint(name);                       \
+    } while (0)
+#define NVO_FAULT_ERROR(name) (::nvo::fault::registry().errorPoint(name))
+#else
+/* Compiled out: operands stay type-checked but are never evaluated. */
+#define NVO_FAULT_POINT(name)                                          \
+    do {                                                               \
+        if (false) {                                                   \
+            static_cast<void>(name);                                   \
+        }                                                              \
+    } while (0)
+#define NVO_FAULT_ERROR(name) (static_cast<void>(sizeof(name)), false)
+#endif
+
+#endif // NVO_FAULT_FAULT_HH

@@ -44,7 +44,7 @@ applyOverrides(Config &cfg, const std::vector<std::string> &args)
         {"NVO_OPS", "wl.ops"},
         {"NVO_EPOCH_STORES", "epoch.stores_global"},
         {"NVO_THREADS", "sys.cores"},
-        {"NVO_SEED", "wl.seed"},
+        {"NVO_SEED", "rng.seed"},
     };
     for (const auto &k : keys) {
         if (const char *v = std::getenv(k.env))

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/log.hh"
+#include "mem/persist_domain.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -52,6 +53,11 @@ System::build(const std::string &scheme_name)
     np.readLatency = cfg_.getU64("nvm.read_lat", 510);
     np.bufferBytes = cfg_.getU64("nvm.buffer_mb", 32) * 1024 * 1024;
     nvm_ = std::make_unique<NvmModel>(np, &stats_);
+    // Crash campaigns arm the persist domain so durable mutations
+    // journal undo records until the next barrier; plain performance
+    // runs leave it disarmed (one branch per staged call site).
+    if (cfg_.getBool("persist.armed", false))
+        nvm_->persist().arm();
 
     // Hierarchy (Table II geometry by default).
     Hierarchy::Params hp;

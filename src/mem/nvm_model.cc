@@ -4,6 +4,8 @@
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "fault/fault.hh"
+#include "mem/persist_domain.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -20,6 +22,15 @@ NvmModel::NvmModel(const Params &params, RunStats *run_stats)
         static_cast<double>(p.bufferBytes) /
         (static_cast<double>(p.banks) * lineBytes /
          static_cast<double>(p.writeOccupancy)));
+    persist_ = std::make_unique<PersistDomain>(*this);
+}
+
+NvmModel::~NvmModel() = default;
+
+PersistDomain &
+NvmModel::persist()
+{
+    return *persist_;
 }
 
 double
@@ -41,6 +52,7 @@ NvmModel::write(Addr addr, std::uint32_t bytes, Cycle now,
                 NvmWriteKind kind)
 {
     nvo_assert(bytes > 0);
+    NVO_FAULT_POINT("nvm.write");
 
     // Bandwidth model: accumulate drain work on the aggregate device
     // clock; stall only when the backlog no longer fits the buffer.

@@ -21,6 +21,7 @@
 #define NVO_MEM_NVM_MODEL_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
@@ -28,6 +29,8 @@
 
 namespace nvo
 {
+
+class PersistDomain;
 
 class NvmModel
 {
@@ -46,6 +49,7 @@ class NvmModel
     };
 
     NvmModel(const Params &params, RunStats *run_stats);
+    ~NvmModel();
 
     struct Issue
     {
@@ -75,6 +79,13 @@ class NvmModel
     std::uint64_t totalReadBytes() const { return readBytes; }
     std::uint64_t totalStallCycles() const { return stallCycles; }
 
+    /**
+     * The persist boundary: durable structures stage undo records and
+     * fence through this domain (see mem/persist_domain.hh).
+     */
+    PersistDomain &persist();
+    const PersistDomain &persist() const { return *persist_; }
+
   private:
     unsigned bankOf(Addr addr) const;
 
@@ -90,6 +101,7 @@ class NvmModel
     std::uint64_t writeBytes = 0;
     std::uint64_t readBytes = 0;
     std::uint64_t stallCycles = 0;
+    std::unique_ptr<PersistDomain> persist_;
 };
 
 } // namespace nvo

@@ -1,0 +1,46 @@
+#include "mem/persist_domain.hh"
+
+#include "common/log.hh"
+#include "obs/trace.hh"
+
+namespace nvo
+{
+
+void
+PersistDomain::stage(Kind kind, Undo undo)
+{
+    if (!armed_)
+        return;
+    nvo_assert(undo, "persist: staged record needs an undo closure");
+    ++staged_;
+    ++stagedKind[static_cast<unsigned>(kind)];
+    queue.push_back({kind, std::move(undo)});
+}
+
+void
+PersistDomain::barrier()
+{
+    if (!armed_)
+        return;
+    NVO_TRACE_NOW(Fault, PersistBarrier, obs::trackNvm, queue.size(),
+                  0);
+    ++barriers_;
+    durable_ += queue.size();
+    queue.clear();
+}
+
+void
+PersistDomain::truncateToDurable()
+{
+    NVO_TRACE_NOW(Fault, PersistTruncate, obs::trackNvm, queue.size(),
+                  0);
+    truncated_ += queue.size();
+    // Newest first: each undo then sees the state exactly as it was
+    // just after its own mutation ran.
+    while (!queue.empty()) {
+        queue.back().undo();
+        queue.pop_back();
+    }
+}
+
+} // namespace nvo

@@ -14,6 +14,15 @@ WriteTracker::record(Addr line_addr, SeqNo seq, EpochWide epoch,
 std::optional<std::uint64_t>
 WriteTracker::expectedDigest(Addr line_addr, EpochWide er) const
 {
+    auto entry = expectedEntry(line_addr, er);
+    if (!entry)
+        return std::nullopt;
+    return entry->digest;
+}
+
+std::optional<WriteTracker::Entry>
+WriteTracker::expectedEntry(Addr line_addr, EpochWide er) const
+{
     auto it = history.find(line_addr);
     if (it == history.end())
         return std::nullopt;
@@ -23,7 +32,7 @@ WriteTracker::expectedDigest(Addr line_addr, EpochWide er) const
     const auto &entries = it->second;
     for (auto rit = entries.rbegin(); rit != entries.rend(); ++rit) {
         if (rit->epoch <= er)
-            return rit->digest;
+            return *rit;
     }
     return std::nullopt;
 }

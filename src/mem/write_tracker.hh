@@ -45,6 +45,15 @@ class WriteTracker
     std::optional<std::uint64_t> expectedDigest(Addr line_addr,
                                                 EpochWide er) const;
 
+    /**
+     * Like expectedDigest, but returns the whole defining entry —
+     * crash campaigns need the defining store's epoch to decide
+     * whether a mismatch is a durability bug or a version the backend
+     * never received.
+     */
+    std::optional<Entry> expectedEntry(Addr line_addr,
+                                       EpochWide er) const;
+
     /** Check that per-line epochs never decrease (theorem premise). */
     bool epochsMonotonic() const;
 

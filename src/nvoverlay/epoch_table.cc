@@ -1,5 +1,7 @@
 #include "nvoverlay/epoch_table.hh"
 
+#include <utility>
+
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
@@ -104,7 +106,10 @@ EpochTable::grow(PageEntry &pe, const Sinks &sinks)
 
     PagePool::SubPageHeader hdr;
     if (pe.subPage != invalidAddr) {
-        if (const auto *old = pool.header(pe.subPage))
+        // Read through the const overload: the mutable one stages a
+        // persist-domain undo, which the dropHeader below already
+        // covers.
+        if (const auto *old = std::as_const(pool).header(pe.subPage))
             hdr = *old;
         pool.dropHeader(pe.subPage);
         pool.freeLines(pe.subPage, pe.capacity);
@@ -287,7 +292,8 @@ EpochTable::audit() const
             slots_taken |= 1ull << slot;
         }
 
-        const PagePool::SubPageHeader *hdr = pool.header(pe->subPage);
+        const PagePool::SubPageHeader *hdr =
+            std::as_const(pool).header(pe->subPage);
         NVO_AUDIT(hdr != nullptr,
                   "live overlay page without a persistent header");
         if (!hdr)

@@ -92,6 +92,28 @@ MasterTable::insert(Addr line_addr, Addr nvm_addr, EpochWide e)
     return replaced;
 }
 
+void
+MasterTable::erase(Addr line_addr)
+{
+    InnerNode *node = root;
+    for (unsigned level = 0; level < 3; ++level) {
+        void *c = node->child[idxAt(line_addr, level)];
+        if (!c)
+            return;
+        node = static_cast<InnerNode *>(c);
+    }
+    void *lc = node->child[idxAt(line_addr, 3)];
+    if (!lc)
+        return;
+    auto *leaf = static_cast<LeafNode *>(lc);
+    unsigned li = idxAt(line_addr, 4);
+    if (!((leaf->bitmap >> li) & 1ull))
+        return;
+    leaf->bitmap &= ~(1ull << li);
+    leaf->entry[li] = Entry{};
+    --mapped;
+}
+
 const MasterTable::Entry *
 MasterTable::lookup(Addr line_addr) const
 {

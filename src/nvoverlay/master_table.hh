@@ -50,6 +50,14 @@ class MasterTable
     std::optional<Entry> insert(Addr line_addr, Addr nvm_addr,
                                 EpochWide e);
 
+    /**
+     * Unmap @p line_addr (crash-unwind helper for the persist
+     * domain). Radix nodes stay allocated and no metadata write is
+     * emitted: the undo restores modelled state, it is not protocol
+     * traffic. No-op when the line is not mapped.
+     */
+    void erase(Addr line_addr);
+
     const Entry *lookup(Addr line_addr) const;
 
     /** Visit every mapped line: fn(line_addr, entry). */

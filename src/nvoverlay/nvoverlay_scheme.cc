@@ -40,6 +40,10 @@ NVOverlayScheme::NVOverlayScheme(const Config &cfg, NvmModel &nvm_model,
     mnmParams.dropMergedTables =
         cfg.getBool("mnm.drop_merged_tables", false);
     mnmParams.autoReclaim = cfg.getBool("mnm.auto_reclaim", false);
+    mnmParams.maxDeviceRetries = static_cast<unsigned>(
+        cfg.getU64("mnm.max_device_retries", 8));
+    mnmParams.testSkipRecBarrier =
+        cfg.getBool("mnm.test_skip_rec_barrier", false);
 }
 
 NVOverlayScheme::~NVOverlayScheme() = default;

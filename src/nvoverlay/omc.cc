@@ -6,6 +6,8 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "fault/fault.hh"
+#include "mem/persist_domain.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -23,6 +25,7 @@ MnmBackend::MnmBackend(const Params &params, NvmModel &nvm_model,
                                      p.poolBytesPerOmc;
         parts[i].pool =
             std::make_unique<PagePool>(base, p.poolBytesPerOmc);
+        parts[i].pool->attachPersist(&nvm.persist());
         Part *part = &parts[i];
         parts[i].master = std::make_unique<MasterTable>(
             [this, part](std::uint32_t bytes) {
@@ -56,8 +59,25 @@ MnmBackend::getTable(Part &part, EpochWide e)
 Cycle
 MnmBackend::deviceWrite(Addr nvm_addr, Cycle now)
 {
-    return nvm.write(nvm_addr, lineBytes, now, NvmWriteKind::Data)
-        .stall;
+    // Transient device-write errors are retried with exponential
+    // backoff; a persistent failure past the retry budget means the
+    // DIMM is gone and recovery guarantees are off.
+    Cycle stall = 0;
+    unsigned attempts = 0;
+    Cycle backoff = 1;
+    while (NVO_FAULT_ERROR("omc.device_write")) {
+        ++attempts;
+        nvo_assert(attempts <= p.maxDeviceRetries,
+                   "NVM write still failing after the retry budget");
+        stats.extra["nvm_write_retries"] += 1;
+        stall += backoff;
+        now += backoff;
+        backoff *= 2;
+    }
+    stall += nvm.persist()
+                 .write(nvm_addr, lineBytes, now, NvmWriteKind::Data)
+                 .stall;
+    return stall;
 }
 
 Cycle
@@ -80,6 +100,7 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
     unsigned oidx = omcOf(line_addr);
     Part &part = parts[oidx];
     Cycle stall = 0;
+    NVO_FAULT_POINT("omc.insert");
     NVO_TRACE(Omc, OmcInsert, obs::trackOmc(oidx), now, line_addr,
               oid);
 
@@ -137,9 +158,11 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
     if (recEpoch_ != 0 && oid <= recEpoch_) {
         const MasterTable::Entry *cur = part.master->lookup(line_addr);
         if (cur == nullptr || cur->epoch <= oid) {
+            NVO_FAULT_POINT("omc.late_merge");
             Addr nvm_addr = table.lookupNvm(line_addr);
             nvo_assert(nvm_addr != invalidAddr);
-            auto replaced = part.master->insert(line_addr, nvm_addr, oid);
+            auto replaced = masterInsert(part, line_addr, nvm_addr,
+                                         oid);
             EpochTable::PageEntry *pe =
                 table.pageEntry(pageAlign(line_addr));
             nvo_assert(pe != nullptr);
@@ -149,6 +172,10 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
             stats.extra["late_merges"] += 1;
             NVO_TRACE(Merge, LateMerge, obs::trackOmc(oidx), now,
                       line_addr, oid);
+            // The patch amends an already-published snapshot, so it
+            // persists synchronously rather than waiting for the next
+            // rec-epoch fence.
+            nvm.persist().barrier();
         }
     }
 
@@ -168,7 +195,40 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
         NVO_TRACE(Omc, OmcOccupancy, obs::trackOmc(oidx), now,
                   part.buffer->occupancy(), 0);
     }
+    if (nvm.persist().armed()) {
+        EpochWide &e = acked[line_addr];
+        e = std::max(e, oid);
+    }
     return stall;
+}
+
+EpochWide
+MnmBackend::ackedEpoch(Addr line_addr) const
+{
+    auto it = acked.find(line_addr);
+    return it == acked.end() ? 0 : it->second;
+}
+
+std::optional<MasterTable::Entry>
+MnmBackend::masterInsert(Part &part, Addr line_addr, Addr nvm_addr,
+                         EpochWide e)
+{
+    auto replaced = part.master->insert(line_addr, nvm_addr, e);
+    PersistDomain &domain = nvm.persist();
+    if (domain.armed()) {
+        MasterTable *mt = part.master.get();
+        if (replaced) {
+            domain.stage(PersistDomain::Kind::Master,
+                         [mt, line_addr, old = *replaced] {
+                             mt->insert(line_addr, old.nvmAddr,
+                                        old.epoch);
+                         });
+        } else {
+            domain.stage(PersistDomain::Kind::Master,
+                         [mt, line_addr] { mt->erase(line_addr); });
+        }
+    }
+    return replaced;
 }
 
 void
@@ -202,7 +262,7 @@ MnmBackend::flushMeta(Part &part, Cycle now)
                         p.poolBytesPerOmc +
                     (part.metaCursor % (1ull << 26));
         part.metaCursor += chunk;
-        nvm.write(addr, chunk, now, NvmWriteKind::Mapping);
+        nvm.persist().write(addr, chunk, now, NvmWriteKind::Mapping);
         part.pendingMetaBytes -= chunk;
     }
 }
@@ -210,8 +270,15 @@ MnmBackend::flushMeta(Part &part, Cycle now)
 void
 MnmBackend::persistRecEpoch(Cycle now)
 {
+    NVO_FAULT_POINT("omc.rec_epoch.persist");
     Addr addr = p.poolBase - lineBytes;   // fixed known location
-    nvm.write(addr, 8, now, NvmWriteKind::Mapping);
+    nvm.persist().write(addr, 8, now, NvmWriteKind::Mapping);
+    // The paper's ordering fence (Sec. V-B): every merge write must
+    // be durable before the rec-epoch word names it recoverable.
+    // Only the deliberately-buggy test configuration skips it.
+    if (!p.testSkipRecBarrier)
+        nvm.persist().barrier();
+    durableRecEpoch_ = recEpoch_;
 }
 
 void
@@ -222,11 +289,13 @@ MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
         auto it = part.tables.upper_bound(from);
         while (it != part.tables.end() && it->first <= upto) {
             EpochTable &table = *it->second;
+            NVO_FAULT_POINT("omc.merge.table");
             NVO_TRACE(Merge, TableMerge, obs::trackOmc(oidx), now,
                       it->first, 0);
             table.forEachVersion([&](Addr line_addr, Addr nvm_addr) {
-                auto replaced = part.master->insert(
-                    line_addr, nvm_addr, table.epochId());
+                NVO_FAULT_POINT("omc.merge.version");
+                auto replaced = masterInsert(part, line_addr, nvm_addr,
+                                             table.epochId());
                 EpochTable::PageEntry *pe =
                     table.pageEntry(pageAlign(line_addr));
                 nvo_assert(pe != nullptr);
@@ -265,6 +334,7 @@ MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
 
     // rec-epoch moves first so GC sees the new bound while merge
     // replacements dereference stale versions.
+    NVO_FAULT_POINT("omc.rec_epoch.advance");
     EpochWide old_rec = recEpoch_;
     NVO_TRACE(Merge, RecEpochAdvance, obs::trackSim, now, candidate,
               old_rec);
@@ -283,8 +353,10 @@ MnmBackend::drainBuffers(Cycle now)
         auto pendings = part.buffer->drainAll();
         NVO_TRACE(Omc, OmcBufferDrain, obs::trackOmc(oidx), now,
                   pendings.size(), 0);
-        for (const auto &pending : pendings)
+        for (const auto &pending : pendings) {
+            NVO_FAULT_POINT("omc.drain");
             flushPending(part, pending, now);
+        }
     }
 }
 
@@ -296,6 +368,9 @@ MnmBackend::finalize(Cycle now)
     for (auto &part : parts)
         flushMeta(part, now);
     persistRecEpoch(now);
+    // Clean shutdown leaves nothing in flight, even versions newer
+    // than the rec-epoch fence just issued.
+    nvm.persist().barrier();
     updateStats();
     return std::max(now, nvm.drainCompletion());
 }
@@ -325,6 +400,7 @@ MnmBackend::compact(Cycle now)
                 continue;
             if (e == recEpoch_)
                 break;   // nothing newer to copy into
+            NVO_FAULT_POINT("omc.compact");
             NVO_TRACE(Merge, Compaction, obs::trackOmc(oidx), now, e,
                       0);
             if (!any_live) {
@@ -361,6 +437,7 @@ MnmBackend::compact(Cycle now)
                 (void)content;
             });
             for (Addr line_addr : moved) {
+                NVO_FAULT_POINT("omc.compact.copy");
                 LineData content;
                 table.readVersion(line_addr, content);
                 bool ok = target.insert(line_addr, ~static_cast<SeqNo>(0),
@@ -368,8 +445,8 @@ MnmBackend::compact(Cycle now)
                 if (!ok)
                     return;   // target pool full; give up this pass
                 Addr fresh = target.lookupNvm(line_addr);
-                auto replaced = part.master->insert(line_addr, fresh,
-                                                    recEpoch_);
+                auto replaced = masterInsert(part, line_addr, fresh,
+                                             recEpoch_);
                 EpochTable::PageEntry *tpe =
                     target.pageEntry(pageAlign(line_addr));
                 ++tpe->liveMaster;
@@ -390,6 +467,9 @@ MnmBackend::compact(Cycle now)
             break;   // one source epoch per pass
         }
     }
+    // A compaction pass rewrote master entries of epochs at or below
+    // the published rec-epoch; fence before anything can observe it.
+    nvm.persist().barrier();
 }
 
 void
@@ -420,6 +500,33 @@ MnmBackend::rebuildTables()
                     ++pe->liveMaster;
             });
     }
+}
+
+void
+MnmBackend::crashReset()
+{
+    // Power failure. Battery-backed buffer pendings defer only the
+    // *timing* of device writes — the content already sits in the
+    // pool image — so they are simply discarded; per-epoch DRAM
+    // tables and unflushed metadata vanish with them.
+    for (auto &part : parts) {
+        if (part.buffer)
+            part.buffer->drainAll();
+        part.tables.clear();
+    }
+    // Truncate the modelled NVM back to the durable prefix, then
+    // target the last fenced rec-epoch.
+    nvm.persist().truncateToDurable();
+    for (auto &part : parts)
+        part.pendingMetaBytes = 0;
+    recEpoch_ = durableRecEpoch_;
+    // Walker certifications died with the frontend; re-seed min-vers
+    // at the value the surviving rec-epoch implies so the rec-epoch
+    // invariant (rec-epoch == min(min-vers) - 1) keeps holding.
+    for (auto &v : minVers)
+        v = recEpoch_ == 0 ? 0 : recEpoch_ + 1;
+    bufferBypass = false;
+    rebuildTables();
 }
 
 bool

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -55,6 +56,16 @@ class MnmBackend
         bool dropMergedTables = false;
         /** Reclaim sub-pages whose versions all became stale. */
         bool autoReclaim = false;
+        /** Transient NVM write errors tolerated per device write
+         *  before the drain path gives up (fault injection). */
+        unsigned maxDeviceRetries = 8;
+        /**
+         * TEST ONLY: advance the durable rec-epoch *without* the
+         * persist fence ordering merge writes before the rec-epoch
+         * word — a classic missing-barrier durability bug. Crash
+         * campaigns must detect the resulting recovery mismatch.
+         */
+        bool testSkipRecBarrier = false;
     };
 
     MnmBackend(const Params &params, NvmModel &nvm_model,
@@ -82,6 +93,9 @@ class MnmBackend
     /** Current recoverable epoch (0 = nothing recoverable yet). */
     EpochWide recEpoch() const { return recEpoch_; }
 
+    /** Rec-epoch whose persist fence completed (crash target). */
+    EpochWide durableRecEpoch() const { return durableRecEpoch_; }
+
     /** Flush all buffered writes to the device (battery flush). */
     void drainBuffers(Cycle now);
 
@@ -102,6 +116,25 @@ class MnmBackend
      */
     void dropVolatileTables();
     void rebuildTables();
+
+    /**
+     * Simulated power failure: discard all volatile state (buffered
+     * pendings, per-epoch DRAM tables, unflushed metadata), truncate
+     * the persist domain's in-flight suffix back to the durable
+     * prefix, rewind rec-epoch to the last fenced value, and rebuild
+     * the tables from the surviving NVM image (paper Sec. V-E).
+     */
+    void crashReset();
+
+    /**
+     * Newest version epoch fully processed for @p line_addr, or 0.
+     * Campaign bookkeeping, recorded only while the persist domain is
+     * armed: a crash may legitimately lose versions the frontend
+     * committed but never handed to the backend (the late-merge
+     * window), and verification needs to tell those from real
+     * durability bugs.
+     */
+    EpochWide ackedEpoch(Addr line_addr) const;
 
     // --- Persistent-state reads (recovery, time travel) ---
 
@@ -177,6 +210,11 @@ class MnmBackend
     /** Merge all tables in (from, upto] into the master. */
     void mergeUpTo(EpochWide from, EpochWide upto, Cycle now);
 
+    /** Master insert that journals its undo in the persist domain. */
+    std::optional<MasterTable::Entry>
+    masterInsert(Part &part, Addr line_addr, Addr nvm_addr,
+                 EpochWide e);
+
     /** Unreference a replaced master entry (GC refcount). */
     void unref(Part &part, Addr line_addr,
                const MasterTable::Entry &old_entry);
@@ -193,8 +231,11 @@ class MnmBackend
     std::vector<Part> parts;
     std::vector<EpochWide> minVers;
     EpochWide recEpoch_ = 0;
+    EpochWide durableRecEpoch_ = 0;
     bool bufferBypass = false;
     std::uint64_t mergeCount = 0;
+    /** Per-line newest acked version epoch (armed campaigns only). */
+    std::unordered_map<Addr, EpochWide> acked;
 };
 
 } // namespace nvo

@@ -5,6 +5,8 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "fault/fault.hh"
+#include "mem/persist_domain.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -45,6 +47,13 @@ PagePool::allocPage()
         bitmap[idx] |= 1ull << bit;
         scanHint = idx;
         ++usedPages;
+        if (pd && pd->armed()) {
+            pd->stage(PersistDomain::Kind::PoolBitmap,
+                      [this, idx, bit] {
+                          bitmap[idx] &= ~(1ull << bit);
+                          --usedPages;
+                      });
+        }
         NVO_TRACE_NOW(Pool, PoolPages, obs::trackSim, usedPages, 0);
         return base + page * pageBytes;
     }
@@ -54,6 +63,7 @@ PagePool::allocPage()
 Addr
 PagePool::allocLines(unsigned lines)
 {
+    NVO_FAULT_POINT("pool.alloc");
     unsigned rounded = roundLines(lines);
     unsigned order = log2Exact(rounded);
 
@@ -63,8 +73,10 @@ PagePool::allocLines(unsigned lines)
         ++from;
 
     Addr block;
-    if (from > maxOrder) {
-        block = allocPage();
+    bool from_free_list = from <= maxOrder;
+    unsigned src_order = from_free_list ? from : maxOrder;
+    if (!from_free_list) {
+        block = allocPage();   // stages its own bitmap undo
         if (block == invalidAddr)
             return invalidAddr;
         from = maxOrder;
@@ -80,7 +92,22 @@ PagePool::allocLines(unsigned lines)
                                   (static_cast<Addr>(1) << from) *
                                       lineBytes);
     }
-    allocatedBytes += static_cast<std::uint64_t>(rounded) * lineBytes;
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(rounded) * lineBytes;
+    allocatedBytes += bytes;
+    if (pd && pd->armed()) {
+        // Reverse-order unwind guarantees the halves pushed above are
+        // still at the back of their lists when this undo runs.
+        pd->stage(PersistDomain::Kind::PoolBitmap,
+                  [this, block, order, src_order, from_free_list,
+                   bytes] {
+                      for (unsigned o = order; o < src_order; ++o)
+                          freeLists[o].pop_back();
+                      if (from_free_list)
+                          freeLists[src_order].push_back(block);
+                      allocatedBytes -= bytes;
+                  });
+    }
     NVO_TRACE_NOW(Pool, PoolAlloc, obs::trackSim, block, rounded);
     return block;
 }
@@ -88,10 +115,20 @@ PagePool::allocLines(unsigned lines)
 void
 PagePool::freeLines(Addr addr, unsigned lines)
 {
+    NVO_FAULT_POINT("pool.free");
     unsigned rounded = roundLines(lines);
     unsigned order = log2Exact(rounded);
     freeLists[order].push_back(addr);
-    allocatedBytes -= static_cast<std::uint64_t>(rounded) * lineBytes;
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(rounded) * lineBytes;
+    allocatedBytes -= bytes;
+    if (pd && pd->armed()) {
+        pd->stage(PersistDomain::Kind::PoolBitmap,
+                  [this, order, bytes] {
+                      freeLists[order].pop_back();
+                      allocatedBytes += bytes;
+                  });
+    }
     NVO_TRACE_NOW(Pool, PoolFree, obs::trackSim, addr, rounded);
     // Note: no buddy coalescing; version compaction is the mechanism
     // that reclaims fragmented pools (paper Sec. V-D).
@@ -102,12 +139,26 @@ PagePool::extend(std::uint64_t pages)
 {
     numPages += pages;
     bitmap.resize((numPages + 63) / 64, 0);
+    if (pd && pd->armed()) {
+        pd->stage(PersistDomain::Kind::PoolBitmap, [this, pages] {
+            numPages -= pages;
+            bitmap.resize((numPages + 63) / 64, 0);
+        });
+    }
     NVO_TRACE_NOW(Pool, PoolExtend, obs::trackSim, pages, 0);
 }
 
 void
 PagePool::writeLine(Addr nvm_addr, const LineData &content)
 {
+    if (pd && pd->armed()) {
+        LineData old;
+        image.readLine(nvm_addr, old);
+        pd->stage(PersistDomain::Kind::PoolData,
+                  [this, nvm_addr, old] {
+                      image.writeLine(nvm_addr, old);
+                  });
+    }
     image.writeLine(nvm_addr, content);
 }
 
@@ -120,6 +171,18 @@ PagePool::readLine(Addr nvm_addr, LineData &out) const
 void
 PagePool::setHeader(Addr sub_page, const SubPageHeader &hdr)
 {
+    if (pd && pd->armed()) {
+        auto it = headers.find(sub_page);
+        if (it == headers.end()) {
+            pd->stage(PersistDomain::Kind::PoolHeader,
+                      [this, sub_page] { headers.erase(sub_page); });
+        } else {
+            pd->stage(PersistDomain::Kind::PoolHeader,
+                      [this, sub_page, old = it->second] {
+                          headers[sub_page] = old;
+                      });
+        }
+    }
     headers[sub_page] = hdr;
 }
 
@@ -134,12 +197,32 @@ PagePool::SubPageHeader *
 PagePool::header(Addr sub_page)
 {
     auto it = headers.find(sub_page);
-    return it == headers.end() ? nullptr : &it->second;
+    if (it == headers.end())
+        return nullptr;
+    // The caller may mutate fields in place; snapshot the whole
+    // header so a crash restores it (over-stages on read-only use,
+    // which only happens while a campaign has the domain armed).
+    if (pd && pd->armed()) {
+        pd->stage(PersistDomain::Kind::PoolHeader,
+                  [this, sub_page, old = it->second] {
+                      headers[sub_page] = old;
+                  });
+    }
+    return &it->second;
 }
 
 void
 PagePool::dropHeader(Addr sub_page)
 {
+    if (pd && pd->armed()) {
+        auto it = headers.find(sub_page);
+        if (it != headers.end()) {
+            pd->stage(PersistDomain::Kind::PoolHeader,
+                      [this, sub_page, old = it->second] {
+                          headers[sub_page] = old;
+                      });
+        }
+    }
     headers.erase(sub_page);
 }
 

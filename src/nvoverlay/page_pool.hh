@@ -26,6 +26,8 @@
 namespace nvo
 {
 
+class PersistDomain;
+
 class PagePool
 {
   public:
@@ -46,6 +48,14 @@ class PagePool
     PagePool(Addr base_addr, std::uint64_t size_bytes);
 
     /**
+     * Journal durable-state mutations (bitmap, image, headers) into
+     * @p domain so a simulated crash can unwind the unfenced suffix.
+     * Pool state *is* the modelled NVM content, so every mutator
+     * stages an undo record while the domain is armed.
+     */
+    void attachPersist(PersistDomain *domain) { pd = domain; }
+
+    /**
      * Allocate a sub-page of at least @p lines lines (rounded up to a
      * power of two). Returns invalidAddr when the pool is exhausted.
      */
@@ -64,6 +74,11 @@ class PagePool
     /** Persistent header bookkeeping. */
     void setHeader(Addr sub_page, const SubPageHeader &header);
     const SubPageHeader *header(Addr sub_page) const;
+    /**
+     * Mutable header access. Callers may update fields in place, so
+     * while the persist domain is armed this stages a whole-header
+     * undo snapshot before handing out the pointer.
+     */
     SubPageHeader *header(Addr sub_page);
     void dropHeader(Addr sub_page);
 
@@ -113,6 +128,7 @@ class PagePool
     std::array<std::vector<Addr>, maxOrder + 1> freeLists;
     BackingStore image;
     std::unordered_map<Addr, SubPageHeader> headers;
+    PersistDomain *pd = nullptr;
 };
 
 } // namespace nvo

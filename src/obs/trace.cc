@@ -45,6 +45,10 @@ constexpr std::array<EvInfo, numEvents> evTable = {{
     {"nvm_stall", Cat::Nvm, "stall", "backlog", false},
     {"nvm_backlog", Cat::Nvm, "value", nullptr, true},
     {"phase", Cat::Harness, "phase", nullptr, false},
+    {"fault_nvm_error", Cat::Fault, "hit", nullptr, false},
+    {"fault_crash", Cat::Fault, "hit", nullptr, false},
+    {"persist_barrier", Cat::Fault, "records", nullptr, false},
+    {"persist_truncate", Cat::Fault, "records", nullptr, false},
 }};
 
 } // namespace
@@ -69,6 +73,7 @@ toString(Cat c)
       case Cat::Pool: return "pool";
       case Cat::Nvm: return "nvm";
       case Cat::Harness: return "harness";
+      case Cat::Fault: return "fault";
       default: return "?";
     }
 }

@@ -67,9 +67,10 @@ enum class Cat : std::uint32_t
     Pool = 1u << 5,      ///< page-pool alloc/free/extend
     Nvm = 1u << 6,       ///< device backlog stalls
     Harness = 1u << 7,   ///< simulator phase markers
+    Fault = 1u << 8,     ///< fault injection, persist barriers/crashes
 };
 
-constexpr std::uint32_t allCats = 0xffu;
+constexpr std::uint32_t allCats = 0x1ffu;
 
 /** Typed events. Metadata (name, category, arg names) in info(). */
 enum class Ev : std::uint16_t
@@ -105,6 +106,11 @@ enum class Ev : std::uint16_t
     NvmBacklog,      ///< counter: a0 = backlog cycles
     // Harness.
     Phase,           ///< a0 = PhaseId
+    // Fault injection / persistence domain.
+    FaultNvmError,   ///< a0 = hit number at the fault point
+    FaultCrash,      ///< a0 = hit number at the fault point
+    PersistBarrier,  ///< a0 = in-flight records made durable
+    PersistTruncate, ///< a0 = in-flight records unwound by crash
     NumEvents
 };
 

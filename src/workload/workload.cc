@@ -87,7 +87,10 @@ makeWorkload(const std::string &name, const Config &cfg)
     p.numThreads =
         static_cast<unsigned>(cfg.getU64("wl.threads", 16));
     p.opsPerThread = cfg.getU64("wl.ops", 4096);
-    p.seed = cfg.getU64("wl.seed", 1);
+    // Single experiment-wide seed: rng.seed steers every randomized
+    // component (workloads today, crash campaigns, future samplers);
+    // wl.seed remains as a workload-local override.
+    p.seed = cfg.getU64("wl.seed", cfg.getU64("rng.seed", 1));
     p.gap = static_cast<std::uint32_t>(cfg.getU64("wl.gap", 32));
 
     if (name == "hashtable")

@@ -37,7 +37,10 @@ TEST(ApplyOverrides, EnvAndArgs)
     Config cfg = defaultConfig();
     applyOverrides(cfg, {"l2.kb=512"});
     EXPECT_EQ(cfg.getU64("wl.ops", 0), 1234u);
-    EXPECT_EQ(cfg.getU64("wl.seed", 0), 77u);
+    // NVO_SEED feeds the experiment-wide rng.seed, which wl.seed
+    // falls back to unless overridden explicitly.
+    EXPECT_EQ(cfg.getU64("rng.seed", 0), 77u);
+    EXPECT_EQ(cfg.getU64("wl.seed", cfg.getU64("rng.seed", 1)), 77u);
     EXPECT_EQ(cfg.getU64("l2.kb", 0), 512u);
     unsetenv("NVO_OPS");
     unsetenv("NVO_SEED");

@@ -121,6 +121,151 @@ TEST(Rebuild, TimeTravelWorksAfterCrash)
     EXPECT_GT(checked, 50u);
 }
 
+TEST(Rebuild, IntermediateRecEpochWithUnmergedLaterTables)
+{
+    // Crash-rebuild at an intermediate rec-epoch: epochs 1..4 are
+    // merged into the master, while epochs 6..8 still sit unmerged in
+    // their per-epoch tables. Recovery must return exactly the
+    // rec-epoch-4 image — later unmerged versions may not leak in —
+    // and the rebuilt tables must still time-travel into them.
+    RunStats stats;
+    NvmModel nvm(NvmModel::Params{}, &stats);
+    MnmBackend::Params params;
+    params.numOmcs = 2;
+    params.numVds = 2;
+    MnmBackend backend(params, nvm, stats);
+
+    SeqNo seq = 0;
+    std::map<Addr, std::map<EpochWide, LineData>> truth;
+    Rng rng(23);
+    auto put = [&](Addr a, EpochWide e) {
+        LineData d = lineOf(static_cast<std::uint8_t>(rng.below(250)));
+        backend.insertVersion(a, e, ++seq, d, 0);
+        truth[a][e] = d;
+    };
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 200; ++i)
+        addrs.push_back(lineAlign(rng.below(1 << 20)));
+    for (Addr a : addrs)
+        for (EpochWide e = 1; e <= 4; ++e)
+            if (rng.chance(0.6))
+                put(a, e);
+    backend.reportMinVer(0, 5, 0);
+    backend.reportMinVer(1, 5, 0);
+    ASSERT_EQ(backend.recEpoch(), 4u);
+    for (Addr a : addrs)
+        for (EpochWide e = 6; e <= 8; ++e)
+            if (rng.chance(0.5))
+                put(a, e);
+
+    backend.dropVolatileTables();
+    backend.rebuildTables();
+
+    RecoveryManager rm(backend);
+    auto result = rm.recover();
+    EXPECT_EQ(result.recEpoch, 4u);
+    EXPECT_EQ(RecoveryManager::validate(result, backend), "");
+
+    unsigned checked = 0, mismatches = 0;
+    for (const auto &kv : truth) {
+        const LineData *want = nullptr;
+        for (const auto &ve : kv.second)
+            if (ve.first <= 4)
+                want = &ve.second;
+        if (!want)
+            continue;
+        LineData got;
+        result.image->readLine(kv.first, got);
+        ++checked;
+        if (!(got == *want))
+            ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0u);
+    EXPECT_GT(checked, 50u);
+
+    // The unmerged epochs survived the rebuild as tables too.
+    SnapshotReader reader(backend);
+    for (const auto &kv : truth) {
+        for (const auto &ve : kv.second) {
+            auto got = reader.readLine(kv.first, ve.first);
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(got->data.digest(), ve.second.digest());
+        }
+    }
+}
+
+TEST(Rebuild, RecoveryAfterCompactionKeepsSurvivingEpochs)
+{
+    // Compaction rewrites still-live versions into the newest merged
+    // epoch and reclaims stale sub-pages. A crash right after must
+    // rebuild to exactly the post-compaction state: every surviving
+    // (line, epoch) snapshot reads back unchanged.
+    RunStats stats;
+    NvmModel nvm(NvmModel::Params{}, &stats);
+    MnmBackend::Params params;
+    params.numOmcs = 2;
+    params.numVds = 2;
+    MnmBackend backend(params, nvm, stats);
+
+    SeqNo seq = 0;
+    Rng rng(31);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 150; ++i)
+        addrs.push_back(lineAlign(rng.below(1 << 18)));
+    for (EpochWide e = 1; e <= 6; ++e)
+        for (Addr a : addrs)
+            if (rng.chance(0.7))
+                backend.insertVersion(
+                    a, e, ++seq,
+                    lineOf(static_cast<std::uint8_t>(rng.below(250))),
+                    0);
+    backend.reportMinVer(0, 7, 0);
+    backend.reportMinVer(1, 7, 0);
+    ASSERT_EQ(backend.recEpoch(), 6u);
+
+    backend.compact(0);
+
+    // Post-compaction ground truth: the full time-travel surface.
+    struct Snap
+    {
+        bool ok;
+        EpochWide found;
+        std::uint64_t digest;
+    };
+    std::map<std::pair<Addr, EpochWide>, Snap> before;
+    LineData out;
+    for (Addr a : addrs) {
+        for (EpochWide e = 1; e <= 6; ++e) {
+            EpochWide found = 0;
+            bool ok = backend.readSnapshot(a, e, out, &found);
+            before[{a, e}] = Snap{ok, found,
+                                  ok ? out.digest() : 0};
+        }
+    }
+
+    backend.dropVolatileTables();
+    backend.rebuildTables();
+
+    RecoveryManager rm(backend);
+    auto result = rm.recover();
+    EXPECT_EQ(result.recEpoch, 6u);
+    EXPECT_EQ(RecoveryManager::validate(result, backend), "");
+
+    unsigned mismatches = 0;
+    for (const auto &kv : before) {
+        EpochWide found = 0;
+        bool ok =
+            backend.readSnapshot(kv.first.first, kv.first.second, out,
+                                 &found);
+        if (ok != kv.second.ok ||
+            (ok && (found != kv.second.found ||
+                    out.digest() != kv.second.digest)))
+            ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0u)
+        << "rebuild after compaction changed the snapshot surface";
+}
+
 TEST(OidGranularity, SuperBlockTagIsMaxOfLines)
 {
     BackingStore bs;

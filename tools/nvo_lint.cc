@@ -21,6 +21,11 @@
  *                    through common/log, the obs/ exporters, or the
  *                    harness table printer so machine-readable runs
  *                    stay clean. Those three locations are exempt.
+ *  - persist-domain: durable structures under src/nvoverlay/ may not
+ *                    write NVM behind the persist boundary's back: no
+ *                    direct `<nvm model>.write(...)` calls; route
+ *                    through nvm.persist().write() so crash-recovery
+ *                    campaigns see every durable mutation.
  *
  * Suppression: an allowlist file ("<rule> <path-suffix>" per line) or
  * an inline "nvo-lint: allow(rule)" marker on the offending line.
@@ -335,7 +340,7 @@ checkIncludeGuard(const std::string &display, const std::string &text,
 void
 lintTokens(const std::string &display, const std::vector<Token> &toks,
            bool is_epoch_header, bool raw_io_exempt,
-           std::vector<Violation> &out)
+           bool persist_scope, std::vector<Violation> &out)
 {
     // Pass 1: identifiers declared with type EpochId.
     std::set<std::string> epoch_ids;
@@ -386,6 +391,17 @@ lintTokens(const std::string &display, const std::vector<Token> &toks,
                      "harness table printer"});
         }
 
+        static const std::set<std::string> nvm_names = {
+            "nvm", "nvm_", "nvmModel", "nvm_model"};
+        if (persist_scope && t.ident && nvm_names.count(t.text) &&
+            i + 2 < toks.size() && toks[i + 1].text == "." &&
+            toks[i + 2].text == "write") {
+            out.push_back(
+                {display, t.line, "persist-domain",
+                 "direct NVM write bypasses the persist boundary "
+                 "(use " + t.text + ".persist().write)"});
+        }
+
         if (t.text == "new") {
             out.push_back({display, t.line, "raw-new-delete",
                            "raw new expression (own memory with "
@@ -420,9 +436,11 @@ lintText(const std::string &display, const std::string &guard_path,
         guard_path.rfind("obs/", 0) == 0 ||
         guard_path.rfind("common/log", 0) == 0 ||
         guard_path.rfind("harness/table_printer", 0) == 0;
+    bool persist_scope = guard_path.rfind("nvoverlay/", 0) == 0;
     if (is_header)
         checkIncludeGuard(display, text, guard_path, out);
-    lintTokens(display, toks, is_epoch_header, raw_io_exempt, out);
+    lintTokens(display, toks, is_epoch_header, raw_io_exempt,
+               persist_scope, out);
 
     // Drop violations suppressed by an inline marker.
     out.erase(std::remove_if(
@@ -569,6 +587,26 @@ selfTest()
          nullptr},
         {"raw-io allow marker suppresses", "cache/foo.cc",
          "void f() { puts(\"x\"); }  // nvo-lint: allow(raw-io)\n",
+         nullptr},
+        {"direct nvm write flagged in nvoverlay", "nvoverlay/foo.cc",
+         "void f() { nvm.write(a, 64, now, k); }\n",
+         "persist-domain"},
+        {"member nvm_ write flagged in nvoverlay", "nvoverlay/foo.cc",
+         "void f() { nvm_model.write(a, 8, now, k); }\n",
+         "persist-domain"},
+        {"persist-routed write is clean", "nvoverlay/foo.cc",
+         "void f() { nvm.persist().write(a, 64, now, k); }\n",
+         nullptr},
+        {"nvm read is clean", "nvoverlay/foo.cc",
+         "Cycle f() { return nvm.read(a, now); }\n",
+         nullptr},
+        {"direct nvm write outside nvoverlay is clean",
+         "baselines/foo.cc",
+         "void f() { nvm.write(a, 64, now, k); }\n",
+         nullptr},
+        {"persist-domain allow marker suppresses", "nvoverlay/foo.cc",
+         "void f() { nvm.write(a, 64, now, k); }"
+         "  // nvo-lint: allow(persist-domain)\n",
          nullptr},
     };
 

@@ -11,6 +11,8 @@
  *   nvo_sim scheme=nvoverlay workload=vacation crash_at=2000000 verify=1
  *   nvo_sim scheme=nvoverlay workload=btree trace_out=trace.json \
  *           stats_json=stats.json
+ *   nvo_sim crash_campaign=50 campaign.workloads=btree,kmeans rng.seed=7
+ *   nvo_sim workload=btree crash_point=omc.merge.version crash_hit=3
  *   nvo_sim list
  */
 
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "fault/crash_sim.hh"
 #include "harness/experiment.hh"
 #include "harness/system.hh"
 #include "nvoverlay/nvoverlay_scheme.hh"
@@ -46,6 +49,16 @@ usage()
         "picl-l2>\n"
         "  workload=<%s|...>\n"
         "  crash_at=<cycle>   stop without finalize at this cycle\n"
+        "  crash_campaign=<n> run n seeded crash-recovery trials\n"
+        "                     (campaign.workloads=a,b to sweep "
+        "several\n"
+        "                     workloads; rng.seed=<s> for the plan "
+        "stream;\n"
+        "                     exits 1 on any recovery mismatch)\n"
+        "  crash_point=<p>    single crash-recovery trial at the\n"
+        "  crash_hit=<n>      n-th hit of fault point p (needs a\n"
+        "                     build with NVO_FAULT=ON)\n"
+        "  crash_cycle=<c>    single power-cut trial at cycle c\n"
         "  record=<path>      capture the workload's trace and exit\n"
         "  verify=1           track writes; after a crash, recover "
         "and check the image\n"
@@ -76,6 +89,11 @@ main(int argc, char **argv)
     std::string stats_json_path;
     Cycle crash_at = 0;
     bool verify = false;
+    unsigned campaign_trials = 0;
+    std::string campaign_workloads;
+    std::string crash_point;
+    std::uint64_t crash_hit = 1;
+    Cycle crash_cycle = 0;
 
     Config cfg = defaultConfig();
     applyOverrides(cfg);
@@ -104,6 +122,17 @@ main(int argc, char **argv)
             workload = val;
         else if (key == "crash_at")
             crash_at = std::strtoull(val.c_str(), nullptr, 0);
+        else if (key == "crash_campaign")
+            campaign_trials = static_cast<unsigned>(
+                std::strtoull(val.c_str(), nullptr, 0));
+        else if (key == "campaign.workloads")
+            campaign_workloads = val;
+        else if (key == "crash_point")
+            crash_point = val;
+        else if (key == "crash_hit")
+            crash_hit = std::strtoull(val.c_str(), nullptr, 0);
+        else if (key == "crash_cycle")
+            crash_cycle = std::strtoull(val.c_str(), nullptr, 0);
         else if (key == "verify")
             verify = val == "1" || val == "true";
         else if (key == "record")
@@ -130,6 +159,63 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(n),
                     workload.c_str(), record_path.c_str());
         return 0;
+    }
+
+    if (campaign_trials > 0) {
+        fault::CampaignParams params;
+        params.scheme = scheme;
+        params.trials = campaign_trials;
+        params.seed = cfg.getU64("rng.seed", 1);
+        if (campaign_workloads.empty()) {
+            params.workloads.push_back(workload);
+        } else {
+            std::string rest = campaign_workloads;
+            while (!rest.empty()) {
+                auto comma = rest.find(',');
+                params.workloads.push_back(rest.substr(0, comma));
+                rest = comma == std::string::npos
+                           ? std::string()
+                           : rest.substr(comma + 1);
+            }
+        }
+        fault::CampaignResult res = runCrashCampaign(cfg, params);
+        std::printf("crash campaign: %u trials (%u crashed), %llu "
+                    "lines checked, %llu in-flight skips, %u "
+                    "failures -> %s\n",
+                    res.trials, res.crashes,
+                    static_cast<unsigned long long>(res.linesChecked),
+                    static_cast<unsigned long long>(
+                        res.inflightSkips),
+                    res.failures, res.passed() ? "PASS" : "FAIL");
+        if (!res.passed())
+            std::printf("first failing plan (minimized): %s\n",
+                        res.failingRepro.c_str());
+        return res.passed() ? 0 : 1;
+    }
+
+    if (!crash_point.empty() || crash_cycle > 0) {
+        fault::CrashPlan plan;
+        plan.point = crash_point;
+        plan.hit = crash_hit;
+        plan.cycle = crash_cycle;
+        fault::CrashSimulator sim(cfg, scheme, workload);
+        fault::CrashReport rep = sim.run(plan);
+        std::printf("crash trial: %s at %s:%llu, rec-epoch=%llu, "
+                    "%llu lines checked, %llu mismatches, %llu "
+                    "in-flight skips%s%s -> %s\n",
+                    rep.crashed ? "crashed" : "completed",
+                    rep.firedPoint.empty() ? "-"
+                                           : rep.firedPoint.c_str(),
+                    static_cast<unsigned long long>(rep.firedHit),
+                    static_cast<unsigned long long>(rep.recEpoch),
+                    static_cast<unsigned long long>(rep.linesChecked),
+                    static_cast<unsigned long long>(rep.mismatches),
+                    static_cast<unsigned long long>(
+                        rep.inflightSkips),
+                    rep.error.empty() ? "" : ", recovery error: ",
+                    rep.error.c_str(),
+                    rep.consistent() ? "CONSISTENT" : "INCONSISTENT");
+        return rep.consistent() ? 0 : 1;
     }
 
     auto host_t0 = std::chrono::steady_clock::now();
