@@ -6,6 +6,7 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/ledger.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -640,6 +641,7 @@ Hierarchy::store(unsigned core, Addr addr, const void *data,
             // push it to the L2 without invalidating the L1 line.
             NVO_TRACE(Cache, StoreEvict, obs::trackVd(vd), now,
                       line_addr, l1_line->oid);
+            NVO_LEDGER(seal(vd, line_addr, l1_line->oid, now));
             auto sealed = std::make_unique<LineData>();
             readCurrent(line_addr, *sealed);
             l2AcceptVersion(vd, line_addr, l1_line->oid,
@@ -655,6 +657,7 @@ Hierarchy::store(unsigned core, Addr addr, const void *data,
                 l2_line->oid < cur) {
                 NVO_TRACE(Cache, VersionSeal, obs::trackVd(vd), now,
                           line_addr, l2_line->oid);
+                NVO_LEDGER(seal(vd, line_addr, l2_line->oid, now));
                 auto sealed = std::make_unique<LineData>();
                 readCurrent(line_addr, *sealed);
                 l2_line->sealedData = std::move(sealed);

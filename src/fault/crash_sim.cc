@@ -1,6 +1,7 @@
 #include "fault/crash_sim.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <utility>
 
 #include "common/log.hh"
@@ -10,6 +11,7 @@
 #include "mem/write_tracker.hh"
 #include "nvoverlay/nvoverlay_scheme.hh"
 #include "nvoverlay/recovery.hh"
+#include "obs/trace.hh"
 
 namespace nvo
 {
@@ -30,6 +32,11 @@ CrashSimulator::run(const CrashPlan &plan)
     Config cfg = cfg_;
     cfg.set("sim.track_writes", "true");
     cfg.set("persist.armed", "true");
+    // trace.crash_out: keep the tracer recording so the ring can be
+    // flushed after the crash instead of dying with it.
+    std::string crash_trace = cfg.getStr("trace.crash_out", "");
+    if (!crash_trace.empty() && !cfg.has("trace.enabled"))
+        cfg.set("trace.enabled", "true");
     System sys(cfg, scheme_, workload_);
 
     auto *scheme = dynamic_cast<NVOverlayScheme *>(&sys.scheme());
@@ -88,6 +95,20 @@ CrashSimulator::run(const CrashPlan &plan)
             continue;
         }
         ++report.mismatches;
+    }
+
+    // Flush after verification so crash, rebuild, and recovery
+    // events all land in the exported trace.
+    if (report.crashed && !crash_trace.empty()) {
+        std::ofstream os(crash_trace);
+        if (os) {
+            obs::tracer().exportChrome(os);
+            inform("crash trace (%zu events) -> %s",
+                   obs::tracer().size(), crash_trace.c_str());
+        } else {
+            warn("cannot open trace.crash_out file '%s'",
+                 crash_trace.c_str());
+        }
     }
     return report;
 }
@@ -183,10 +204,18 @@ runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
                "crash campaign needs at least one workload");
     nvo_assert(params.trials > 0);
 
+    // Bulk trials run untraced; the minimized failing plan is
+    // re-run with tracing at the end so the exported ring matches
+    // the printed repro, not whichever trial crashed last.
+    std::string crash_trace =
+        base_cfg.getStr("trace.crash_out", "");
+    Config trial_cfg = base_cfg;
+    trial_cfg.set("trace.crash_out", "");
+
     std::vector<Probe> probes;
     for (const auto &workload : params.workloads) {
         Probe probe =
-            probeWorkload(base_cfg, params.scheme, workload);
+            probeWorkload(trial_cfg, params.scheme, workload);
         inform("crash-campaign: probe %s: %zu fault points, %llu "
                "cycles",
                workload.c_str(), probe.points.size(),
@@ -213,7 +242,7 @@ runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
                 1 + rng.below(std::max<Cycle>(probe.cycles, 2) - 1);
         }
 
-        CrashSimulator sim(base_cfg, params.scheme, workload);
+        CrashSimulator sim(trial_cfg, params.scheme, workload);
         CrashReport rep = sim.run(plan);
         ++res.trials;
         if (rep.crashed)
@@ -234,14 +263,22 @@ runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
         if (!rep.consistent()) {
             if (res.failures == 0) {
                 CrashPlan minimized =
-                    minimizePlan(base_cfg, params, workload, plan);
+                    minimizePlan(trial_cfg, params, workload, plan);
                 res.failingRepro =
                     reproLine(params, workload, minimized);
+                res.failingPlan = minimized;
+                res.failingWorkload = workload;
                 warn("crash-campaign: minimized repro: %s",
                      res.failingRepro.c_str());
             }
             ++res.failures;
         }
+    }
+
+    if (res.failures > 0 && !crash_trace.empty()) {
+        CrashSimulator sim(base_cfg, params.scheme,
+                           res.failingWorkload);
+        sim.run(res.failingPlan);
     }
     return res;
 }

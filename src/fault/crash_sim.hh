@@ -21,6 +21,13 @@
  * cycle-mode plans), trials draw plans from a seeded Rng, and the
  * first failing plan is minimized to the smallest failing hit count
  * before being reported with a CLI repro line.
+ *
+ * With `trace.crash_out=<path>` set, a crashed run() flushes the
+ * tracer's ring buffer to that path as Chrome trace-event JSON after
+ * verification (so recovery events are included) — without this the
+ * buffer would die with the volatile state it describes. A failing
+ * campaign re-runs its minimized plan once at the end so the shipped
+ * trace matches the printed repro line, not an arbitrary later trial.
  */
 
 #ifndef NVO_FAULT_CRASH_SIM_HH
@@ -103,6 +110,9 @@ struct CampaignResult
     std::uint64_t inflightSkips = 0;
     /** CLI repro of the first (minimized) failing plan. */
     std::string failingRepro;
+    /** The minimized plan itself + its workload (trace re-run). */
+    CrashPlan failingPlan;
+    std::string failingWorkload;
 
     bool passed() const { return failures == 0; }
 };

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "mem/persist_domain.hh"
+#include "obs/ledger.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -157,6 +158,7 @@ System::build(const std::string &scheme_name)
     // series snapshots cumulative RunStats counters at every epoch
     // boundary (consumers diff adjacent rows for per-epoch rates).
     obs::tracer().configure(cfg_);
+    obs::ledger().configure(cfg_);
     seriesEnabled = cfg_.getBool("stats.series", true);
     if (seriesEnabled) {
         RunStats *s = &stats_;

@@ -44,6 +44,8 @@ NVOverlayScheme::NVOverlayScheme(const Config &cfg, NvmModel &nvm_model,
         cfg.getU64("mnm.max_device_retries", 8));
     mnmParams.testSkipRecBarrier =
         cfg.getBool("mnm.test_skip_rec_barrier", false);
+    mnmParams.testDropMerge =
+        cfg.getBool("mnm.test_drop_merge", false);
 }
 
 NVOverlayScheme::~NVOverlayScheme() = default;
@@ -123,8 +125,8 @@ NVOverlayScheme::acceptVersion(unsigned vd, Addr line_addr,
                                Cycle now)
 {
     (void)vd;
-    (void)why;
-    return backend_->insertVersion(line_addr, oid, seq, content, now);
+    return backend_->insertVersion(line_addr, oid, seq, content, now,
+                                   why);
 }
 
 Cycle

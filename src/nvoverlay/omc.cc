@@ -8,6 +8,7 @@
 #include "common/log.hh"
 #include "fault/fault.hh"
 #include "mem/persist_domain.hh"
+#include "obs/ledger.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -57,7 +58,8 @@ MnmBackend::getTable(Part &part, EpochWide e)
 }
 
 Cycle
-MnmBackend::deviceWrite(Addr nvm_addr, Cycle now)
+MnmBackend::deviceWrite(Addr nvm_addr, Cycle now,
+                        obs::LedgerCause cause)
 {
     // Transient device-write errors are retried with exponential
     // backoff; a persistent failure past the retry budget means the
@@ -74,6 +76,10 @@ MnmBackend::deviceWrite(Addr nvm_addr, Cycle now)
         now += backoff;
         backoff *= 2;
     }
+    // Every NvmWriteKind::Data byte on the nvoverlay path funnels
+    // through here, so attributing per cause sums exactly to the
+    // RunStats data-write total (the analyzer asserts it).
+    NVO_LEDGER(dataWrite(cause, lineBytes));
     stall += nvm.persist()
                  .write(nvm_addr, lineBytes, now, NvmWriteKind::Data)
                  .stall;
@@ -90,12 +96,14 @@ MnmBackend::flushPending(Part &part, const OmcBuffer::Pending &pending,
     Addr nvm_addr = it->second->lookupNvm(pending.addr);
     nvo_assert(nvm_addr != invalidAddr,
                "buffered version missing from its table");
-    return deviceWrite(nvm_addr, now);
+    return deviceWrite(nvm_addr, now,
+                       static_cast<obs::LedgerCause>(pending.cause));
 }
 
 Cycle
 MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
-                          const LineData &content, Cycle now)
+                          const LineData &content, Cycle now,
+                          EvictReason why)
 {
     unsigned oidx = omcOf(line_addr);
     Part &part = parts[oidx];
@@ -115,7 +123,7 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
 
     EpochTable::Sinks sinks;
     sinks.reloc = [&](Addr a, std::uint32_t) {
-        stall += deviceWrite(a, now);
+        stall += deviceWrite(a, now, obs::LedgerCause::SubpageReloc);
         stats.extra["subpage_reloc_bytes"] += lineBytes;
     };
     sinks.meta = [&](std::uint32_t bytes) {
@@ -123,7 +131,7 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
     };
     if (!buffered) {
         sinks.data = [&](Addr a, std::uint32_t) {
-            stall += deviceWrite(a, now);
+            stall += deviceWrite(a, now, obs::causeOf(why));
         };
     }
     // When buffered, the 64 B version write is deferred until the
@@ -146,6 +154,8 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
         }
         nvo_assert(ok, "pool exhausted even after extension");
     }
+    NVO_LEDGER(
+        insertVersion(oidx, line_addr, oid, obs::causeOf(why), now));
 
     // A version can land behind the recoverable epoch: the newest
     // dirty version transfers cache-to-cache on invalidation without
@@ -168,19 +178,29 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
             nvo_assert(pe != nullptr);
             ++pe->liveMaster;
             if (replaced)
-                unref(part, line_addr, *replaced);
+                unref(oidx, part, line_addr, *replaced, now);
             stats.extra["late_merges"] += 1;
             NVO_TRACE(Merge, LateMerge, obs::trackOmc(oidx), now,
                       line_addr, oid);
+            NVO_LEDGER(merged(oidx, line_addr, oid, true, now));
             // The patch amends an already-published snapshot, so it
             // persists synchronously rather than waiting for the next
             // rec-epoch fence.
             nvm.persist().barrier();
+        } else {
+            // The master already maps a strictly newer epoch: the
+            // late arrival is stale on arrival and will never be
+            // reachable by recovery or time travel past its epoch's
+            // merged tables. Terminate it now so it does not read as
+            // a lifecycle leak.
+            NVO_LEDGER(dropped(oidx, line_addr, oid, now));
         }
     }
 
     if (buffered) {
-        auto result = part.buffer->insert(line_addr, oid);
+        auto result = part.buffer->insert(
+            line_addr, oid,
+            static_cast<unsigned>(obs::causeOf(why)));
         if (result.hit) {
             ++stats.omcBufferHits;
         } else {
@@ -213,28 +233,40 @@ std::optional<MasterTable::Entry>
 MnmBackend::masterInsert(Part &part, Addr line_addr, Addr nvm_addr,
                          EpochWide e)
 {
-    auto replaced = part.master->insert(line_addr, nvm_addr, e);
+    // masterInsert IS the sanctioned mutation point: every caller
+    // pairs it with the ledger insert/merge hook, and the staged
+    // undo lambdas replay state the ledger already accounted for.
+    auto replaced = part.master->insert(   // nvo-lint: allow(ledger-hook)
+        line_addr, nvm_addr, e);
     PersistDomain &domain = nvm.persist();
     if (domain.armed()) {
         MasterTable *mt = part.master.get();
         if (replaced) {
-            domain.stage(PersistDomain::Kind::Master,
-                         [mt, line_addr, old = *replaced] {
-                             mt->insert(line_addr, old.nvmAddr,
-                                        old.epoch);
-                         });
+            domain.stage(
+                PersistDomain::Kind::Master,
+                [mt, line_addr, old = *replaced] {
+                    mt->insert(   // nvo-lint: allow(ledger-hook)
+                        line_addr, old.nvmAddr, old.epoch);
+                });
         } else {
-            domain.stage(PersistDomain::Kind::Master,
-                         [mt, line_addr] { mt->erase(line_addr); });
+            domain.stage(
+                PersistDomain::Kind::Master,
+                [mt, line_addr] {
+                    mt->erase(line_addr);   // nvo-lint: allow(ledger-hook)
+                });
         }
     }
     return replaced;
 }
 
 void
-MnmBackend::unref(Part &part, Addr line_addr,
-                  const MasterTable::Entry &old_entry)
+MnmBackend::unref(unsigned oidx, Part &part, Addr line_addr,
+                  const MasterTable::Entry &old_entry, Cycle now)
 {
+    // Whatever the replaced entry mapped is unreachable from the
+    // master now — record the lifecycle exit even when the version's
+    // epoch table is long gone (dropMergedTables).
+    NVO_LEDGER(dropped(oidx, line_addr, old_entry.epoch, now));
     auto it = part.tables.find(old_entry.epoch);
     if (it == part.tables.end())
         return;
@@ -244,11 +276,19 @@ MnmBackend::unref(Part &part, Addr line_addr,
         return;
     --pe->liveMaster;
     if (pe->liveMaster == 0 && p.autoReclaim &&
-        old_entry.epoch <= recEpoch_) {
-        part.pool->dropHeader(pe->subPage);
-        part.pool->freeLines(pe->subPage, pe->capacity);
-        pe->reclaimed = true;
-    }
+        old_entry.epoch <= recEpoch_)
+        reclaimSubPage(part, *pe);
+}
+
+void
+MnmBackend::reclaimSubPage(Part &part, EpochTable::PageEntry &pe)
+{
+    // Every version buried here already exited the ledger: unref
+    // terminated the master-superseded ones and the stale-arrival /
+    // compaction paths handled the rest, so raw pool frees are safe.
+    part.pool->dropHeader(pe.subPage);   // nvo-lint: allow(ledger-hook)
+    part.pool->freeLines(pe.subPage, pe.capacity);
+    pe.reclaimed = true;
 }
 
 void
@@ -294,6 +334,8 @@ MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
                       it->first, 0);
             table.forEachVersion([&](Addr line_addr, Addr nvm_addr) {
                 NVO_FAULT_POINT("omc.merge.version");
+                if (p.testDropMerge && (++dropMergeTick % 5) == 0)
+                    return;   // seeded bug: silently skip the merge
                 auto replaced = masterInsert(part, line_addr, nvm_addr,
                                              table.epochId());
                 EpochTable::PageEntry *pe =
@@ -301,7 +343,9 @@ MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
                 nvo_assert(pe != nullptr);
                 ++pe->liveMaster;
                 if (replaced)
-                    unref(part, line_addr, *replaced);
+                    unref(oidx, part, line_addr, *replaced, now);
+                NVO_LEDGER(merged(oidx, line_addr, table.epochId(),
+                                  false, now));
             });
             ++mergeCount;
             if (p.dropMergedTables) {
@@ -408,9 +452,7 @@ MnmBackend::compact(Cycle now)
                 table.forEachPage([&](EpochTable::PageEntry &pe) {
                     if (pe.reclaimed || pe.subPage == invalidAddr)
                         return;
-                    part.pool->dropHeader(pe.subPage);
-                    part.pool->freeLines(pe.subPage, pe.capacity);
-                    pe.reclaimed = true;
+                    reclaimSubPage(part, pe);
                 });
                 continue;
             }
@@ -419,7 +461,7 @@ MnmBackend::compact(Cycle now)
             EpochTable &target = getTable(part, recEpoch_);
             EpochTable::Sinks sinks;
             sinks.data = [&](Addr a, std::uint32_t) {
-                deviceWrite(a, now);
+                deviceWrite(a, now, obs::LedgerCause::CompactionCopy);
                 stats.gcBytesCopied += lineBytes;
             };
             sinks.meta = [&](std::uint32_t bytes) {
@@ -444,14 +486,24 @@ MnmBackend::compact(Cycle now)
                                         content, sinks);
                 if (!ok)
                     return;   // target pool full; give up this pass
+                NVO_LEDGER(insertVersion(
+                    oidx, line_addr, recEpoch_,
+                    obs::LedgerCause::CompactionCopy, now));
                 Addr fresh = target.lookupNvm(line_addr);
                 auto replaced = masterInsert(part, line_addr, fresh,
                                              recEpoch_);
                 EpochTable::PageEntry *tpe =
                     target.pageEntry(pageAlign(line_addr));
                 ++tpe->liveMaster;
+                // The source version moved (not died); mark it first
+                // so the unref of its replaced master entry — the
+                // same (line, epoch) — stays a no-op.
+                NVO_LEDGER(compacted(oidx, line_addr, e, recEpoch_,
+                                     now));
+                NVO_LEDGER(merged(oidx, line_addr, recEpoch_, false,
+                                  now));
                 if (replaced)
-                    unref(part, line_addr, *replaced);
+                    unref(oidx, part, line_addr, *replaced, now);
             }
             // Reclaim the source epoch's storage.
             table.forEachPage([&](EpochTable::PageEntry &pe) {
@@ -459,9 +511,7 @@ MnmBackend::compact(Cycle now)
                     return;
                 nvo_assert(pe.liveMaster == 0,
                            "live version left after compaction");
-                part.pool->dropHeader(pe.subPage);
-                part.pool->freeLines(pe.subPage, pe.capacity);
-                pe.reclaimed = true;
+                reclaimSubPage(part, pe);
             });
             flushMeta(part, now);
             break;   // one source epoch per pass
@@ -505,6 +555,9 @@ MnmBackend::rebuildTables()
 void
 MnmBackend::crashReset()
 {
+    // Volatile lifecycle bookkeeping dies with the run; the post-
+    // crash epoch/provenance space would alias pre-crash entries.
+    NVO_LEDGER(reset());
     // Power failure. Battery-backed buffer pendings defer only the
     // *timing* of device writes — the content already sits in the
     // pool image — so they are simply discarded; per-epoch DRAM

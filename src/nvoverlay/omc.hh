@@ -28,6 +28,7 @@
 #include "nvoverlay/master_table.hh"
 #include "nvoverlay/omc_buffer.hh"
 #include "nvoverlay/page_pool.hh"
+#include "obs/ledger.hh"
 
 namespace nvo
 {
@@ -66,6 +67,14 @@ class MnmBackend
          * campaigns must detect the resulting recovery mismatch.
          */
         bool testSkipRecBarrier = false;
+        /**
+         * TEST ONLY: silently skip every Nth version when merging a
+         * table into the master — a drop-the-merge protocol bug that
+         * leaves versions certified recoverable but unreachable. The
+         * provenance ledger must report them as leaks (and NVO_AUDIT
+         * builds trip the merge-completeness sweep).
+         */
+        bool testDropMerge = false;
     };
 
     MnmBackend(const Params &params, NvmModel &nvm_model,
@@ -77,11 +86,14 @@ class MnmBackend
     /**
      * A version arrived from the CST frontend. Inserts it into the
      * partition's per-epoch table (writing the content into the NVM
-     * pool) and issues/absorbs the device write. Returns issuer stall
-     * cycles from NVM back-pressure.
+     * pool) and issues/absorbs the device write; @p why names the
+     * lifecycle cause that pushed the version out of the hierarchy
+     * (provenance ledger + write-amplification attribution). Returns
+     * issuer stall cycles from NVM back-pressure.
      */
     Cycle insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
-                        const LineData &content, Cycle now);
+                        const LineData &content, Cycle now,
+                        EvictReason why = EvictReason::EpochFlush);
 
     /**
      * A tag walker finished draining: VD @p vd certifies that all its
@@ -200,8 +212,9 @@ class MnmBackend
 
     EpochTable &getTable(Part &part, EpochWide e);
 
-    /** Issue a 64 B version write to the device. */
-    Cycle deviceWrite(Addr nvm_addr, Cycle now);
+    /** Issue a 64 B version write to the device, attributed to the
+     *  lifecycle cause that produced it. */
+    Cycle deviceWrite(Addr nvm_addr, Cycle now, obs::LedgerCause cause);
 
     /** Write a pending buffered version out to the device. */
     Cycle flushPending(Part &part, const OmcBuffer::Pending &pending,
@@ -215,9 +228,15 @@ class MnmBackend
     masterInsert(Part &part, Addr line_addr, Addr nvm_addr,
                  EpochWide e);
 
-    /** Unreference a replaced master entry (GC refcount). */
-    void unref(Part &part, Addr line_addr,
-               const MasterTable::Entry &old_entry);
+    /** Unreference a replaced master entry (GC refcount); records the
+     *  superseded version's drop in the provenance ledger. */
+    void unref(unsigned oidx, Part &part, Addr line_addr,
+               const MasterTable::Entry &old_entry, Cycle now);
+
+    /** Reclaim one sub-page's NVM storage (header + lines). The only
+     *  sanctioned drop site; every version it buries was already
+     *  terminated in the ledger (unref / stale arrival / move). */
+    void reclaimSubPage(Part &part, EpochTable::PageEntry &pe);
 
     /** Flush accumulated metadata bytes as 64 B device writes. */
     void flushMeta(Part &part, Cycle now);
@@ -234,6 +253,8 @@ class MnmBackend
     EpochWide durableRecEpoch_ = 0;
     bool bufferBypass = false;
     std::uint64_t mergeCount = 0;
+    /** Version counter driving the testDropMerge seeded bug. */
+    std::uint64_t dropMergeTick = 0;
     /** Per-line newest acked version epoch (armed campaigns only). */
     std::unordered_map<Addr, EpochWide> acked;
 };

@@ -25,7 +25,7 @@ OmcBuffer::setOf(Addr line_addr) const
 }
 
 OmcBuffer::InsertResult
-OmcBuffer::insert(Addr line_addr, EpochWide epoch)
+OmcBuffer::insert(Addr line_addr, EpochWide epoch, unsigned cause)
 {
     nvo_assert(lineAlign(line_addr) == line_addr);
     InsertResult result;
@@ -46,8 +46,9 @@ OmcBuffer::insert(Addr line_addr, EpochWide epoch)
             }
             // Same address, different epoch: the old version is part
             // of a different snapshot and must reach NVM.
-            result.evicted = Pending{s.addr, s.epoch};
+            result.evicted = Pending{s.addr, s.epoch, s.cause};
             s.epoch = epoch;
+            s.cause = cause;
             s.lru = ++lruClock;
             ++missCount;
             return result;
@@ -61,7 +62,8 @@ OmcBuffer::insert(Addr line_addr, EpochWide epoch)
     ++missCount;
     Slot *target = free_slot;
     if (!target) {
-        result.evicted = Pending{victim->addr, victim->epoch};
+        result.evicted =
+            Pending{victim->addr, victim->epoch, victim->cause};
         target = victim;
     } else {
         ++validCount;
@@ -69,6 +71,7 @@ OmcBuffer::insert(Addr line_addr, EpochWide epoch)
     target->valid = true;
     target->addr = line_addr;
     target->epoch = epoch;
+    target->cause = cause;
     target->lru = ++lruClock;
     return result;
 }
@@ -79,7 +82,7 @@ OmcBuffer::forEachPending(
 {
     for (const auto &s : slots)
         if (s.valid)
-            fn(Pending{s.addr, s.epoch});
+            fn(Pending{s.addr, s.epoch, s.cause});
 }
 
 void
@@ -119,7 +122,7 @@ OmcBuffer::drainAll()
     std::vector<Pending> out;
     for (auto &s : slots) {
         if (s.valid) {
-            out.push_back(Pending{s.addr, s.epoch});
+            out.push_back(Pending{s.addr, s.epoch, s.cause});
             s = Slot{};
         }
     }

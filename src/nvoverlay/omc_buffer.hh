@@ -37,6 +37,10 @@ class OmcBuffer
     {
         Addr addr = invalidAddr;
         EpochWide epoch = 0;
+        /** Lifecycle cause of the deferred write (obs::LedgerCause);
+         *  carried opaquely so the eventual device write attributes
+         *  to whatever inserted the version, not to the eviction. */
+        unsigned cause = 0;
     };
 
     struct InsertResult
@@ -47,7 +51,8 @@ class OmcBuffer
 
     explicit OmcBuffer(const Params &params);
 
-    InsertResult insert(Addr line_addr, EpochWide epoch);
+    InsertResult insert(Addr line_addr, EpochWide epoch,
+                        unsigned cause = 0);
 
     /** Flush everything (power failure or clean finalize). */
     std::vector<Pending> drainAll();
@@ -74,6 +79,7 @@ class OmcBuffer
         bool valid = false;
         Addr addr = invalidAddr;
         EpochWide epoch = 0;
+        unsigned cause = 0;
         std::uint64_t lru = 0;
     };
 

@@ -49,7 +49,7 @@ TagWalker::tick(Cycle now, bool allow_scan)
             EvictReason::TagWalk)];
         ++stats.tagWalkWriteBacks;
         stall += backend.insertVersion(v.addr, v.oid, v.seq, v.content,
-                                       now);
+                                       now, EvictReason::TagWalk);
         drainQueue.pop_front();
         --budget;
         ++drained;

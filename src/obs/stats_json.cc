@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "obs/json.hh"
+#include "obs/ledger.hh"
 #include "obs/metrics.hh"
 
 namespace nvo
@@ -107,6 +108,8 @@ writeStatsJson(std::ostream &os, const std::string &scheme,
     writeConfig(w, cfg);
     w.key("stats");
     writeRunStats(w, stats);
+    w.key("ledger");
+    obs::ledger().writeJson(w);
     if (series) {
         w.key("epoch_series");
         series->writeJson(w);

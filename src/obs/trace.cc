@@ -49,6 +49,12 @@ constexpr std::array<EvInfo, numEvents> evTable = {{
     {"fault_crash", Cat::Fault, "hit", nullptr, false},
     {"persist_barrier", Cat::Fault, "records", nullptr, false},
     {"persist_truncate", Cat::Fault, "records", nullptr, false},
+    {"ledger_seal", Cat::Ledger, "prov", "addr", false},
+    {"ledger_insert", Cat::Ledger, "prov", "cause", false},
+    {"ledger_merge", Cat::Ledger, "prov", "late", false},
+    {"ledger_compact_move", Cat::Ledger, "prov", "target_epoch",
+     false},
+    {"ledger_drop", Cat::Ledger, "prov", "epoch", false},
 }};
 
 } // namespace
@@ -74,6 +80,7 @@ toString(Cat c)
       case Cat::Nvm: return "nvm";
       case Cat::Harness: return "harness";
       case Cat::Fault: return "fault";
+      case Cat::Ledger: return "ledger";
       default: return "?";
     }
 }

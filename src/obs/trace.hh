@@ -68,9 +68,10 @@ enum class Cat : std::uint32_t
     Nvm = 1u << 6,       ///< device backlog stalls
     Harness = 1u << 7,   ///< simulator phase markers
     Fault = 1u << 8,     ///< fault injection, persist barriers/crashes
+    Ledger = 1u << 9,    ///< version-lifecycle provenance transitions
 };
 
-constexpr std::uint32_t allCats = 0x1ffu;
+constexpr std::uint32_t allCats = 0x3ffu;
 
 /** Typed events. Metadata (name, category, arg names) in info(). */
 enum class Ev : std::uint16_t
@@ -111,6 +112,12 @@ enum class Ev : std::uint16_t
     FaultCrash,      ///< a0 = hit number at the fault point
     PersistBarrier,  ///< a0 = in-flight records made durable
     PersistTruncate, ///< a0 = in-flight records unwound by crash
+    // Version-lifecycle provenance (obs/ledger).
+    LedgerSeal,      ///< a0 = provenance id, a1 = line addr
+    LedgerInsert,    ///< a0 = provenance id, a1 = LedgerCause
+    LedgerMerge,     ///< a0 = provenance id, a1 = 1 when late-merged
+    LedgerCompactMove, ///< a0 = provenance id, a1 = target epoch
+    LedgerDrop,      ///< a0 = provenance id, a1 = version epoch
     NumEvents
 };
 

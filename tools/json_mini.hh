@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the offline tools.
+ *
+ * Parses the subset the simulator emits (`nvo-stats-v1`,
+ * `nvo-bench-v1`, Chrome trace-event JSON): objects, arrays, strings
+ * with the standard escapes, numbers, booleans, null. No streaming,
+ * no error recovery — tools read whole files produced by our own
+ * writers, so a parse failure is a fatal input error, reported with
+ * the byte offset. Header-only so the tools stay standalone (no link
+ * against libnvoverlay).
+ */
+
+#ifndef NVO_TOOLS_JSON_MINI_HH
+#define NVO_TOOLS_JSON_MINI_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jsonmini
+{
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    bool numberIsInt = false;
+    std::int64_t integer = 0;
+    std::string str;
+    std::vector<ValuePtr> arr;
+    // Insertion order does not matter for any consumer; a sorted map
+    // keeps lookups simple.
+    std::map<std::string, ValuePtr> obj;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+
+    /** Object member or nullptr. */
+    const Value *
+    get(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        auto it = obj.find(key);
+        return it == obj.end() ? nullptr : it->second.get();
+    }
+
+    /** Nested lookup: get("a", "b") == get("a")->get("b"). */
+    template <typename... Rest>
+    const Value *
+    get(const std::string &key, const Rest &...rest) const
+    {
+        const Value *v = get(key);
+        return v ? v->get(rest...) : nullptr;
+    }
+
+    double
+    asDouble(double fallback = 0.0) const
+    {
+        return type == Type::Number ? number : fallback;
+    }
+
+    std::int64_t
+    asInt(std::int64_t fallback = 0) const
+    {
+        if (type != Type::Number)
+            return fallback;
+        return numberIsInt ? integer
+                           : static_cast<std::int64_t>(number);
+    }
+
+    std::uint64_t
+    asU64(std::uint64_t fallback = 0) const
+    {
+        return static_cast<std::uint64_t>(
+            asInt(static_cast<std::int64_t>(fallback)));
+    }
+
+    const std::string &
+    asString(const std::string &fallback = std::string()) const
+    {
+        return type == Type::String ? str : fallback;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing garbage after the JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON parse error at byte " +
+                                 std::to_string(pos) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + s[pos] +
+                 "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (s.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            ValuePtr key = parseString();
+            expect(':');
+            v->obj[key->str] = parseValue();
+            char c = peek();
+            ++pos;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v->arr.push_back(parseValue());
+            char c = peek();
+            ++pos;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::String;
+        expect('"');
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v->str += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': v->str += '"'; break;
+              case '\\': v->str += '\\'; break;
+              case '/': v->str += '/'; break;
+              case 'b': v->str += '\b'; break;
+              case 'f': v->str += '\f'; break;
+              case 'n': v->str += '\n'; break;
+              case 'r': v->str += '\r'; break;
+              case 't': v->str += '\t'; break;
+              case 'u': {
+                  if (pos + 4 > s.size())
+                      fail("truncated \\u escape");
+                  unsigned cp = static_cast<unsigned>(
+                      std::strtoul(s.substr(pos, 4).c_str(), nullptr,
+                                   16));
+                  pos += 4;
+                  // Our writers only escape control characters; emit
+                  // the code point as UTF-8 without surrogate pairs.
+                  if (cp < 0x80) {
+                      v->str += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      v->str += static_cast<char>(0xc0 | (cp >> 6));
+                      v->str +=
+                          static_cast<char>(0x80 | (cp & 0x3f));
+                  } else {
+                      v->str += static_cast<char>(0xe0 | (cp >> 12));
+                      v->str += static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3f));
+                      v->str +=
+                          static_cast<char>(0x80 | (cp & 0x3f));
+                  }
+                  break;
+              }
+              default: fail("unknown escape character");
+            }
+        }
+    }
+
+    ValuePtr
+    parseBool()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Bool;
+        skipWs();
+        if (consumeLiteral("true"))
+            v->boolean = true;
+        else if (consumeLiteral("false"))
+            v->boolean = false;
+        else
+            fail("expected 'true' or 'false'");
+        return v;
+    }
+
+    ValuePtr
+    parseNull()
+    {
+        skipWs();
+        if (!consumeLiteral("null"))
+            fail("expected 'null'");
+        return std::make_shared<Value>();
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        bool is_int = true;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    is_int = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            fail("expected a number");
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Number;
+        std::string tok = s.substr(start, pos - start);
+        v->number = std::strtod(tok.c_str(), nullptr);
+        if (is_int) {
+            v->numberIsInt = true;
+            v->integer = static_cast<std::int64_t>(
+                std::strtoll(tok.c_str(), nullptr, 10));
+        }
+        return v;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+/** Parse a whole document; throws std::runtime_error on bad input. */
+inline ValuePtr
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace jsonmini
+
+#endif // NVO_TOOLS_JSON_MINI_HH

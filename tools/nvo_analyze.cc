@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Offline protocol attribution analyzer.
+ *
+ * Consumes a `nvo-stats-v1` stats JSON (and optionally the Chrome
+ * trace-event JSON from `trace_out`) and reports:
+ *
+ *   (a) NVM write-amplification attribution by lifecycle cause — the
+ *       per-cause byte tallies the provenance ledger recorded at
+ *       MnmBackend::deviceWrite, checked to sum *exactly* to the
+ *       RunStats data-write total;
+ *   (b) the epoch-skew histogram across VDs (Lamport sync lag),
+ *       replayed from `epoch_advance` trace events;
+ *   (c) mapping-table occupancy and compaction efficiency from the
+ *       nvoverlay stats section and the epoch series;
+ *   (d) lifecycle leak detection — a version inserted but never
+ *       merged, compacted, or dropped is a protocol bug.
+ *
+ * Exit status: 0 clean, 1 a lifecycle/attribution violation (leaked
+ * versions, or per-cause bytes diverging from the device total), 2
+ * bad usage or unreadable input. Run the simulator with
+ * `ledger.enabled=1` (and a build with NVO_TRACE=ON) to populate the
+ * ledger section; without it the tool reports what it can and exits 0.
+ *
+ * Usage: nvo_analyze --stats run.json [--trace trace.json]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_mini.hh"
+
+namespace
+{
+
+using jsonmini::Value;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "nvo_analyze: cannot read '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+jsonmini::ValuePtr
+parseFile(const std::string &path)
+{
+    try {
+        return jsonmini::parse(readFile(path));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "nvo_analyze: %s: %s\n", path.c_str(),
+                     e.what());
+        std::exit(2);
+    }
+}
+
+std::string
+human(double bytes)
+{
+    char buf[64];
+    if (bytes >= 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof buf, "%.2f MiB",
+                      bytes / (1024.0 * 1024.0));
+    else if (bytes >= 1024.0)
+        std::snprintf(buf, sizeof buf, "%.2f KiB", bytes / 1024.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+    return buf;
+}
+
+/** (a) + (d): ledger attribution and leak detection. */
+int
+analyzeLedger(const Value &root)
+{
+    const Value *stats = root.get("stats");
+    const Value *ledger = root.get("ledger");
+    std::string workload = root.get("workload")
+                               ? root.get("workload")->asString("?")
+                               : "?";
+    std::string scheme =
+        root.get("scheme") ? root.get("scheme")->asString("?") : "?";
+
+    std::printf("== write-amplification attribution (%s / %s) ==\n",
+                workload.c_str(), scheme.c_str());
+
+    if (!ledger || !ledger->get("enabled") ||
+        !ledger->get("enabled")->boolean) {
+        std::printf("  ledger disabled for this run "
+                    "(ledger.enabled=1 + NVO_TRACE build); "
+                    "attribution and leak checks skipped\n");
+        return 0;
+    }
+
+    std::uint64_t data_total =
+        stats ? stats->get("nvm_write_bytes", "data")->asU64() : 0;
+    std::uint64_t ledger_total =
+        ledger->get("data_bytes_total")->asU64();
+    const Value *by_cause = ledger->get("data_bytes_by_cause");
+
+    std::uint64_t stores =
+        stats && stats->get("stores") ? stats->get("stores")->asU64()
+                                      : 0;
+    // Write amplification as Fig. 12 frames it: NVM data bytes per
+    // byte the workload logically stored (one 8 B patch per store in
+    // synthetic mode is an approximation; line-granular is what the
+    // device sees either way).
+    double app_bytes = static_cast<double>(stores) * 8.0;
+
+    int rc = 0;
+    if (by_cause) {
+        for (const auto &kv : by_cause->obj) {
+            std::uint64_t b = kv.second->asU64();
+            double share = data_total
+                               ? 100.0 * static_cast<double>(b) /
+                                     static_cast<double>(data_total)
+                               : 0.0;
+            std::printf("  %-16s %12llu  (%5.1f%%)\n",
+                        kv.first.c_str(),
+                        static_cast<unsigned long long>(b), share);
+        }
+    }
+    std::printf("  %-16s %12llu  (%s)\n", "total",
+                static_cast<unsigned long long>(ledger_total),
+                human(static_cast<double>(ledger_total)).c_str());
+    if (app_bytes > 0.0)
+        std::printf("  amplification vs stored bytes: %.2fx\n",
+                    static_cast<double>(data_total) / app_bytes);
+
+    if (ledger_total != data_total) {
+        std::printf("  ATTRIBUTION GAP: ledger accounts %llu B, "
+                    "device wrote %llu B of data\n",
+                    static_cast<unsigned long long>(ledger_total),
+                    static_cast<unsigned long long>(data_total));
+        rc = 1;
+    } else {
+        std::printf("  attribution exact: per-cause bytes sum to the "
+                    "device data-write total\n");
+    }
+
+    std::printf("\n== lifecycle completeness ==\n");
+    std::printf(
+        "  sealed %llu  inserted %llu  merged %llu (late %llu)  "
+        "compacted %llu  dropped %llu  overwrites %llu\n",
+        static_cast<unsigned long long>(
+            ledger->get("sealed")->asU64()),
+        static_cast<unsigned long long>(
+            ledger->get("inserted")->asU64()),
+        static_cast<unsigned long long>(
+            ledger->get("merged")->asU64()),
+        static_cast<unsigned long long>(
+            ledger->get("late_merged")->asU64()),
+        static_cast<unsigned long long>(
+            ledger->get("compacted")->asU64()),
+        static_cast<unsigned long long>(
+            ledger->get("dropped")->asU64()),
+        static_cast<unsigned long long>(
+            ledger->get("overwrites")->asU64()));
+
+    std::uint64_t leaked = ledger->get("leaked")->asU64();
+    if (leaked != 0) {
+        std::printf("  LEAK: %llu version(s) inserted but never "
+                    "merged, compacted, or dropped\n",
+                    static_cast<unsigned long long>(leaked));
+        const Value *samples = ledger->get("leaked_samples");
+        if (samples) {
+            for (const auto &s : samples->arr)
+                std::printf("    addr=0x%llx epoch=%llu prov=%llu "
+                            "cause=%s\n",
+                            static_cast<unsigned long long>(
+                                s->get("addr")->asU64()),
+                            static_cast<unsigned long long>(
+                                s->get("epoch")->asU64()),
+                            static_cast<unsigned long long>(
+                                s->get("prov")->asU64()),
+                            s->get("cause")->asString("?").c_str());
+        }
+        rc = 1;
+    } else {
+        std::printf("  no leaks: every inserted version reached a "
+                    "terminal state\n");
+    }
+    return rc;
+}
+
+/** (b): epoch-skew histogram from epoch_advance trace events. */
+void
+analyzeSkew(const Value &trace)
+{
+    const Value *events = trace.get("traceEvents");
+    if (!events || !events->isArray()) {
+        std::printf("\n== epoch skew ==\n  no traceEvents in the "
+                    "trace file\n");
+        return;
+    }
+    // VD tracks live at tid 16..255; replay advances in ring order
+    // and histogram max-min over the VDs seen so far.
+    std::map<std::uint64_t, std::uint64_t> epochs;
+    std::map<std::uint64_t, std::uint64_t> histogram;
+    std::uint64_t samples = 0, peak = 0, lamport = 0;
+    for (const auto &ev : events->arr) {
+        const Value *name = ev->get("name");
+        if (!name || name->str != "epoch_advance")
+            continue;
+        std::uint64_t tid = ev->get("tid")->asU64();
+        if (tid < 16 || tid >= 256)
+            continue;
+        epochs[tid] = ev->get("args", "epoch")->asU64();
+        if (ev->get("args", "lamport") &&
+            ev->get("args", "lamport")->asU64() != 0)
+            ++lamport;
+        std::uint64_t lo = ~0ull, hi = 0;
+        for (const auto &kv : epochs) {
+            lo = std::min(lo, kv.second);
+            hi = std::max(hi, kv.second);
+        }
+        std::uint64_t skew = hi - lo;
+        ++histogram[skew];
+        ++samples;
+        peak = std::max(peak, skew);
+    }
+    std::printf("\n== epoch skew across VDs ==\n");
+    if (samples == 0) {
+        std::printf("  no epoch_advance events in the trace (ring "
+                    "overwritten or Cat::Epoch filtered out)\n");
+        return;
+    }
+    std::printf("  %llu advances observed on %zu VDs "
+                "(%llu Lamport-forced), peak skew %llu\n",
+                static_cast<unsigned long long>(samples),
+                epochs.size(),
+                static_cast<unsigned long long>(lamport),
+                static_cast<unsigned long long>(peak));
+    for (const auto &kv : histogram) {
+        double share = 100.0 * static_cast<double>(kv.second) /
+                       static_cast<double>(samples);
+        int bar = static_cast<int>(share / 2.0);
+        std::printf("  skew %3llu: %8llu (%5.1f%%) %.*s\n",
+                    static_cast<unsigned long long>(kv.first),
+                    static_cast<unsigned long long>(kv.second), share,
+                    bar,
+                    "##################################################");
+    }
+}
+
+/** (c): mapping-table occupancy and compaction efficiency. */
+void
+analyzeTables(const Value &root)
+{
+    const Value *nv = root.get("stats", "nvoverlay");
+    std::printf("\n== mapping tables and compaction ==\n");
+    if (!nv) {
+        std::printf("  no nvoverlay stats section (different "
+                    "scheme?)\n");
+        return;
+    }
+    std::uint64_t master_bytes =
+        nv->get("master_table_bytes")->asU64();
+    std::uint64_t mapped = nv->get("master_mapped_lines")->asU64();
+    std::uint64_t table_bytes = nv->get("epoch_table_bytes")->asU64();
+    std::uint64_t pool_pages = nv->get("pool_pages_in_use")->asU64();
+    std::uint64_t compactions = nv->get("gc_compactions")->asU64();
+    std::uint64_t gc_copied = nv->get("gc_bytes_copied")->asU64();
+
+    std::printf("  master table: %s for %llu mapped lines"
+                " (%.1f B/line)\n",
+                human(static_cast<double>(master_bytes)).c_str(),
+                static_cast<unsigned long long>(mapped),
+                mapped ? static_cast<double>(master_bytes) /
+                             static_cast<double>(mapped)
+                       : 0.0);
+    std::printf("  per-epoch tables: %s; pool pages in use: %llu\n",
+                human(static_cast<double>(table_bytes)).c_str(),
+                static_cast<unsigned long long>(pool_pages));
+
+    const Value *data = root.get("stats", "nvm_write_bytes", "data");
+    std::uint64_t data_bytes = data ? data->asU64() : 0;
+    if (compactions == 0) {
+        std::printf("  compaction never triggered\n");
+    } else {
+        // Efficiency = how little live data each pass had to copy
+        // forward to reclaim its source epoch.
+        std::printf("  compaction: %llu passes copied %s forward "
+                    "(%.2f%% of data writes)\n",
+                    static_cast<unsigned long long>(compactions),
+                    human(static_cast<double>(gc_copied)).c_str(),
+                    data_bytes ? 100.0 *
+                                     static_cast<double>(gc_copied) /
+                                     static_cast<double>(data_bytes)
+                               : 0.0);
+    }
+
+    // Occupancy trajectory from the epoch series, when present.
+    const Value *series = root.get("epoch_series");
+    if (!series)
+        return;
+    const Value *cols = series->get("columns");
+    const Value *rows = series->get("rows");
+    if (!cols || !rows || rows->arr.empty())
+        return;
+    std::ptrdiff_t idx = -1;
+    for (std::size_t i = 0; i < cols->arr.size(); ++i)
+        if (cols->arr[i]->asString() == "epoch_table_bytes")
+            idx = static_cast<std::ptrdiff_t>(i);
+    if (idx < 0)
+        return;
+    std::uint64_t peak = 0;
+    for (const auto &row : rows->arr) {
+        if (static_cast<std::size_t>(idx) < row->arr.size())
+            peak = std::max(
+                peak,
+                row->arr[static_cast<std::size_t>(idx)]->asU64());
+    }
+    std::printf("  per-epoch table occupancy peak over the run: %s "
+                "(final %s)\n",
+                human(static_cast<double>(peak)).c_str(),
+                human(static_cast<double>(table_bytes)).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string stats_path, trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
+            stats_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: nvo_analyze --stats run.json "
+                         "[--trace trace.json]\n");
+            return 2;
+        }
+    }
+    if (stats_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: nvo_analyze --stats run.json "
+                     "[--trace trace.json]\n");
+        return 2;
+    }
+
+    jsonmini::ValuePtr root = parseFile(stats_path);
+    const Value *fmt = root->get("format");
+    if (!fmt || fmt->asString() != "nvo-stats-v1") {
+        std::fprintf(stderr,
+                     "nvo_analyze: '%s' is not an nvo-stats-v1 "
+                     "file\n",
+                     stats_path.c_str());
+        return 2;
+    }
+
+    int rc = analyzeLedger(*root);
+    analyzeTables(*root);
+    if (!trace_path.empty())
+        analyzeSkew(*parseFile(trace_path));
+    return rc;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Noise-aware comparator for two `nvo-bench-v1` result files — the
+ * CI perf-regression gate.
+ *
+ * Rows are keyed (workload, scheme, metric) and compared
+ * baseline → current. All bench metrics in this repo are
+ * lower-is-better (cycles, NVM bytes, table bytes), so a current
+ * value more than the threshold *above* the baseline is a
+ * regression; more than the threshold below is reported as an
+ * improvement (informational — refresh the committed baseline to
+ * bank it). A row present in the baseline but missing from the
+ * current run also fails: silently dropping a measured cell is how
+ * perf gates rot.
+ *
+ * The simulator is deterministic for a fixed seed and fixed wl.ops,
+ * so the committed baselines are exact simulated metrics, not
+ * wall-clock samples; the threshold exists to absorb intentional
+ * protocol changes that move counts a little, not host noise.
+ *
+ * Usage: nvo_bench_diff [--threshold PCT] baseline.json current.json
+ * Exit:  0 no regression, 1 regression/missing rows, 2 bad input.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "json_mini.hh"
+
+namespace
+{
+
+using jsonmini::Value;
+using Key = std::tuple<std::string, std::string, std::string>;
+
+std::map<Key, double>
+loadRows(const std::string &path, std::string &bench_name)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "nvo_bench_diff: cannot read '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    jsonmini::ValuePtr root;
+    try {
+        root = jsonmini::parse(ss.str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "nvo_bench_diff: %s: %s\n", path.c_str(),
+                     e.what());
+        std::exit(2);
+    }
+    const Value *fmt = root->get("format");
+    if (!fmt || fmt->asString() != "nvo-bench-v1") {
+        std::fprintf(stderr,
+                     "nvo_bench_diff: '%s' is not an nvo-bench-v1 "
+                     "file\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    if (root->get("bench"))
+        bench_name = root->get("bench")->asString();
+    std::map<Key, double> rows;
+    const Value *results = root->get("results");
+    if (results) {
+        for (const auto &r : results->arr)
+            rows[{r->get("workload")->asString(),
+                  r->get("scheme")->asString(),
+                  r->get("metric")->asString()}] =
+                r->get("value")->asDouble();
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold = 5.0;
+    std::string base_path, cur_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold") == 0 &&
+            i + 1 < argc) {
+            threshold = std::strtod(argv[++i], nullptr);
+        } else if (base_path.empty()) {
+            base_path = argv[i];
+        } else if (cur_path.empty()) {
+            cur_path = argv[i];
+        } else {
+            base_path.clear();
+            break;
+        }
+    }
+    if (base_path.empty() || cur_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: nvo_bench_diff [--threshold PCT] "
+                     "baseline.json current.json\n");
+        return 2;
+    }
+
+    std::string base_bench = "?", cur_bench = "?";
+    auto base = loadRows(base_path, base_bench);
+    auto cur = loadRows(cur_path, cur_bench);
+    if (base_bench != cur_bench)
+        std::printf("note: comparing bench '%s' against '%s'\n",
+                    base_bench.c_str(), cur_bench.c_str());
+
+    int regressions = 0, improvements = 0, missing = 0, fresh = 0;
+    for (const auto &kv : base) {
+        const auto &[workload, scheme, metric] = kv.first;
+        auto it = cur.find(kv.first);
+        if (it == cur.end()) {
+            std::printf("MISSING    %s/%s/%s (baseline %.6g)\n",
+                        workload.c_str(), scheme.c_str(),
+                        metric.c_str(), kv.second);
+            ++missing;
+            continue;
+        }
+        double b = kv.second, c = it->second;
+        double delta =
+            b != 0.0 ? 100.0 * (c - b) / std::fabs(b)
+                     : (c == 0.0 ? 0.0 : 100.0);
+        const char *tag = "ok        ";
+        if (delta > threshold) {
+            tag = "REGRESSION";
+            ++regressions;
+        } else if (delta < -threshold) {
+            tag = "improved  ";
+            ++improvements;
+        }
+        std::printf("%s %s/%s/%s: %.6g -> %.6g (%+.2f%%)\n", tag,
+                    workload.c_str(), scheme.c_str(), metric.c_str(),
+                    b, c, delta);
+    }
+    for (const auto &kv : cur)
+        if (!base.count(kv.first))
+            ++fresh;
+    if (fresh)
+        std::printf("note: %d row(s) in current have no baseline "
+                    "yet\n",
+                    fresh);
+
+    std::printf("summary: %zu compared, %d regression(s), %d "
+                "improvement(s), %d missing (threshold %.1f%%)\n",
+                base.size(), regressions, improvements, missing,
+                threshold);
+    return (regressions > 0 || missing > 0) ? 1 : 0;
+}

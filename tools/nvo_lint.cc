@@ -26,6 +26,15 @@
  *                    direct `<nvm model>.write(...)` calls; route
  *                    through nvm.persist().write() so crash-recovery
  *                    campaigns see every durable mutation.
+ *  - ledger-hook:    version-lifecycle transitions under
+ *                    src/nvoverlay/ must stay visible to the
+ *                    provenance ledger (obs/ledger.hh): no direct
+ *                    master-table insert/erase (route through
+ *                    MnmBackend::masterInsert and unref, which pair
+ *                    the mutation with the matching ledger event) and
+ *                    no direct sub-page dropHeader (route through
+ *                    MnmBackend::reclaimSubPage, which only runs once
+ *                    every buried version has exited the ledger).
  *
  * Suppression: an allowlist file ("<rule> <path-suffix>" per line) or
  * an inline "nvo-lint: allow(rule)" marker on the offending line.
@@ -402,6 +411,33 @@ lintTokens(const std::string &display, const std::vector<Token> &toks,
                  "(use " + t.text + ".persist().write)"});
         }
 
+        // ledger-hook: the master table and the overlay sub-pages
+        // define version lifecycle; mutating them away from the
+        // hooked helpers would leave the provenance ledger blind.
+        static const std::set<std::string> master_names = {
+            "master", "master_", "mt", "masterTable", "master_table"};
+        static const std::set<std::string> master_muts = {"insert",
+                                                          "erase"};
+        if (persist_scope && t.ident && master_names.count(t.text) &&
+            i + 2 < toks.size() &&
+            (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+            master_muts.count(toks[i + 2].text)) {
+            out.push_back(
+                {display, t.line, "ledger-hook",
+                 "master-table " + toks[i + 2].text + " outside the "
+                 "hooked path (route through MnmBackend::masterInsert"
+                 " / unref so the version ledger records the "
+                 "transition)"});
+        }
+        if (persist_scope && t.text == "dropHeader" && i > 0 &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+            out.push_back(
+                {display, t.line, "ledger-hook",
+                 "sub-page drop outside the hooked path (route "
+                 "through MnmBackend::reclaimSubPage so buried "
+                 "versions exit the ledger first)"});
+        }
+
         if (t.text == "new") {
             out.push_back({display, t.line, "raw-new-delete",
                            "raw new expression (own memory with "
@@ -607,6 +643,32 @@ selfTest()
         {"persist-domain allow marker suppresses", "nvoverlay/foo.cc",
          "void f() { nvm.write(a, 64, now, k); }"
          "  // nvo-lint: allow(persist-domain)\n",
+         nullptr},
+        {"master insert flagged in nvoverlay", "nvoverlay/foo.cc",
+         "void f() { part.master->insert(a, nvm, e); }\n",
+         "ledger-hook"},
+        {"master erase flagged in nvoverlay", "nvoverlay/foo.cc",
+         "void f() { master.erase(a); }\n",
+         "ledger-hook"},
+        {"undo-lambda mt insert flagged", "nvoverlay/foo.cc",
+         "void f() { d.stage([mt, a] { mt->insert(a, n, e); }); }\n",
+         "ledger-hook"},
+        {"dropHeader flagged in nvoverlay", "nvoverlay/foo.cc",
+         "void f() { part.pool->dropHeader(pe.subPage); }\n",
+         "ledger-hook"},
+        {"master lookup is clean", "nvoverlay/foo.cc",
+         "const Entry *f() { return part.master->lookup(a); }\n",
+         nullptr},
+        {"routed masterInsert call is clean", "nvoverlay/foo.cc",
+         "void f() { auto r = masterInsert(part, a, nvm, e); }\n",
+         nullptr},
+        {"master insert outside nvoverlay is clean",
+         "baselines/foo.cc",
+         "void f() { master.insert(a, nvm, e); }\n",
+         nullptr},
+        {"ledger-hook allow marker suppresses", "nvoverlay/foo.cc",
+         "void f() { pool.dropHeader(s); }"
+         "  // nvo-lint: allow(ledger-hook)\n",
          nullptr},
     };
 

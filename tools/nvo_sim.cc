@@ -65,7 +65,11 @@ usage()
         "  trace_out=<path>   write the event trace as Chrome "
         "trace-event JSON\n"
         "                     (implies trace.enabled=1; open in "
-        "chrome://tracing or Perfetto)\n"
+        "chrome://tracing or Perfetto;\n"
+        "                     in crash modes, flushed on the crash "
+        "path — a failing\n"
+        "                     campaign ships the minimized repro's "
+        "trace)\n"
         "  stats_csv=<path>   write the per-epoch metric series as "
         "CSV\n"
         "  stats_json=<path>  write config + stats + per-epoch "
@@ -160,6 +164,14 @@ main(int argc, char **argv)
                     workload.c_str(), record_path.c_str());
         return 0;
     }
+
+    // In crash modes the System lives inside CrashSimulator, so
+    // trace_out becomes the crash-path flush target instead of the
+    // end-of-run export below.
+    if (!trace_path.empty() &&
+        (campaign_trials > 0 || !crash_point.empty() ||
+         crash_cycle > 0))
+        cfg.set("trace.crash_out", trace_path);
 
     if (campaign_trials > 0) {
         fault::CampaignParams params;
