@@ -35,6 +35,7 @@ Config::has(const std::string &key) const
 std::uint64_t
 Config::getU64(const std::string &key, std::uint64_t dflt) const
 {
+    accessed.insert(key);
     auto it = values.find(key);
     if (it == values.end()) {
         resolved[key] = std::to_string(dflt);
@@ -51,6 +52,7 @@ Config::getU64(const std::string &key, std::uint64_t dflt) const
 double
 Config::getF64(const std::string &key, double dflt) const
 {
+    accessed.insert(key);
     auto it = values.find(key);
     if (it == values.end()) {
         resolved[key] = std::to_string(dflt);
@@ -67,6 +69,7 @@ Config::getF64(const std::string &key, double dflt) const
 bool
 Config::getBool(const std::string &key, bool dflt) const
 {
+    accessed.insert(key);
     auto it = values.find(key);
     if (it == values.end()) {
         resolved[key] = dflt ? "true" : "false";
@@ -83,6 +86,7 @@ Config::getBool(const std::string &key, bool dflt) const
 std::string
 Config::getStr(const std::string &key, const std::string &dflt) const
 {
+    accessed.insert(key);
     auto it = values.find(key);
     if (it == values.end()) {
         resolved[key] = dflt;
@@ -107,6 +111,29 @@ Config::dump() const
     std::map<std::string, std::string> out = resolved;
     for (const auto &kv : values)
         out[kv.first] = kv.second;
+    return out;
+}
+
+void
+Config::setDerived(const std::string &key, const std::string &value)
+{
+    set(key, value);
+    accessed.insert(key);
+}
+
+void
+Config::setDerived(const std::string &key, std::uint64_t value)
+{
+    setDerived(key, std::to_string(value));
+}
+
+std::vector<std::string>
+Config::unreadKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : values)
+        if (accessed.count(kv.first) == 0)
+            out.push_back(kv.first);
     return out;
 }
 

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace nvo
 {
@@ -51,10 +53,27 @@ class Config
     /** All keys that were set or accessed, with resolved values. */
     std::map<std::string, std::string> dump() const;
 
+    /**
+     * Set a key the harness derived from other keys (not user input)
+     * and mark it consumed, so strict-config checking does not flag
+     * it as an unread user key.
+     */
+    void setDerived(const std::string &key, const std::string &value);
+    void setDerived(const std::string &key, std::uint64_t value);
+
+    /**
+     * Explicitly set keys that no getter ever read — typos or keys
+     * for a different scheme. Strict mode (`cfg.strict=1`) turns a
+     * non-empty answer into an error at the driver level.
+     */
+    std::vector<std::string> unreadKeys() const;
+
   private:
     std::map<std::string, std::string> values;
     /** Resolved view, including defaults observed on access. */
     mutable std::map<std::string, std::string> resolved;
+    /** Keys some getter consumed (strict-config accounting). */
+    mutable std::set<std::string> accessed;
 };
 
 } // namespace nvo

@@ -143,6 +143,31 @@ struct RunStats
     std::uint64_t tagWalkLinesScanned = 0;
     std::uint64_t tagWalkWriteBacks = 0;
 
+    /** Snapshot replication (src/repl); all zero when disabled. */
+    struct ReplStats
+    {
+        std::uint64_t framesSent = 0;      ///< first transmissions
+        std::uint64_t framesRetried = 0;
+        std::uint64_t framesDropped = 0;
+        std::uint64_t framesCorrupted = 0;
+        std::uint64_t framesAcked = 0;
+        std::uint64_t framesDeduped = 0;   ///< duplicate deliveries
+        std::uint64_t wireBytes = 0;       ///< incl. retransmissions
+        std::uint64_t deltaBytes = 0;      ///< payload bytes shipped
+        std::uint64_t epochsShipped = 0;
+        std::uint64_t epochsApplied = 0;
+        std::uint64_t lateShipped = 0;
+        std::uint64_t decodeResyncs = 0;
+        std::uint64_t decodeCrcErrors = 0;
+        std::uint64_t backpressureStalls = 0;
+        std::uint64_t cursorPersists = 0;
+        std::uint64_t resumes = 0;
+        std::uint64_t reshippedEpochs = 0;
+        std::uint64_t sendQueuePeak = 0;
+        std::uint64_t appliedRecEpoch = 0; ///< standby's rec-epoch
+        std::uint64_t cursorEpoch = 0;     ///< durable cursor at end
+    } repl;
+
     /** NVM write bandwidth series (all kinds combined). */
     TimeSeries nvmBandwidth{100000};
 

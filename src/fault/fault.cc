@@ -69,7 +69,7 @@ Registry::step(const char *point, std::uint64_t &hit_no,
 void
 Registry::hitPoint(const char *point)
 {
-    if (!armed_ && !counting_)
+    if (paused_ || (!armed_ && !counting_))
         return;
     std::uint64_t hit_no = 0;
     Action action{};
@@ -85,7 +85,7 @@ Registry::hitPoint(const char *point)
 bool
 Registry::errorPoint(const char *point)
 {
-    if (!armed_ && !counting_)
+    if (paused_ || (!armed_ && !counting_))
         return false;
     std::uint64_t hit_no = 0;
     Action action{};

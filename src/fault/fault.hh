@@ -125,6 +125,15 @@ class Registry
     /** Expression hook body; true = inject a transient write error. */
     bool errorPoint(const char *point);
 
+    /**
+     * Suspend all hooks (no counting, no triggers). The standby
+     * replica applies deltas through the same backend code as the
+     * primary; its applies must not consume the primary's fault
+     * schedule or crash the campaign from the wrong machine.
+     */
+    void setPaused(bool on) { paused_ = on; }
+    bool paused() const { return paused_; }
+
   private:
     struct Match
     {
@@ -138,6 +147,7 @@ class Registry
 
     bool armed_ = false;
     bool counting_ = false;
+    bool paused_ = false;
     FaultPlan plan;
     std::map<std::string, std::uint64_t> counters;
 };
@@ -153,6 +163,22 @@ class ScopedPlan
     ~ScopedPlan();
     ScopedPlan(const ScopedPlan &) = delete;
     ScopedPlan &operator=(const ScopedPlan &) = delete;
+};
+
+/** RAII guard: pauses every hook for the scope (replica applies). */
+class ScopedPause
+{
+  public:
+    ScopedPause() : was(registry().paused())
+    {
+        registry().setPaused(true);
+    }
+    ~ScopedPause() { registry().setPaused(was); }
+    ScopedPause(const ScopedPause &) = delete;
+    ScopedPause &operator=(const ScopedPause &) = delete;
+
+  private:
+    bool was;
 };
 
 } // namespace fault

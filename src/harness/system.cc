@@ -111,20 +111,21 @@ System::build(const std::string &scheme_name)
     std::uint64_t epoch_refs = std::max<std::uint64_t>(
         1, epoch_stores / std::max<std::uint64_t>(1, uops_per_ref));
     if (!cfg_.has("epoch.stores_refs"))
-        cfg_.set("epoch.stores_refs", epoch_refs);
+        cfg_.setDerived("epoch.stores_refs", epoch_refs);
     if (!cfg_.has("nvo.stores_per_epoch_vd"))
-        cfg_.set("nvo.stores_per_epoch_vd",
-                 std::max<std::uint64_t>(
-                     1, cfg_.getU64("epoch.stores_refs", epoch_refs) /
-                            num_vds));
+        cfg_.setDerived(
+            "nvo.stores_per_epoch_vd",
+            std::max<std::uint64_t>(
+                1, cfg_.getU64("epoch.stores_refs", epoch_refs) /
+                       num_vds));
     if (!cfg_.has("picl.tag_bytes"))
-        cfg_.set("picl.tag_bytes", llc_total);
+        cfg_.setDerived("picl.tag_bytes", llc_total);
     if (!cfg_.has("picl.l2_tag_bytes"))
-        cfg_.set("picl.l2_tag_bytes",
-                 hp.l2.sizeBytes * num_vds);
+        cfg_.setDerived("picl.l2_tag_bytes",
+                        hp.l2.sizeBytes * num_vds);
     if (!cfg_.has("mnm.num_omcs"))
-        cfg_.set("mnm.num_omcs",
-                 static_cast<std::uint64_t>(hp.numLlcSlices));
+        cfg_.setDerived("mnm.num_omcs",
+                        static_cast<std::uint64_t>(hp.numLlcSlices));
 
     scheme_ = makeScheme(scheme_name, cfg_, *nvm_, stats_);
     scheme_->attach(*hier);

@@ -46,6 +46,10 @@ NVOverlayScheme::NVOverlayScheme(const Config &cfg, NvmModel &nvm_model,
         cfg.getBool("mnm.test_skip_rec_barrier", false);
     mnmParams.testDropMerge =
         cfg.getBool("mnm.test_drop_merge", false);
+
+    replEnabled = cfg.getBool("repl.enabled", false);
+    if (replEnabled)
+        replParams = repl::Replicator::paramsFrom(cfg);
 }
 
 NVOverlayScheme::~NVOverlayScheme() = default;
@@ -60,6 +64,15 @@ NVOverlayScheme::attach(Hierarchy &hierarchy)
     mnmParams.numVds = num_vds;
     backend_ = std::make_unique<MnmBackend>(mnmParams, nvm, stats);
     sense = std::make_unique<EpochSenseTracker>(num_vds);
+
+    if (replEnabled) {
+        // Reserved words below the pool: rec-epoch lives at
+        // poolBase - lineBytes, so the replication cursor and late
+        // log take the next two lines down.
+        replParams.cursorAddr = mnmParams.poolBase - 4 * lineBytes;
+        repl_ = std::make_unique<repl::Replicator>(
+            replParams, *backend_, nvm, stats);
+    }
 
     vds.clear();
     walkers.clear();
@@ -136,14 +149,24 @@ NVOverlayScheme::onStore(unsigned core, unsigned vd, Addr line_addr,
     (void)core;
     (void)line_addr;
     vds[vd].noteStore();
-    if (vds[vd].storesInEpoch() >= storesPerEpochVd)
+    if (vds[vd].storesInEpoch() >= storesPerEpochVd) {
+        // Backpressure: past high water the epoch must not advance —
+        // each advance eventually certifies another epoch's worth of
+        // deltas into an already-saturated send queue. Stall the core
+        // instead; the epoch advances once the link drains.
+        if (repl_ && repl_->congested(now))
+            return repl_->stallCycles();
         return advanceVd(vd, vds[vd].epoch() + 1, false, now);
+    }
     return 0;
 }
 
 void
 NVOverlayScheme::tick(Cycle now)
 {
+    if (repl_)
+        repl_->tick(now);
+
     // Skew limiting (Sec. IV-D): the two-group wrap-around scheme
     // requires inter-VD skew below half the 16-bit epoch space, so
     // laggard VDs are forced forward before the leader can lap them
@@ -207,6 +230,13 @@ NVOverlayScheme::finalize(Cycle now)
 
     // 5. Backend flush (pending metadata, rec-epoch persist).
     Cycle done = backend_->finalize(now);
+
+    // 6. Let the replication stream drain: every certified epoch
+    //    applied on the standby and acked back.
+    if (repl_) {
+        done = std::max(done, repl_->drain(done));
+        repl_->exportStats();
+    }
     return done;
 }
 
@@ -240,6 +270,8 @@ NVOverlayScheme::updateStats()
 {
     if (backend_)
         backend_->updateStats();
+    if (repl_)
+        repl_->exportStats();
 }
 
 void

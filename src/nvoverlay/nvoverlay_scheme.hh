@@ -19,6 +19,7 @@
 #include "nvoverlay/omc.hh"
 #include "nvoverlay/tag_walker.hh"
 #include "nvoverlay/versioned_domain.hh"
+#include "repl/replicator.hh"
 
 namespace nvo
 {
@@ -78,6 +79,9 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
 
     MnmBackend &backend() { return *backend_; }
     const MnmBackend &backend() const { return *backend_; }
+
+    /** Replication bundle; nullptr unless `repl.enabled=1`. */
+    repl::Replicator *replicator() { return repl_.get(); }
     const VersionedDomain &domain(unsigned vd) const
     {
         return vds[vd];
@@ -99,10 +103,15 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
     bool walkerEnabled;
     unsigned walkerLinesPerTick;
     MnmBackend::Params mnmParams;
+    bool replEnabled = false;
+    repl::Replicator::Params replParams;
 
     std::vector<VersionedDomain> vds;
     std::vector<std::unique_ptr<TagWalker>> walkers;
     std::unique_ptr<MnmBackend> backend_;
+    // Declared after backend_: the replicator detaches its ReplSink
+    // from the backend on destruction, so it must die first.
+    std::unique_ptr<repl::Replicator> repl_;
     std::unique_ptr<EpochSenseTracker> sense;
     unsigned coresPerVd = 1;
 };

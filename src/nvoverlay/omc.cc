@@ -187,6 +187,10 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
             // persists synchronously rather than waiting for the next
             // rec-epoch fence.
             nvm.persist().barrier();
+            // A standby following the shipped stream has (or will
+            // get) this epoch without the amendment — ship it too.
+            if (replSink)
+                replSink->onLateVersion(line_addr, oid, content, now);
         } else {
             // The master already maps a strictly newer epoch: the
             // late arrival is stale on arrival and will never be
@@ -383,6 +387,11 @@ MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
     NVO_TRACE(Merge, RecEpochAdvance, obs::trackSim, now, candidate,
               old_rec);
     recEpoch_ = candidate;
+    // Ship the newly recoverable epochs' deltas before mergeUpTo
+    // retires their tables — afterwards only the merged master (and
+    // possibly reclaimed sub-pages) remains.
+    if (replSink)
+        replSink->onEpochsRecoverable(old_rec, candidate, now);
     mergeUpTo(old_rec, candidate, now);
     persistRecEpoch(now);
 }

@@ -33,6 +33,24 @@
 namespace nvo
 {
 
+/**
+ * Observer for epoch-delta replication (src/repl). The backend calls
+ * onEpochsRecoverable when reportMinVer advances the recoverable
+ * epoch — *before* mergeUpTo retires the per-epoch tables, so the
+ * sink can still drain each epoch's versions — and onLateVersion when
+ * a version lands behind the recoverable epoch via the late-merge
+ * path (the already-shipped epoch needs an amendment).
+ */
+class ReplSink
+{
+  public:
+    virtual ~ReplSink() = default;
+    virtual void onEpochsRecoverable(EpochWide from, EpochWide upto,
+                                     Cycle now) = 0;
+    virtual void onLateVersion(Addr line_addr, EpochWide oid,
+                               const LineData &content, Cycle now) = 0;
+};
+
 class MnmBackend
 {
   public:
@@ -113,6 +131,9 @@ class MnmBackend
 
     /** Stop buffering new versions (used around finalize). */
     void setBufferBypass(bool bypass) { bufferBypass = bypass; }
+
+    /** Attach (or detach with nullptr) the replication sink. */
+    void setReplSink(ReplSink *sink) { replSink = sink; }
 
     /** Clean shutdown: drain buffers and flush pending metadata. */
     Cycle finalize(Cycle now);
@@ -251,6 +272,7 @@ class MnmBackend
     std::vector<EpochWide> minVers;
     EpochWide recEpoch_ = 0;
     EpochWide durableRecEpoch_ = 0;
+    ReplSink *replSink = nullptr;
     bool bufferBypass = false;
     std::uint64_t mergeCount = 0;
     /** Version counter driving the testDropMerge seeded bug. */

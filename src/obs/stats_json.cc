@@ -74,6 +74,29 @@ writeRunStats(JsonWriter &w, const RunStats &stats)
     w.kv("tag_walk_write_backs", stats.tagWalkWriteBacks);
     w.endObject();
 
+    w.key("repl").beginObject();
+    w.kv("frames_sent", stats.repl.framesSent);
+    w.kv("frames_retried", stats.repl.framesRetried);
+    w.kv("frames_dropped", stats.repl.framesDropped);
+    w.kv("frames_corrupted", stats.repl.framesCorrupted);
+    w.kv("frames_acked", stats.repl.framesAcked);
+    w.kv("frames_deduped", stats.repl.framesDeduped);
+    w.kv("wire_bytes", stats.repl.wireBytes);
+    w.kv("delta_bytes", stats.repl.deltaBytes);
+    w.kv("epochs_shipped", stats.repl.epochsShipped);
+    w.kv("epochs_applied", stats.repl.epochsApplied);
+    w.kv("late_shipped", stats.repl.lateShipped);
+    w.kv("decode_resyncs", stats.repl.decodeResyncs);
+    w.kv("decode_crc_errors", stats.repl.decodeCrcErrors);
+    w.kv("backpressure_stalls", stats.repl.backpressureStalls);
+    w.kv("cursor_persists", stats.repl.cursorPersists);
+    w.kv("resumes", stats.repl.resumes);
+    w.kv("reshipped_epochs", stats.repl.reshippedEpochs);
+    w.kv("send_queue_peak", stats.repl.sendQueuePeak);
+    w.kv("applied_rec_epoch", stats.repl.appliedRecEpoch);
+    w.kv("cursor_epoch", stats.repl.cursorEpoch);
+    w.endObject();
+
     w.key("nvm_bandwidth").beginObject();
     w.kv("bucket_cycles", stats.nvmBandwidth.bucketCycles());
     w.kv("peak_bytes", stats.nvmBandwidth.peakBytes());

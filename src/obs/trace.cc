@@ -55,6 +55,18 @@ constexpr std::array<EvInfo, numEvents> evTable = {{
     {"ledger_compact_move", Cat::Ledger, "prov", "target_epoch",
      false},
     {"ledger_drop", Cat::Ledger, "prov", "epoch", false},
+    {"repl_ship_delta", Cat::Repl, "addr", "epoch", false},
+    {"repl_ship_close", Cat::Repl, "deltas", "epoch", false},
+    {"repl_ship_late", Cat::Repl, "addr", "epoch", false},
+    {"repl_frame_drop", Cat::Repl, "frame", "retries", false},
+    {"repl_frame_corrupt", Cat::Repl, "frame", "retries", false},
+    {"repl_frame_retry", Cat::Repl, "frame", "retry", false},
+    {"repl_frame_ack", Cat::Repl, "frame", nullptr, false},
+    {"repl_epoch_applied", Cat::Repl, "epoch", "deltas", false},
+    {"repl_backpressure", Cat::Repl, "queue", nullptr, false},
+    {"repl_cursor_persist", Cat::Repl, "cursor", "generation",
+     false},
+    {"repl_resume", Cat::Repl, "cursor", "rec_epoch", false},
 }};
 
 } // namespace
@@ -81,6 +93,7 @@ toString(Cat c)
       case Cat::Harness: return "harness";
       case Cat::Fault: return "fault";
       case Cat::Ledger: return "ledger";
+      case Cat::Repl: return "repl";
       default: return "?";
     }
 }
@@ -119,6 +132,8 @@ trackName(std::uint32_t track)
         return "cache";
     if (track == trackNvm)
         return "nvm";
+    if (track == trackRepl)
+        return "repl";
     if (track >= 256)
         return "omc" + std::to_string(track - 256);
     if (track >= 16)

@@ -69,9 +69,10 @@ enum class Cat : std::uint32_t
     Harness = 1u << 7,   ///< simulator phase markers
     Fault = 1u << 8,     ///< fault injection, persist barriers/crashes
     Ledger = 1u << 9,    ///< version-lifecycle provenance transitions
+    Repl = 1u << 10,     ///< epoch-delta shipping to the standby
 };
 
-constexpr std::uint32_t allCats = 0x3ffu;
+constexpr std::uint32_t allCats = 0x7ffu;
 
 /** Typed events. Metadata (name, category, arg names) in info(). */
 enum class Ev : std::uint16_t
@@ -118,6 +119,18 @@ enum class Ev : std::uint16_t
     LedgerMerge,     ///< a0 = provenance id, a1 = 1 when late-merged
     LedgerCompactMove, ///< a0 = provenance id, a1 = target epoch
     LedgerDrop,      ///< a0 = provenance id, a1 = version epoch
+    // Replication (src/repl).
+    ReplShipDelta,   ///< a0 = line addr, a1 = epoch
+    ReplShipClose,   ///< a0 = delta count, a1 = epoch
+    ReplShipLate,    ///< a0 = line addr, a1 = epoch amended
+    ReplFrameDrop,   ///< a0 = frame id, a1 = retries so far
+    ReplFrameCorrupt,///< a0 = frame id, a1 = retries so far
+    ReplFrameRetry,  ///< a0 = frame id, a1 = retry number
+    ReplFrameAck,    ///< a0 = frame id
+    ReplEpochApplied,///< a0 = epoch, a1 = deltas applied
+    ReplBackpressure,///< a0 = send-queue depth
+    ReplCursorPersist, ///< a0 = cursor epoch, a1 = generation
+    ReplResume,      ///< a0 = durable cursor, a1 = rec-epoch
     NumEvents
 };
 
@@ -151,6 +164,7 @@ std::uint32_t parseCats(const std::string &spec);
 constexpr std::uint32_t trackSim = 0;
 constexpr std::uint32_t trackCache = 1;
 constexpr std::uint32_t trackNvm = 2;
+constexpr std::uint32_t trackRepl = 3;
 constexpr std::uint32_t
 trackVd(unsigned vd)
 {

@@ -1,0 +1,157 @@
+#include "repl/link.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "fault/fault.hh"
+#include "obs/trace.hh"
+
+namespace nvo
+{
+namespace repl
+{
+
+AsyncLink::AsyncLink(const Params &params) : p(params), rng(params.seed)
+{
+    nvo_assert(p.bytesPerCycle > 0, "link needs nonzero bandwidth");
+    nvo_assert(p.window > 0, "link needs a nonzero window");
+    // A retry timeout shorter than the round trip would retransmit
+    // every frame even on a clean link; clamp it to the RTT.
+    p.retryTimeout =
+        std::max(p.retryTimeout, p.latency + p.ackLatency + 1);
+}
+
+void
+AsyncLink::transmit(std::uint64_t frame_id, Flight &fl, Cycle now)
+{
+    Cycle tx_cycles = std::max<Cycle>(
+        1, static_cast<Cycle>(fl.bytes.size()) / p.bytesPerCycle);
+    txBusyUntil = std::max(txBusyUntil, now) + tx_cycles;
+    stats_.wireBytes += fl.bytes.size();
+
+    fl.delivered = false;
+    fl.corrupted = false;
+    if (rng.chance(p.dropRate)) {
+        ++stats_.drops;
+        fl.deliverAt = 0;
+        NVO_TRACE(Repl, ReplFrameDrop, obs::trackRepl, now, frame_id,
+                  fl.retries);
+    } else {
+        fl.deliverAt = txBusyUntil + p.latency;
+        if (rng.chance(p.corruptRate)) {
+            ++stats_.corrupts;
+            fl.corrupted = true;
+            NVO_TRACE(Repl, ReplFrameCorrupt, obs::trackRepl, now,
+                      frame_id, fl.retries);
+        }
+    }
+    // Exponential backoff: each retry doubles the patience (capped so
+    // the shift stays sane).
+    Cycle backoff = p.retryTimeout
+                    << std::min<unsigned>(fl.retries, 16);
+    fl.nextRetryAt = txBusyUntil + backoff;
+}
+
+void
+AsyncLink::send(std::uint64_t frame_id,
+                std::vector<std::uint8_t> bytes, Cycle now)
+{
+    (void)now;
+    sendQueue.push_back({frame_id, std::move(bytes)});
+    stats_.queuePeak =
+        std::max<std::uint64_t>(stats_.queuePeak, sendQueue.size());
+}
+
+void
+AsyncLink::ack(std::uint64_t frame_id, Cycle now)
+{
+    pendingAcks.emplace_back(now + p.ackLatency, frame_id);
+}
+
+void
+AsyncLink::tick(Cycle now)
+{
+    // 1. Admit queued frames into the in-flight window.
+    while (!sendQueue.empty() && inFlight.size() < p.window) {
+        Queued q = std::move(sendQueue.front());
+        sendQueue.pop_front();
+        Flight fl;
+        fl.bytes = std::move(q.bytes);
+        transmit(q.frameId, fl, now);
+        ++stats_.framesSent;
+        inFlight.emplace(q.frameId, std::move(fl));
+    }
+
+    // 2. Deliver transmissions that have arrived.
+    for (auto &kv : inFlight) {
+        Flight &fl = kv.second;
+        if (fl.delivered || fl.deliverAt == 0 || fl.deliverAt > now)
+            continue;
+        fl.delivered = true;
+        if (fl.corrupted) {
+            // Flip a few bytes; the decoder's CRC must reject it and
+            // the retry path must recover.
+            std::vector<std::uint8_t> mangled = fl.bytes;
+            unsigned flips =
+                1 + static_cast<unsigned>(rng.below(3));
+            for (unsigned i = 0; i < flips; ++i) {
+                std::size_t at = static_cast<std::size_t>(
+                    rng.below(mangled.size()));
+                mangled[at] ^= static_cast<std::uint8_t>(
+                    1 + rng.below(255));
+            }
+            if (deliver)
+                deliver(mangled, fl.deliverAt);
+        } else {
+            if (deliver)
+                deliver(fl.bytes, fl.deliverAt);
+        }
+    }
+
+    // 3. Complete acks that have propagated back.
+    std::size_t kept = 0;
+    for (auto &pa : pendingAcks) {
+        if (pa.first > now) {
+            pendingAcks[kept++] = pa;
+            continue;
+        }
+        auto it = inFlight.find(pa.second);
+        if (it != inFlight.end()) {
+            inFlight.erase(it);
+            ++stats_.acked;
+            NVO_TRACE(Repl, ReplFrameAck, obs::trackRepl, pa.first,
+                      pa.second, 0);
+            if (onAck)
+                onAck(pa.second, pa.first);
+        }
+        // else: a duplicate ack for an already-completed frame.
+    }
+    pendingAcks.resize(kept);
+
+    // 4. Retransmit frames whose ack never came.
+    for (auto &kv : inFlight) {
+        Flight &fl = kv.second;
+        if (fl.nextRetryAt > now)
+            continue;
+        nvo_assert(fl.retries < p.maxRetries,
+                   "replication frame exceeded its retry budget "
+                   "(dead link?)");
+        ++fl.retries;
+        ++stats_.retries;
+        NVO_TRACE(Repl, ReplFrameRetry, obs::trackRepl, now, kv.first,
+                  fl.retries);
+        transmit(kv.first, fl, now);
+    }
+}
+
+void
+AsyncLink::reset()
+{
+    sendQueue.clear();
+    inFlight.clear();
+    pendingAcks.clear();
+    txBusyUntil = 0;
+}
+
+} // namespace repl
+} // namespace nvo

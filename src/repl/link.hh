@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Asynchronous lossy link model between the primary and the standby.
+ *
+ * Modeled like a queued I/O channel: frames enter a send queue, a
+ * bounded in-flight window paces transmission over a serializing
+ * bandwidth model, and each transmission independently rolls seeded
+ * drop/corrupt outcomes. The receiver acks decoded frames by frame
+ * id after an ack latency; unacked frames retransmit on a timeout
+ * with exponential backoff. The sender exposes a high-water
+ * congestion signal the scheme uses to stall epoch advance
+ * (backpressure) instead of letting the queue grow without bound.
+ *
+ * Everything is driven from tick(now) at the harness quantum
+ * granularity; all randomness comes from one seeded Rng so runs are
+ * reproducible.
+ */
+
+#ifndef NVO_REPL_LINK_HH
+#define NVO_REPL_LINK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace nvo
+{
+namespace repl
+{
+
+class AsyncLink
+{
+  public:
+    struct Params
+    {
+        /** Serialization bandwidth, bytes per cycle. */
+        std::uint64_t bytesPerCycle = 16;
+        /** One-way propagation latency, cycles. */
+        Cycle latency = 5000;
+        /** Receiver-to-sender ack latency, cycles. */
+        Cycle ackLatency = 2500;
+        /** Probability a transmission is lost entirely. */
+        double dropRate = 0.0;
+        /** Probability a delivered transmission arrives corrupted. */
+        double corruptRate = 0.0;
+        /** Max unacked frames in flight before sends queue up. */
+        unsigned window = 64;
+        /** Send-queue depth that raises the congestion signal. */
+        std::size_t highWater = 4096;
+        /** Cycles without an ack before the first retransmission. */
+        Cycle retryTimeout = 40000;
+        /** Retry budget per frame; exceeding it is a dead link. */
+        unsigned maxRetries = 64;
+        std::uint64_t seed = 1;
+    };
+
+    struct LinkStats
+    {
+        std::uint64_t framesSent = 0;   ///< first transmissions
+        std::uint64_t retries = 0;
+        std::uint64_t drops = 0;
+        std::uint64_t corrupts = 0;
+        std::uint64_t acked = 0;
+        std::uint64_t wireBytes = 0;    ///< incl. retransmissions
+        std::uint64_t queuePeak = 0;
+    };
+
+    /** Receiver byte sink: (frame bytes as transmitted, arrival). */
+    using DeliverFn =
+        std::function<void(const std::vector<std::uint8_t> &, Cycle)>;
+    /** Sender-side completion: frame id was acked at cycle. */
+    using AckFn = std::function<void(std::uint64_t, Cycle)>;
+
+    explicit AsyncLink(const Params &params);
+
+    void setDeliver(DeliverFn fn) { deliver = std::move(fn); }
+    void setOnAck(AckFn fn) { onAck = std::move(fn); }
+
+    /** Enqueue one frame for transmission. */
+    void send(std::uint64_t frame_id,
+              std::vector<std::uint8_t> bytes, Cycle now);
+
+    /** Receiver acks a decoded frame (called from the deliver fn). */
+    void ack(std::uint64_t frame_id, Cycle now);
+
+    /** Advance the link: transmit, deliver, ack, retry. */
+    void tick(Cycle now);
+
+    bool idle() const { return sendQueue.empty() && inFlight.empty(); }
+    std::size_t queueDepth() const
+    {
+        return sendQueue.size() + inFlight.size();
+    }
+    bool congested() const
+    {
+        return sendQueue.size() >= p.highWater;
+    }
+
+    /** Crash on either end: everything queued or in flight is lost. */
+    void reset();
+
+    const LinkStats &stats() const { return stats_; }
+    const Params &params() const { return p; }
+
+  private:
+    struct Queued
+    {
+        std::uint64_t frameId;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    struct Flight
+    {
+        std::vector<std::uint8_t> bytes;
+        Cycle deliverAt = 0;    ///< 0 = this transmission was dropped
+        bool delivered = false;
+        bool corrupted = false;
+        Cycle nextRetryAt = 0;
+        unsigned retries = 0;
+    };
+
+    /** Roll loss/corruption and schedule one transmission. */
+    void transmit(std::uint64_t frame_id, Flight &fl, Cycle now);
+
+    Params p;
+    Rng rng;
+    DeliverFn deliver;
+    AckFn onAck;
+    std::deque<Queued> sendQueue;
+    std::map<std::uint64_t, Flight> inFlight;
+    /** (ackArrivesAt, frameId) pending receiver acks. */
+    std::vector<std::pair<Cycle, std::uint64_t>> pendingAcks;
+    Cycle txBusyUntil = 0;
+    LinkStats stats_;
+};
+
+} // namespace repl
+} // namespace nvo
+
+#endif // NVO_REPL_LINK_HH

@@ -1,0 +1,166 @@
+#include "repl/wire.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+namespace repl
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t>
+encode(const Frame &f)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(f.wireBytes());
+    out.push_back(wireMagic0);
+    out.push_back(wireMagic1);
+    out.push_back(wireVersion);
+    out.push_back(static_cast<std::uint8_t>(f.type));
+    putU32(out, f.generation);
+    putU64(out, f.epoch);
+    putU64(out, f.arg);
+    putU64(out, f.frameId);
+    if (f.hasPayload())
+        out.insert(out.end(), f.payload.bytes.begin(),
+                   f.payload.bytes.end());
+    putU32(out, crc32(out.data(), out.size()));
+    nvo_assert(out.size() == f.wireBytes());
+    return out;
+}
+
+void
+Decoder::feed(const std::uint8_t *data, std::size_t n)
+{
+    // Compact the consumed prefix before growing; poll() only ever
+    // advances pos, so this keeps the buffer bounded by one frame
+    // plus whatever garbage precedes the next magic.
+    if (pos > 0) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(pos));
+        pos = 0;
+    }
+    buf.insert(buf.end(), data, data + n);
+}
+
+void
+Decoder::skipByte()
+{
+    if (!scanning) {
+        scanning = true;
+        ++resyncCount;
+    }
+    ++pos;
+    ++discarded;
+}
+
+std::optional<Frame>
+Decoder::poll()
+{
+    while (buf.size() - pos >= headerBytes) {
+        const std::uint8_t *p = buf.data() + pos;
+        if (p[0] != wireMagic0 || p[1] != wireMagic1) {
+            skipByte();
+            continue;
+        }
+        if (p[2] != wireVersion) {
+            ++badVersion;
+            skipByte();
+            continue;
+        }
+        std::uint8_t t = p[3];
+        if (t != static_cast<std::uint8_t>(FrameType::Delta) &&
+            t != static_cast<std::uint8_t>(FrameType::EpochClose) &&
+            t != static_cast<std::uint8_t>(FrameType::LateDelta)) {
+            skipByte();
+            continue;
+        }
+        Frame f;
+        f.type = static_cast<FrameType>(t);
+        std::size_t need = f.wireBytes();
+        if (buf.size() - pos < need)
+            return std::nullopt;   // truncated: wait for more bytes
+        std::uint32_t want = getU32(p + need - crcBytes);
+        if (crc32(p, need - crcBytes) != want) {
+            ++badCrc;
+            skipByte();
+            continue;
+        }
+        f.generation = getU32(p + 4);
+        f.epoch = getU64(p + 8);
+        f.arg = getU64(p + 16);
+        f.frameId = getU64(p + 24);
+        if (f.hasPayload())
+            for (unsigned i = 0; i < lineBytes; ++i)
+                f.payload.bytes[i] = p[headerBytes + i];
+        pos += need;
+        scanning = false;
+        ++decoded;
+        return f;
+    }
+    return std::nullopt;
+}
+
+} // namespace repl
+} // namespace nvo

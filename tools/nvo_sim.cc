@@ -242,6 +242,23 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - host_t0)
             .count();
 
+    // Strict-config check: a key that was explicitly set but never
+    // consumed by any getter is a typo or belongs to a different
+    // scheme — warn, or fail under cfg.strict=1. Read the flag from
+    // the System's config copy, the one that saw every access.
+    bool cfg_strict = sys.config().getBool("cfg.strict", false);
+    auto unread = sys.config().unreadKeys();
+    if (!unread.empty()) {
+        for (const auto &key : unread)
+            std::fprintf(stderr,
+                         "%s: config key '%s' was set but never "
+                         "read\n",
+                         cfg_strict ? "error" : "warning",
+                         key.c_str());
+        if (cfg_strict)
+            return 1;
+    }
+
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (!out)
