@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Clang thread-safety capability annotations + the shard capability.
+ *
+ * The simulator is single-threaded today, but ROADMAP item 1 (host-
+ * parallel shared-nothing shards) is about to change that. These
+ * macros let the state that refactor will shard — the MNM/CST tables,
+ * the page pool, the OMC buffers, the per-epoch metric series, the
+ * replication cursor — carry machine-checked statements about which
+ * capability guards it *before* any std::thread exists, so the
+ * parallel refactor starts from an audited baseline instead of a
+ * guess.
+ *
+ * The macros wrap clang's thread-safety attributes and expand to
+ * nothing elsewhere (gcc would reject the attribute spellings), so
+ * they cost nothing until a `-Wthread-safety` clang build checks them
+ * (CI runs one with -Werror=thread-safety).
+ *
+ * Idiom for the single-threaded present:
+ *
+ *  - each shardable aggregate owns a `ShardCap` and marks the members
+ *    the future refactor must confine with NVO_GUARDED_BY(cap_);
+ *  - every method touching guarded members opens with
+ *    `cap_.assertHeld()`, which tells the static analysis the
+ *    capability is held for the rest of the scope *without* imposing
+ *    lock obligations on callers (the single simulation thread holds
+ *    every capability implicitly);
+ *  - private helpers only ever entered from asserting methods may
+ *    instead declare NVO_REQUIRES(cap_), which makes the analysis
+ *    verify the call sites.
+ *
+ * When the shards arrive, the per-shard worker takes the capability
+ * for real through ShardGuard (acquire/release are annotated and,
+ * under NVO_AUDIT, enforce single-owner semantics at runtime — which
+ * also gives ThreadSanitizer real lock events to order).
+ */
+
+#ifndef NVO_COMMON_THREAD_SAFETY_HH
+#define NVO_COMMON_THREAD_SAFETY_HH
+
+#ifdef NVO_AUDIT_ENABLED
+#include <atomic>
+#include <thread>
+
+#include "common/log.hh"
+#endif
+
+#if defined(__clang__)
+#define NVO_TS_ATTR(x) __attribute__((x))
+#else
+#define NVO_TS_ATTR(x)
+#endif
+
+/** Class attribute: instances are capabilities ("shard", "mutex"). */
+#define NVO_CAPABILITY(name) NVO_TS_ATTR(capability(name))
+
+/** Member attribute: reads/writes require holding @p cap. */
+#define NVO_GUARDED_BY(cap) NVO_TS_ATTR(guarded_by(cap))
+
+/** Pointer member: the pointee is guarded by @p cap. */
+#define NVO_PT_GUARDED_BY(cap) NVO_TS_ATTR(pt_guarded_by(cap))
+
+/** Function attribute: callers must hold the capabilities. */
+#define NVO_REQUIRES(...) NVO_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function attribute: acquires the capabilities (not released). */
+#define NVO_ACQUIRE(...) NVO_TS_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function attribute: releases the capabilities. */
+#define NVO_RELEASE(...) NVO_TS_ATTR(release_capability(__VA_ARGS__))
+
+/** Function attribute: asserts the capability is already held —
+ *  checked fact, no caller obligation (clang assert_capability). */
+#define NVO_ASSERT_CAPABILITY(...) \
+    NVO_TS_ATTR(assert_capability(__VA_ARGS__))
+
+/** Class attribute for RAII guards (scoped_lockable). */
+#define NVO_SCOPED_CAPABILITY NVO_TS_ATTR(scoped_lockable)
+
+/** Escape hatch; use only with a justifying comment. */
+#define NVO_NO_THREAD_SAFETY_ANALYSIS \
+    NVO_TS_ATTR(no_thread_safety_analysis)
+
+namespace nvo
+{
+
+/**
+ * The capability guarding one shard's worth of simulator state.
+ *
+ * Disarmed (release builds) every operation is an empty inline and
+ * the class exists purely as an annotation anchor. Under NVO_AUDIT,
+ * acquire/release enforce single-owner handoff and assertHeld traps
+ * a foreign thread touching state some other thread explicitly owns
+ * — the runtime shadow of the static analysis, and the hook TSan
+ * needs to see happens-before edges once shards are real.
+ */
+class NVO_CAPABILITY("shard") ShardCap
+{
+  public:
+    ShardCap() = default;
+    ShardCap(const ShardCap &) = delete;
+    ShardCap &operator=(const ShardCap &) = delete;
+
+    /**
+     * A container relocating a shardable aggregate (e.g. the
+     * VersionedDomain vector growing) moves the anchor, not
+     * ownership: the moved-to capability starts unowned, and under
+     * NVO_AUDIT only unowned capabilities may relocate at all —
+     * growth happens before any worker takes a shard.
+     */
+    ShardCap(ShardCap &&other) noexcept
+    {
+#ifdef NVO_AUDIT_ENABLED
+        nvo_assert(other.owner.load(std::memory_order_relaxed) ==
+                       std::thread::id(),
+                   "ShardCap moved while a thread owns it");
+#else
+        (void)other;
+#endif
+    }
+
+    ShardCap &
+    operator=(ShardCap &&other) noexcept
+    {
+#ifdef NVO_AUDIT_ENABLED
+        nvo_assert(other.owner.load(std::memory_order_relaxed) ==
+                           std::thread::id() &&
+                       owner.load(std::memory_order_relaxed) ==
+                           std::thread::id(),
+                   "ShardCap move-assigned while a thread owns it");
+#else
+        (void)other;
+#endif
+        return *this;
+    }
+
+#ifdef NVO_AUDIT_ENABLED
+    void
+    acquire() NVO_ACQUIRE()
+    {
+        std::thread::id none;
+        std::thread::id self = std::this_thread::get_id();
+        std::thread::id prev = none;
+        bool ok = owner.compare_exchange_strong(
+            prev, self, std::memory_order_acquire);
+        nvo_assert(ok, "ShardCap acquired while another thread "
+                       "holds it");
+    }
+
+    void
+    release() NVO_RELEASE()
+    {
+        std::thread::id self = std::this_thread::get_id();
+        std::thread::id prev = self;
+        bool ok = owner.compare_exchange_strong(
+            prev, std::thread::id(), std::memory_order_release);
+        nvo_assert(ok, "ShardCap released by a thread that does not "
+                       "hold it");
+    }
+
+    void
+    assertHeld() const NVO_ASSERT_CAPABILITY()
+    {
+        // Unowned = the single simulation thread holds every shard
+        // implicitly; owned = only the owner may touch the state.
+        std::thread::id cur = owner.load(std::memory_order_relaxed);
+        nvo_assert(cur == std::thread::id() ||
+                       cur == std::this_thread::get_id(),
+                   "shard state touched by a thread that does not "
+                   "hold its capability");
+    }
+
+  private:
+    mutable std::atomic<std::thread::id> owner{};
+#else
+    void acquire() NVO_ACQUIRE() {}
+    void release() NVO_RELEASE() {}
+    void assertHeld() const NVO_ASSERT_CAPABILITY() {}
+#endif
+};
+
+/** RAII shard ownership for the future per-shard workers. */
+class NVO_SCOPED_CAPABILITY ShardGuard
+{
+  public:
+    explicit ShardGuard(ShardCap &c) NVO_ACQUIRE(c) : cap(c)
+    {
+        cap.acquire();
+    }
+
+    ~ShardGuard() NVO_RELEASE() { cap.release(); }
+
+    ShardGuard(const ShardGuard &) = delete;
+    ShardGuard &operator=(const ShardGuard &) = delete;
+
+  private:
+    ShardCap &cap;
+};
+
+} // namespace nvo
+
+#endif // NVO_COMMON_THREAD_SAFETY_HH

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "common/types.hh"
 #include "mem/backing_store.hh"
 #include "nvoverlay/page_pool.hh"
@@ -111,9 +112,19 @@ class EpochTable
     PageEntry *pageEntry(Addr page_addr);
     const PageEntry *pageEntry(Addr page_addr) const;
 
-    std::uint64_t versionCount() const { return versions; }
+    std::uint64_t
+    versionCount() const
+    {
+        cap_.assertHeld();
+        return versions;
+    }
     std::uint64_t tableBytes() const;   ///< DRAM footprint of the tree
-    std::uint64_t relocatedBytes() const { return relocBytes; }
+    std::uint64_t
+    relocatedBytes() const
+    {
+        cap_.assertHeld();
+        return relocBytes;
+    }
 
     /**
      * Invariant sweep (NVO_AUDIT): every live overlay page maps into
@@ -143,11 +154,14 @@ class EpochTable
     EpochWide epoch_;
     PagePool &pool;
     Params p;
-    Node *root;
-    std::uint64_t nodeCount = 1;
-    std::uint64_t versions = 0;
-    std::uint64_t relocBytes = 0;
-    std::vector<std::unique_ptr<PageEntry>> entries;
+    /** Per-(partition, epoch) table: shards with its OMC. */
+    ShardCap cap_;
+    Node *root NVO_GUARDED_BY(cap_);
+    std::uint64_t nodeCount NVO_GUARDED_BY(cap_) = 1;
+    std::uint64_t versions NVO_GUARDED_BY(cap_) = 0;
+    std::uint64_t relocBytes NVO_GUARDED_BY(cap_) = 0;
+    std::vector<std::unique_ptr<PageEntry>> entries
+        NVO_GUARDED_BY(cap_);
 };
 
 } // namespace nvo

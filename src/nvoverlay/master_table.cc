@@ -53,6 +53,7 @@ MasterTable::idxAt(Addr line_addr, unsigned level)
 void
 MasterTable::emitMeta(std::uint32_t bytes)
 {
+    cap_.assertHeld();
     ++metaWriteCount;
     if (metaWrite)
         metaWrite(bytes);
@@ -61,6 +62,7 @@ MasterTable::emitMeta(std::uint32_t bytes)
 std::optional<MasterTable::Entry>
 MasterTable::insert(Addr line_addr, Addr nvm_addr, EpochWide e)
 {
+    cap_.assertHeld();
     nvo_assert(lineAlign(line_addr) == line_addr);
     InnerNode *node = root;
     for (unsigned level = 0; level < 3; ++level) {
@@ -95,6 +97,7 @@ MasterTable::insert(Addr line_addr, Addr nvm_addr, EpochWide e)
 void
 MasterTable::erase(Addr line_addr)
 {
+    cap_.assertHeld();
     InnerNode *node = root;
     for (unsigned level = 0; level < 3; ++level) {
         void *c = node->child[idxAt(line_addr, level)];
@@ -117,6 +120,7 @@ MasterTable::erase(Addr line_addr)
 const MasterTable::Entry *
 MasterTable::lookup(Addr line_addr) const
 {
+    cap_.assertHeld();
     const InnerNode *node = root;
     for (unsigned level = 0; level < 3; ++level) {
         const void *c = node->child[idxAt(line_addr, level)];
@@ -164,12 +168,14 @@ void
 MasterTable::forEach(
     const std::function<void(Addr, const Entry &)> &fn) const
 {
+    cap_.assertHeld();
     forEachRec(root, 0, 0, fn);
 }
 
 void
 MasterTable::audit() const
 {
+    cap_.assertHeld();
     if (!audit::enabled)
         return;
     std::uint64_t walked = 0;

@@ -19,6 +19,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/thread_safety.hh"
 #include "common/types.hh"
 
 namespace nvo
@@ -65,12 +66,27 @@ class MasterTable
         const std::function<void(Addr, const Entry &)> &fn) const;
 
     /** Total persistent node storage (Fig. 13 numerator). */
-    std::uint64_t nodeBytes() const { return nodeBytes_; }
+    std::uint64_t
+    nodeBytes() const
+    {
+        cap_.assertHeld();
+        return nodeBytes_;
+    }
 
-    std::uint64_t mappedLines() const { return mapped; }
+    std::uint64_t
+    mappedLines() const
+    {
+        cap_.assertHeld();
+        return mapped;
+    }
 
     /** Cumulative 8-byte entry/pointer writes issued. */
-    std::uint64_t metaWrites() const { return metaWriteCount; }
+    std::uint64_t
+    metaWrites() const
+    {
+        cap_.assertHeld();
+        return metaWriteCount;
+    }
 
     /**
      * Invariant sweep (NVO_AUDIT): the mapped-line counter matches
@@ -100,10 +116,12 @@ class MasterTable
         const;
 
     MetaWriteFn metaWrite;
-    InnerNode *root;
-    std::uint64_t nodeBytes_;
-    std::uint64_t mapped = 0;
-    std::uint64_t metaWriteCount = 0;
+    /** The master shard is per-OMC state (ROADMAP item 1). */
+    ShardCap cap_;
+    InnerNode *root NVO_GUARDED_BY(cap_);
+    std::uint64_t nodeBytes_ NVO_GUARDED_BY(cap_);
+    std::uint64_t mapped NVO_GUARDED_BY(cap_) = 0;
+    std::uint64_t metaWriteCount NVO_GUARDED_BY(cap_) = 0;
 };
 
 } // namespace nvo

@@ -40,6 +40,7 @@ MnmBackend::MnmBackend(const Params &params, NvmModel &nvm_model,
 unsigned
 MnmBackend::omcOf(Addr line_addr) const
 {
+    cap_.assertHeld();
     return static_cast<unsigned>((line_addr >> lineBytesLog2) %
                                  parts.size());
 }
@@ -105,6 +106,7 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
                           const LineData &content, Cycle now,
                           EvictReason why)
 {
+    cap_.assertHeld();
     unsigned oidx = omcOf(line_addr);
     Part &part = parts[oidx];
     Cycle stall = 0;
@@ -229,6 +231,7 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
 EpochWide
 MnmBackend::ackedEpoch(Addr line_addr) const
 {
+    cap_.assertHeld();
     auto it = acked.find(line_addr);
     return it == acked.end() ? 0 : it->second;
 }
@@ -267,6 +270,7 @@ void
 MnmBackend::unref(unsigned oidx, Part &part, Addr line_addr,
                   const MasterTable::Entry &old_entry, Cycle now)
 {
+    cap_.assertHeld();
     // Whatever the replaced entry mapped is unreachable from the
     // master now — record the lifecycle exit even when the version's
     // epoch table is long gone (dropMergedTables).
@@ -299,6 +303,7 @@ void
 MnmBackend::flushMeta(Part &part, Cycle now)
 {
     while (part.pendingMetaBytes > 0) {
+        NVO_FAULT_POINT("omc.meta.flush");
         std::uint32_t chunk = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(part.pendingMetaBytes, lineBytes));
         Addr addr = p.poolBase +
@@ -368,6 +373,7 @@ MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
 void
 MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
 {
+    cap_.assertHeld();
     nvo_assert(vd < minVers.size());
     minVers[vd] = std::max(minVers[vd], min_ver);
 
@@ -399,6 +405,7 @@ MnmBackend::reportMinVer(unsigned vd, EpochWide min_ver, Cycle now)
 void
 MnmBackend::drainBuffers(Cycle now)
 {
+    cap_.assertHeld();
     for (unsigned oidx = 0; oidx < parts.size(); ++oidx) {
         Part &part = parts[oidx];
         if (!part.buffer)
@@ -416,6 +423,7 @@ MnmBackend::drainBuffers(Cycle now)
 Cycle
 MnmBackend::finalize(Cycle now)
 {
+    cap_.assertHeld();
     drainBuffers(now);
     setBufferBypass(true);
     for (auto &part : parts)
@@ -431,6 +439,7 @@ MnmBackend::finalize(Cycle now)
 void
 MnmBackend::compact(Cycle now)
 {
+    cap_.assertHeld();
     for (unsigned oidx = 0; oidx < parts.size(); ++oidx) {
         Part &part = parts[oidx];
         // Oldest merged epoch still holding live versions.
@@ -534,6 +543,7 @@ MnmBackend::compact(Cycle now)
 void
 MnmBackend::dropVolatileTables()
 {
+    cap_.assertHeld();
     for (auto &part : parts)
         part.tables.clear();
 }
@@ -541,6 +551,7 @@ MnmBackend::dropVolatileTables()
 void
 MnmBackend::rebuildTables()
 {
+    cap_.assertHeld();
     for (auto &part : parts) {
         part.pool->forEachHeader(
             [&](Addr sub_page, const PagePool::SubPageHeader &hdr) {
@@ -564,6 +575,7 @@ MnmBackend::rebuildTables()
 void
 MnmBackend::crashReset()
 {
+    cap_.assertHeld();
     // Volatile lifecycle bookkeeping dies with the run; the post-
     // crash epoch/provenance space would alias pre-crash entries.
     NVO_LEDGER(reset());
@@ -594,6 +606,7 @@ MnmBackend::crashReset()
 bool
 MnmBackend::readMaster(Addr line_addr, LineData &out) const
 {
+    cap_.assertHeld();
     const Part &part = parts[omcOf(line_addr)];
     const auto *entry = part.master->lookup(line_addr);
     if (!entry)
@@ -607,6 +620,7 @@ MnmBackend::forEachMasterEntry(
     const std::function<void(Addr, const MasterTable::Entry &)> &fn)
     const
 {
+    cap_.assertHeld();
     for (const auto &part : parts)
         part.master->forEach(fn);
 }
@@ -615,6 +629,7 @@ bool
 MnmBackend::readSnapshot(Addr line_addr, EpochWide e, LineData &out,
                          EpochWide *found_epoch) const
 {
+    cap_.assertHeld();
     const Part &part = parts[omcOf(line_addr)];
     // Fall-through: largest E' <= e whose table maps the address.
     auto it = part.tables.upper_bound(e);
@@ -652,6 +667,7 @@ MnmBackend::updateStats()
 void
 MnmBackend::audit() const
 {
+    cap_.assertHeld();
     if (!audit::enabled)
         return;
 
@@ -758,18 +774,21 @@ MnmBackend::audit() const
 const MasterTable &
 MnmBackend::master(unsigned omc) const
 {
+    cap_.assertHeld();
     return *parts[omc].master;
 }
 
 PagePool &
 MnmBackend::pool(unsigned omc)
 {
+    cap_.assertHeld();
     return *parts[omc].pool;
 }
 
 EpochTable *
 MnmBackend::epochTable(unsigned omc, EpochWide e)
 {
+    cap_.assertHeld();
     auto it = parts[omc].tables.find(e);
     return it == parts[omc].tables.end() ? nullptr : it->second.get();
 }
@@ -777,6 +796,7 @@ MnmBackend::epochTable(unsigned omc, EpochWide e)
 std::uint64_t
 MnmBackend::masterNodeBytesTotal() const
 {
+    cap_.assertHeld();
     std::uint64_t total = 0;
     for (const auto &part : parts)
         total += part.master->nodeBytes();
@@ -786,6 +806,7 @@ MnmBackend::masterNodeBytesTotal() const
 std::uint64_t
 MnmBackend::masterMappedLinesTotal() const
 {
+    cap_.assertHeld();
     std::uint64_t total = 0;
     for (const auto &part : parts)
         total += part.master->mappedLines();
@@ -795,6 +816,7 @@ MnmBackend::masterMappedLinesTotal() const
 std::uint64_t
 MnmBackend::epochTableBytesTotal() const
 {
+    cap_.assertHeld();
     std::uint64_t total = 0;
     for (const auto &part : parts)
         for (const auto &kv : part.tables)
@@ -805,6 +827,7 @@ MnmBackend::epochTableBytesTotal() const
 std::uint64_t
 MnmBackend::poolPagesInUseTotal() const
 {
+    cap_.assertHeld();
     std::uint64_t total = 0;
     for (const auto &part : parts)
         total += part.pool->pagesInUse();

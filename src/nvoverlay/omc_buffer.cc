@@ -27,6 +27,7 @@ OmcBuffer::setOf(Addr line_addr) const
 OmcBuffer::InsertResult
 OmcBuffer::insert(Addr line_addr, EpochWide epoch, unsigned cause)
 {
+    cap_.assertHeld();
     nvo_assert(lineAlign(line_addr) == line_addr);
     InsertResult result;
     Slot *base = &slots[static_cast<std::size_t>(setOf(line_addr)) *
@@ -80,6 +81,7 @@ void
 OmcBuffer::forEachPending(
     const std::function<void(const Pending &)> &fn) const
 {
+    cap_.assertHeld();
     for (const auto &s : slots)
         if (s.valid)
             fn(Pending{s.addr, s.epoch, s.cause});
@@ -88,6 +90,7 @@ OmcBuffer::forEachPending(
 void
 OmcBuffer::audit() const
 {
+    cap_.assertHeld();
     if (!audit::enabled)
         return;
     std::uint64_t valid = 0;
@@ -119,6 +122,7 @@ OmcBuffer::audit() const
 std::vector<OmcBuffer::Pending>
 OmcBuffer::drainAll()
 {
+    cap_.assertHeld();
     std::vector<Pending> out;
     for (auto &s : slots) {
         if (s.valid) {

@@ -33,6 +33,7 @@ PagePool::roundLines(unsigned lines)
 Addr
 PagePool::allocPage()
 {
+    cap_.assertHeld();
     for (std::uint64_t i = 0; i < bitmap.size(); ++i) {
         std::uint64_t idx = (scanHint + i) % bitmap.size();
         if (bitmap[idx] == ~0ull)
@@ -50,6 +51,7 @@ PagePool::allocPage()
         if (pd && pd->armed()) {
             pd->stage(PersistDomain::Kind::PoolBitmap,
                       [this, idx, bit] {
+                          cap_.assertHeld();
                           bitmap[idx] &= ~(1ull << bit);
                           --usedPages;
                       });
@@ -63,6 +65,7 @@ PagePool::allocPage()
 Addr
 PagePool::allocLines(unsigned lines)
 {
+    cap_.assertHeld();
     NVO_FAULT_POINT("pool.alloc");
     unsigned rounded = roundLines(lines);
     unsigned order = log2Exact(rounded);
@@ -101,6 +104,7 @@ PagePool::allocLines(unsigned lines)
         pd->stage(PersistDomain::Kind::PoolBitmap,
                   [this, block, order, src_order, from_free_list,
                    bytes] {
+                      cap_.assertHeld();
                       for (unsigned o = order; o < src_order; ++o)
                           freeLists[o].pop_back();
                       if (from_free_list)
@@ -115,6 +119,7 @@ PagePool::allocLines(unsigned lines)
 void
 PagePool::freeLines(Addr addr, unsigned lines)
 {
+    cap_.assertHeld();
     NVO_FAULT_POINT("pool.free");
     unsigned rounded = roundLines(lines);
     unsigned order = log2Exact(rounded);
@@ -125,6 +130,7 @@ PagePool::freeLines(Addr addr, unsigned lines)
     if (pd && pd->armed()) {
         pd->stage(PersistDomain::Kind::PoolBitmap,
                   [this, order, bytes] {
+                      cap_.assertHeld();
                       freeLists[order].pop_back();
                       allocatedBytes += bytes;
                   });
@@ -137,10 +143,12 @@ PagePool::freeLines(Addr addr, unsigned lines)
 void
 PagePool::extend(std::uint64_t pages)
 {
+    cap_.assertHeld();
     numPages += pages;
     bitmap.resize((numPages + 63) / 64, 0);
     if (pd && pd->armed()) {
         pd->stage(PersistDomain::Kind::PoolBitmap, [this, pages] {
+            cap_.assertHeld();
             numPages -= pages;
             bitmap.resize((numPages + 63) / 64, 0);
         });
@@ -151,11 +159,13 @@ PagePool::extend(std::uint64_t pages)
 void
 PagePool::writeLine(Addr nvm_addr, const LineData &content)
 {
+    cap_.assertHeld();
     if (pd && pd->armed()) {
         LineData old;
         image.readLine(nvm_addr, old);
         pd->stage(PersistDomain::Kind::PoolData,
                   [this, nvm_addr, old] {
+                      cap_.assertHeld();
                       image.writeLine(nvm_addr, old);
                   });
     }
@@ -165,20 +175,26 @@ PagePool::writeLine(Addr nvm_addr, const LineData &content)
 void
 PagePool::readLine(Addr nvm_addr, LineData &out) const
 {
+    cap_.assertHeld();
     image.readLine(nvm_addr, out);
 }
 
 void
 PagePool::setHeader(Addr sub_page, const SubPageHeader &hdr)
 {
+    cap_.assertHeld();
     if (pd && pd->armed()) {
         auto it = headers.find(sub_page);
         if (it == headers.end()) {
             pd->stage(PersistDomain::Kind::PoolHeader,
-                      [this, sub_page] { headers.erase(sub_page); });
+                      [this, sub_page] {
+                          cap_.assertHeld();
+                          headers.erase(sub_page);
+                      });
         } else {
             pd->stage(PersistDomain::Kind::PoolHeader,
                       [this, sub_page, old = it->second] {
+                          cap_.assertHeld();
                           headers[sub_page] = old;
                       });
         }
@@ -189,6 +205,7 @@ PagePool::setHeader(Addr sub_page, const SubPageHeader &hdr)
 const PagePool::SubPageHeader *
 PagePool::header(Addr sub_page) const
 {
+    cap_.assertHeld();
     auto it = headers.find(sub_page);
     return it == headers.end() ? nullptr : &it->second;
 }
@@ -196,6 +213,7 @@ PagePool::header(Addr sub_page) const
 PagePool::SubPageHeader *
 PagePool::header(Addr sub_page)
 {
+    cap_.assertHeld();
     auto it = headers.find(sub_page);
     if (it == headers.end())
         return nullptr;
@@ -205,6 +223,7 @@ PagePool::header(Addr sub_page)
     if (pd && pd->armed()) {
         pd->stage(PersistDomain::Kind::PoolHeader,
                   [this, sub_page, old = it->second] {
+                      cap_.assertHeld();
                       headers[sub_page] = old;
                   });
     }
@@ -214,11 +233,13 @@ PagePool::header(Addr sub_page)
 void
 PagePool::dropHeader(Addr sub_page)
 {
+    cap_.assertHeld();
     if (pd && pd->armed()) {
         auto it = headers.find(sub_page);
         if (it != headers.end()) {
             pd->stage(PersistDomain::Kind::PoolHeader,
                       [this, sub_page, old = it->second] {
+                          cap_.assertHeld();
                           headers[sub_page] = old;
                       });
         }
@@ -230,6 +251,7 @@ void
 PagePool::forEachHeader(
     const std::function<void(Addr, const SubPageHeader &)> &fn) const
 {
+    cap_.assertHeld();
     for (const auto &kv : headers)
         fn(kv.first, kv.second);
 }
@@ -237,6 +259,7 @@ PagePool::forEachHeader(
 bool
 PagePool::pageAllocated(Addr addr) const
 {
+    cap_.assertHeld();
     if (addr < base)
         return false;
     std::uint64_t page = (addr - base) / pageBytes;
@@ -248,6 +271,7 @@ PagePool::pageAllocated(Addr addr) const
 void
 PagePool::audit() const
 {
+    cap_.assertHeld();
     if (!audit::enabled)
         return;
 

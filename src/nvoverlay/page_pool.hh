@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "common/types.hh"
 #include "mem/backing_store.hh"
 
@@ -87,13 +88,30 @@ class PagePool
         const std::function<void(Addr, const SubPageHeader &)> &fn)
         const;
 
-    std::uint64_t totalPages() const { return numPages; }
-    std::uint64_t pagesInUse() const { return usedPages; }
-    std::uint64_t bytesAllocated() const { return allocatedBytes; }
+    std::uint64_t
+    totalPages() const
+    {
+        cap_.assertHeld();
+        return numPages;
+    }
+    std::uint64_t
+    pagesInUse() const
+    {
+        cap_.assertHeld();
+        return usedPages;
+    }
+    std::uint64_t
+    bytesAllocated() const
+    {
+        cap_.assertHeld();
+        return allocatedBytes;
+    }
 
     /** Fraction of pool pages currently holding data. */
-    double utilization() const
+    double
+    utilization() const
     {
+        cap_.assertHeld();
         return numPages ? static_cast<double>(usedPages) / numPages
                         : 0.0;
     }
@@ -119,15 +137,20 @@ class PagePool
     Addr allocPage();
 
     Addr base;
-    std::uint64_t numPages;
-    std::uint64_t usedPages = 0;
-    std::uint64_t allocatedBytes = 0;
-    std::vector<std::uint64_t> bitmap;
-    std::uint64_t scanHint = 0;
+    /** Future per-partition shard capability (ROADMAP item 1): the
+     *  pool is per-OMC state and moves wholesale into one shard. */
+    ShardCap cap_;
+    std::uint64_t numPages NVO_GUARDED_BY(cap_);
+    std::uint64_t usedPages NVO_GUARDED_BY(cap_) = 0;
+    std::uint64_t allocatedBytes NVO_GUARDED_BY(cap_) = 0;
+    std::vector<std::uint64_t> bitmap NVO_GUARDED_BY(cap_);
+    std::uint64_t scanHint NVO_GUARDED_BY(cap_) = 0;
     /** Free lists per order (order k = 2^k lines). */
-    std::array<std::vector<Addr>, maxOrder + 1> freeLists;
-    BackingStore image;
-    std::unordered_map<Addr, SubPageHeader> headers;
+    std::array<std::vector<Addr>, maxOrder + 1> freeLists
+        NVO_GUARDED_BY(cap_);
+    BackingStore image NVO_GUARDED_BY(cap_);
+    std::unordered_map<Addr, SubPageHeader> headers
+        NVO_GUARDED_BY(cap_);
     PersistDomain *pd = nullptr;
 };
 

@@ -8,6 +8,7 @@ namespace nvo
 void
 VersionedDomain::advance(EpochWide target, bool lamport)
 {
+    cap_.assertHeld();
     nvo_assert(target > cur, "epoch advance must move forward");
     cur = target;
     storesThisEpoch = 0;

@@ -12,6 +12,7 @@ void
 EpochSeries::addProbe(std::string name,
                       std::function<std::uint64_t()> fn)
 {
+    cap_.assertHeld();
     nvo_assert(rows == 0, "probe added after sampling started");
     probes.push_back({std::move(name), std::move(fn)});
 }
@@ -19,6 +20,7 @@ EpochSeries::addProbe(std::string name,
 void
 EpochSeries::sample(EpochWide epoch, Cycle now)
 {
+    cap_.assertHeld();
     data.push_back(epoch);
     data.push_back(now);
     for (const auto &probe : probes)
@@ -29,6 +31,7 @@ EpochSeries::sample(EpochWide epoch, Cycle now)
 std::vector<std::string>
 EpochSeries::columns() const
 {
+    cap_.assertHeld();
     std::vector<std::string> cols = {"epoch", "cycle"};
     for (const auto &probe : probes)
         cols.push_back(probe.name);
@@ -38,6 +41,7 @@ EpochSeries::columns() const
 std::uint64_t
 EpochSeries::value(std::size_t row, std::size_t col) const
 {
+    cap_.assertHeld();
     std::size_t stride = probes.size() + 2;
     nvo_assert(row < rows && col < stride, "series index out of range");
     return data[row * stride + col];
@@ -46,6 +50,7 @@ EpochSeries::value(std::size_t row, std::size_t col) const
 void
 EpochSeries::writeCsv(std::ostream &os) const
 {
+    cap_.assertHeld();
     auto cols = columns();
     for (std::size_t c = 0; c < cols.size(); ++c)
         os << (c ? "," : "") << cols[c];
@@ -61,6 +66,7 @@ EpochSeries::writeCsv(std::ostream &os) const
 void
 EpochSeries::writeJson(JsonWriter &w) const
 {
+    cap_.assertHeld();
     w.beginObject();
     w.key("columns").beginArray();
     for (const auto &col : columns())

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "common/types.hh"
 
 namespace nvo
@@ -43,8 +44,18 @@ class EpochSeries
     /** Append one row: epoch, cycle, then every probe reading. */
     void sample(EpochWide epoch, Cycle now);
 
-    std::size_t numProbes() const { return probes.size(); }
-    std::size_t numSamples() const { return rows; }
+    std::size_t
+    numProbes() const
+    {
+        cap_.assertHeld();
+        return probes.size();
+    }
+    std::size_t
+    numSamples() const
+    {
+        cap_.assertHeld();
+        return rows;
+    }
 
     /** Column names including the leading "epoch" and "cycle". */
     std::vector<std::string> columns() const;
@@ -65,10 +76,14 @@ class EpochSeries
         std::function<std::uint64_t()> fn;
     };
 
-    std::vector<Probe> probes;
+    /** Sampling is a cross-shard rendezvous point: once shards run in
+     *  parallel (ROADMAP item 1), probes read other shards' counters
+     *  and must quiesce behind this capability. */
+    ShardCap cap_;
+    std::vector<Probe> probes NVO_GUARDED_BY(cap_);
     /** Row-major samples, stride = numProbes() + 2. */
-    std::vector<std::uint64_t> data;
-    std::size_t rows = 0;
+    std::vector<std::uint64_t> data NVO_GUARDED_BY(cap_);
+    std::size_t rows NVO_GUARDED_BY(cap_) = 0;
 };
 
 } // namespace obs

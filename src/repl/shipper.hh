@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/thread_safety.hh"
 #include "nvoverlay/omc.hh"
 #include "repl/link.hh"
 #include "repl/wire.hh"
@@ -83,18 +84,46 @@ class DeltaShipper : public ReplSink
      */
     std::uint64_t resume(Cycle now);
 
-    EpochWide cursor() const { return cursor_; }
-    EpochWide durableCursor() const { return durableCursor_; }
-    EpochWide shippedUpTo() const { return shippedUpTo_; }
-    std::uint32_t generation() const { return generation_; }
-    std::uint64_t framesShipped() const { return nextFrameId - 1; }
+    EpochWide
+    cursor() const
+    {
+        cap_.assertHeld();
+        return cursor_;
+    }
+    EpochWide
+    durableCursor() const
+    {
+        cap_.assertHeld();
+        return durableCursor_;
+    }
+    EpochWide
+    shippedUpTo() const
+    {
+        cap_.assertHeld();
+        return shippedUpTo_;
+    }
+    std::uint32_t
+    generation() const
+    {
+        cap_.assertHeld();
+        return generation_;
+    }
+    std::uint64_t
+    framesShipped() const
+    {
+        cap_.assertHeld();
+        return nextFrameId - 1;
+    }
 
   private:
-    void shipEpoch(EpochWide e, Cycle now);
+    void shipEpoch(EpochWide e, Cycle now) NVO_REQUIRES(cap_);
+    /** No NVO_REQUIRES: also called from extraction lambdas, which
+     *  the thread-safety analysis checks as separate functions. It
+     *  asserts the capability instead. */
     void sendFrame(FrameType type, EpochWide epoch, std::uint64_t arg,
                    const LineData *payload, Cycle now);
-    void maybeAdvanceCursor(Cycle now);
-    void persistCursor(Cycle now);
+    void maybeAdvanceCursor(Cycle now) NVO_REQUIRES(cap_);
+    void persistCursor(Cycle now) NVO_REQUIRES(cap_);
 
     MnmBackend &backend;
     NvmModel &nvm;
@@ -102,16 +131,21 @@ class DeltaShipper : public ReplSink
     RunStats &stats;
     Params p;
 
-    std::uint32_t generation_ = 1;
-    std::uint64_t nextFrameId = 1;
-    EpochWide shippedUpTo_ = 0;
-    EpochWide cursor_ = 0;
-    EpochWide durableCursor_ = 0;
+    /** Replication state is single-owner: the shipping thread of the
+     *  future sharded simulator (ROADMAP item 1). */
+    ShardCap cap_;
+    std::uint32_t generation_ NVO_GUARDED_BY(cap_) = 1;
+    std::uint64_t nextFrameId NVO_GUARDED_BY(cap_) = 1;
+    EpochWide shippedUpTo_ NVO_GUARDED_BY(cap_) = 0;
+    EpochWide cursor_ NVO_GUARDED_BY(cap_) = 0;
+    EpochWide durableCursor_ NVO_GUARDED_BY(cap_) = 0;
 
     /** Per-epoch unacked frame counts (regular frames only). */
-    std::map<EpochWide, std::uint64_t> outstanding;
+    std::map<EpochWide, std::uint64_t> outstanding
+        NVO_GUARDED_BY(cap_);
     /** frame id -> epoch for regular in-flight frames. */
-    std::map<std::uint64_t, EpochWide> frameEpoch;
+    std::map<std::uint64_t, EpochWide> frameEpoch
+        NVO_GUARDED_BY(cap_);
 
     /** Durable late-amendment log: un-trimmed entries re-ship on
      *  resume (their content survives in the NVM pool image). */
@@ -122,7 +156,7 @@ class DeltaShipper : public ReplSink
         std::uint64_t frameId;
         bool acked = false;
     };
-    std::vector<LateRec> lateLog;
+    std::vector<LateRec> lateLog NVO_GUARDED_BY(cap_);
 };
 
 } // namespace repl

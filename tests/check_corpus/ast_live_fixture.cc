@@ -1,0 +1,52 @@
+// Self-contained TU for the clang-gated check.ast_live smoke test.
+// Unlike the structural fixtures this one must *compile* — clang
+// dumps its real AST JSON and nvo_check's AST frontend must flag the
+// unfenced publish below. No .good/.bad tag: the corpus runner skips
+// this file (it goes through tools/check_ast_live.cmake instead).
+//
+// The stubs mirror the names nvo_check keys on: a PersistDomain
+// reached via NvmModel::persist(), a fault registry with hitPoint,
+// and a durable*_ shadow word.
+
+using Addr = unsigned long long;
+using Cycle = unsigned long long;
+using EpochWide = unsigned long long;
+
+enum class NvmWriteKind { Data, Mapping };
+
+struct PersistDomain {
+    void write(Addr, int, Cycle, NvmWriteKind) {}
+    void barrier() {}
+};
+
+struct NvmModel {
+    PersistDomain &persist() { return pd; }
+    PersistDomain pd;
+};
+
+namespace fault {
+
+struct Registry {
+    void hitPoint(const char *) {}
+};
+
+Registry &registry();
+
+} // namespace fault
+
+struct Backend {
+    void persistRecEpoch(Cycle now);
+    NvmModel nvm;
+    EpochWide recEpoch_ = 0;
+    EpochWide durableRecEpoch_ = 0;
+};
+
+void
+Backend::persistRecEpoch(Cycle now)
+{
+    fault::registry().hitPoint("omc.rec_epoch.persist");
+    nvm.persist().write(0x1000, 8, now, NvmWriteKind::Mapping);
+    // barrier() intentionally missing: the rec-epoch word below names
+    // an unfenced write, so nvo_check must report persist-order here.
+    durableRecEpoch_ = recEpoch_;
+}

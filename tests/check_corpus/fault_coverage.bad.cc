@@ -1,0 +1,11 @@
+// A durable mutation no crash campaign can cut power in front of:
+// the only fault hook is behind a branch, so the write's path is not
+// guaranteed to pass one.
+void
+flushMeta(Cycle now)
+{
+    if (verbose)
+        NVO_FAULT_POINT("omc.meta.flush");
+    nvm.persist().write(addr, 64, now, NvmWriteKind::Mapping);
+    nvm.persist().barrier();
+}

@@ -1,0 +1,25 @@
+// Covered both ways the tree uses: a hook dominating the write
+// directly, and a hook inherited through a helper call.
+void
+hookOnly()
+{
+    NVO_FAULT_POINT("omc.meta.flush");
+}
+
+void
+flushMeta(Cycle now)
+{
+    hookOnly();
+    nvm.persist().write(addr, 64, now, NvmWriteKind::Mapping);
+    nvm.persist().barrier();
+}
+
+void
+retryLoop(Cycle now)
+{
+    while (NVO_FAULT_ERROR("omc.device_write")) {
+        backoff();
+    }
+    nvm.persist().write(addr, 64, now, NvmWriteKind::Data);
+    nvm.persist().barrier();
+}

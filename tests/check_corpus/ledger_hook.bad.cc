@@ -1,0 +1,13 @@
+// A wrapper does not launder a master mutation: insert/erase stay
+// legal only inside masterInsert itself (and lambdas defined there).
+void
+laundered(Addr line_addr, Addr nvm_addr, EpochWide e)
+{
+    part.master->insert(line_addr, nvm_addr, e);
+}
+
+void
+dropsWithoutReclaim(Addr sub_page)
+{
+    pool.dropHeader(sub_page);
+}

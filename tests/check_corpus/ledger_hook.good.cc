@@ -1,0 +1,18 @@
+// The sanctioned sites: masterInsert mutates the master (its staged
+// undo lambdas inherit the sanction), reclaimSubPage drops headers.
+void
+masterInsert(Addr line_addr, Addr nvm_addr, EpochWide e)
+{
+    auto replaced = part.master->insert(line_addr, nvm_addr, e);
+    MasterTable *mt = part.master.get();
+    domain.stage(Kind::Master, [mt, line_addr] {
+        mt->erase(line_addr);
+    });
+}
+
+void
+reclaimSubPage(EpochTable::PageEntry &pe)
+{
+    part.pool->dropHeader(pe.subPage);
+    part.pool->freeLines(pe.subPage, pe.capacity);
+}

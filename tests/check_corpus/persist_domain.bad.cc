@@ -1,0 +1,7 @@
+// A raw device write bypassing the persist boundary: invisible to
+// crash unwind and to the durable/in-flight split.
+void
+dumpContext(Cycle now)
+{
+    nvm.write(scratch, 64, now, NvmWriteKind::Data);
+}

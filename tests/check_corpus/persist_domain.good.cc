@@ -1,0 +1,11 @@
+// The sanctioned path: through the persist domain, with the fence,
+// covered by a hook — including via a named domain alias, which the
+// token rule could not follow.
+void
+writeThrough(Cycle now)
+{
+    NVO_FAULT_POINT("pool.alloc");
+    PersistDomain &domain = nvm.persist();
+    domain.write(addr, 64, now, NvmWriteKind::Data);
+    domain.barrier();
+}

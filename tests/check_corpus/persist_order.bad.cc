@@ -1,0 +1,12 @@
+// The seeded mnm.test_skip_rec_barrier shape: the barrier between the
+// merge writes and the rec-epoch publish sits behind a skippable
+// branch, so one path publishes an unfenced write (paper Sec. V-B).
+void
+persistRecEpoch(Cycle now)
+{
+    NVO_FAULT_POINT("omc.rec_epoch.persist");
+    nvm.persist().write(addr, 8, now, NvmWriteKind::Mapping);
+    if (!p.testSkipRecBarrier)
+        nvm.persist().barrier();
+    durableRecEpoch_ = recEpoch_;
+}

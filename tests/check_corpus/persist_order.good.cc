@@ -1,0 +1,10 @@
+// The correct shape: every path fences the persist write before the
+// rec-epoch word names it recoverable.
+void
+persistRecEpoch(Cycle now)
+{
+    NVO_FAULT_POINT("omc.rec_epoch.persist");
+    nvm.persist().write(addr, 8, now, NvmWriteKind::Mapping);
+    nvm.persist().barrier();
+    durableRecEpoch_ = recEpoch_;
+}

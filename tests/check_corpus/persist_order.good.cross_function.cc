@@ -1,0 +1,24 @@
+// Same cross-function shape as the bad twin, with the fence restored
+// between the dirtying callee and the publishing callee.
+void
+writeMeta(Cycle now)
+{
+    NVO_FAULT_POINT("omc.meta.flush");
+    nvm.persist().write(addr, 64, now, NvmWriteKind::Mapping);
+}
+
+void
+publishCursor()
+{
+    NVO_FAULT_POINT("repl.cursor.persist");
+    durableCursor_ = cursor_;
+}
+
+void
+advance(Cycle now)
+{
+    NVO_FAULT_POINT("omc.rec_epoch.advance");
+    writeMeta(now);
+    nvm.persist().barrier();
+    publishCursor();
+}

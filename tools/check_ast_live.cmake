@@ -1,0 +1,47 @@
+# Script-mode driver for the check.ast_live ctest: only registered
+# when a clang is on PATH (find_program in tools/CMakeLists.txt).
+# Dumps the real clang AST of the seeded-bug fixture and requires
+# nvo_check's --ast-json frontend to flag the persist-order violation,
+# proving the hand-written .ast.json corpus stays aligned with what
+# clang actually emits.
+#
+# Inputs: -DNVO_CLANG=<clang> -DNVO_CHECK=<nvo_check> -DSRC_DIR=<repo>
+
+foreach(var NVO_CLANG NVO_CHECK SRC_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "check_ast_live.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+set(fixture "${SRC_DIR}/tests/check_corpus/ast_live_fixture.cc")
+set(dump "ast_live_fixture.ast.json")
+
+execute_process(
+    COMMAND "${NVO_CLANG}" -x c++ -std=c++17 -fsyntax-only
+            -Xclang -ast-dump=json "${fixture}"
+    OUTPUT_VARIABLE ast_json
+    ERROR_VARIABLE clang_err
+    RESULT_VARIABLE clang_rc)
+if(NOT clang_rc EQUAL 0)
+    message(FATAL_ERROR
+        "clang could not dump ${fixture} (rc=${clang_rc}):\n${clang_err}")
+endif()
+file(WRITE "${dump}" "${ast_json}")
+
+execute_process(
+    COMMAND "${NVO_CHECK}" --no-allowlist --force-scope --ast-json "${dump}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "expected nvo_check to exit 1 on the unfenced fixture, got "
+        "rc=${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "persist-order")
+    message(FATAL_ERROR
+        "expected a persist-order violation from the live clang AST, "
+        "got:\n${out}")
+endif()
+message(STATUS
+    "check.ast_live: clang AST frontend flagged the unfenced publish")

@@ -1,0 +1,2416 @@
+/**
+ * @file
+ * Flow-aware structural analyzer for the NVOverlay persist protocol.
+ *
+ * Where nvo_lint greps tokens, nvo_check builds a per-function
+ * statement tree, abstract-interprets every intra-procedural path,
+ * and summarizes functions so rules see through calls within a
+ * translation unit. Rules (scope: src/nvoverlay/ and src/repl/):
+ *
+ *  - persist-order:  on every path, a persist-domain write to pool /
+ *                    master / cursor state must reach a
+ *                    `persist().barrier()` before the rec-epoch word
+ *                    or replication cursor is published (an
+ *                    assignment to a `durable*_` shadow). This is the
+ *                    paper's Sec. V-B fence, the invariant the seeded
+ *                    `mnm.test_skip_rec_barrier` bug breaks at run
+ *                    time — caught here statically.
+ *  - fault-coverage: every durable-mutation site (persist write or
+ *                    durable publish) must be dominated by an
+ *                    NVO_FAULT_POINT / NVO_FAULT_ERROR hook, so the
+ *                    crash campaigns can cut power on its path.
+ *  - persist-domain: structural version of the lint rule — a direct
+ *                    `<nvm model>.write(...)` bypassing `.persist()`
+ *                    is flagged wherever it syntactically hides.
+ *  - ledger-hook:    structural version of the lint rule — master
+ *                    table insert/erase is legal only inside
+ *                    masterInsert (or lambdas defined there), and
+ *                    sub-page dropHeader only inside reclaimSubPage;
+ *                    a wrapper function does not launder the call.
+ *
+ * Two frontends feed one IR:
+ *  - the built-in structural C++ parser (default; no toolchain
+ *    dependency), and
+ *  - a clang `-Xclang -ast-dump=json` reader (`--ast-json`), parsed
+ *    with tools/json_mini.hh — no libTooling link. Use with
+ *    CMAKE_EXPORT_COMPILE_COMMANDS to reproduce compiler view.
+ *
+ * The analysis tracks, per path, a pair of booleans for each fact
+ * ("assuming the caller entered clean" / "assuming the caller
+ * entered dirty"), which yields function summaries — may-leave-
+ * unfenced, must-clear, must-fault-at-exit, entry-dependent publish
+ * or durable site — applied at call sites and iterated to a
+ * fixpoint, so a violation whose write and publish live in
+ * different functions is still reported (at the call site).
+ *
+ * Suppression: an allowlist file ("<rule> <path-suffix>[:<function>]"
+ * per line, default tools/nvo_check_allow.txt) or an inline
+ * "nvo-check: allow(rule)" marker on the offending line.
+ *
+ * Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+ * `--self-test` runs embedded good/bad cases; `--corpus DIR` runs the
+ * committed fixture corpus (see tests/check_corpus/README.md).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "json_mini.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+    std::string function;
+};
+
+struct Token
+{
+    std::string text;
+    int line = 0;
+    bool ident = false;
+    bool str = false;
+};
+
+/** Per-line "nvo-check: allow(rule)" markers, rule "*" allows all. */
+using AllowMarkers = std::map<int, std::set<std::string>>;
+
+AllowMarkers
+collectMarkers(const std::string &text)
+{
+    AllowMarkers markers;
+    std::istringstream in(text);
+    std::string line;
+    int num = 0;
+    while (std::getline(in, line)) {
+        ++num;
+        std::size_t pos = line.find("nvo-check: allow(");
+        if (pos == std::string::npos)
+            continue;
+        std::size_t open = line.find('(', pos);
+        std::size_t close = line.find(')', open);
+        if (close == std::string::npos)
+            continue;
+        std::string rules = line.substr(open + 1, close - open - 1);
+        std::istringstream rs(rules);
+        std::string rule;
+        while (std::getline(rs, rule, ',')) {
+            rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                      [](unsigned char c) {
+                                          return std::isspace(c);
+                                      }),
+                       rule.end());
+            if (!rule.empty())
+                markers[num].insert(rule);
+        }
+    }
+    return markers;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** See nvo_lint: the '"' at @p i opens a raw string literal. */
+bool
+isRawStringStart(const std::string &text, std::size_t i)
+{
+    if (i == 0 || text[i - 1] != 'R')
+        return false;
+    std::size_t p = i - 1;
+    if (p >= 2 && text[p - 2] == 'u' && text[p - 1] == '8')
+        p -= 2;
+    else if (p >= 1 && (text[p - 1] == 'u' || text[p - 1] == 'U' ||
+                        text[p - 1] == 'L'))
+        p -= 1;
+    return p == 0 ||
+           !(std::isalnum(static_cast<unsigned char>(text[p - 1])) ||
+             text[p - 1] == '_');
+}
+
+/**
+ * Lex C++ into the token stream the structural parser consumes.
+ * Comments and preprocessor lines vanish; string literals survive as
+ * single tokens (fault-point names live in them); raw strings are
+ * delimiter-matched so their quotes cannot derail the scan.
+ */
+std::vector<Token>
+tokenize(const std::string &text)
+{
+    std::vector<Token> out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto peekc = [&](std::size_t k) {
+        return k < n ? text[k] : '\0';
+    };
+    while (i < n) {
+        char c = text[i];
+        char nx = peekc(i + 1);
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && nx == '/') {
+            while (i < n && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && nx == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i + 1 < n ? i + 2 : n;
+            continue;
+        }
+        if (c == '#' &&
+            (out.empty() || out.back().line != line)) {
+            // Preprocessor line (with continuations).
+            while (i < n && text[i] != '\n') {
+                if (text[i] == '\\' && peekc(i + 1) == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                ++i;
+            }
+            continue;
+        }
+        if (c == '"' && isRawStringStart(text, i)) {
+            // Already emitted the R/prefix as an ident token; replace
+            // it with a single string token.
+            if (!out.empty() && out.back().ident)
+                out.pop_back();
+            std::size_t open = text.find('(', i + 1);
+            if (open == std::string::npos) {
+                ++i;
+                continue;
+            }
+            std::string delim = text.substr(i + 1, open - i - 1);
+            std::string stop = ")" + delim + "\"";
+            std::size_t end = text.find(stop, open + 1);
+            std::size_t close =
+                end == std::string::npos ? n : end + stop.size();
+            std::string body = text.substr(i, close - i);
+            int start_line = line;
+            line += static_cast<int>(
+                std::count(body.begin(), body.end(), '\n'));
+            out.push_back({body, start_line, false, true});
+            i = close;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            char q = c;
+            std::size_t start = i++;
+            while (i < n && text[i] != q) {
+                if (text[i] == '\\')
+                    ++i;
+                if (i < n) {
+                    if (text[i] == '\n')
+                        ++line;
+                    ++i;
+                }
+            }
+            if (i < n)
+                ++i;   // closing quote
+            out.push_back({text.substr(start, i - start), line,
+                           false, q == '"'});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            while (i < n &&
+                   (isIdentChar(text[i]) || text[i] == '.' ||
+                    text[i] == '\'' ||
+                    ((text[i] == '+' || text[i] == '-') && i > start &&
+                     (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                      text[i - 1] == 'p' || text[i - 1] == 'P'))))
+                ++i;
+            out.push_back({text.substr(start, i - start), line, false,
+                           false});
+            continue;
+        }
+        if (isIdentChar(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(text[i]))
+                ++i;
+            out.push_back(
+                {text.substr(start, i - start), line, true, false});
+            continue;
+        }
+        // Multi-char operators the rules depend on ("=" must mean
+        // assignment; "." / "->" must be single tokens). ">>"/"<<"
+        // deliberately split so template-angle matching stays sane.
+        static const char *two[] = {"::", "->", "==", "!=", "<=",
+                                    ">=", "&&", "||", "+=", "-=",
+                                    "*=", "/=", "%=", "&=", "|=",
+                                    "^=", "++", "--"};
+        std::string pair{c, nx};
+        bool matched = false;
+        for (const char *t : two) {
+            if (pair == t) {
+                out.push_back({pair, line, false, false});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        out.push_back({std::string(1, c), line, false, false});
+        ++i;
+    }
+    return out;
+}
+
+// -------------------------------------------------------------------
+// IR: one statement tree per function, actions at the leaves.
+// -------------------------------------------------------------------
+
+enum class Act
+{
+    PersistWrite,   // nvm.persist().write(...) or via alias
+    RawNvmWrite,    // nvm.write(...) bypassing the domain
+    Barrier,        // nvm.persist().barrier()
+    Publish,        // durable*_ = ...
+    FaultHook,      // NVO_FAULT_POINT / NVO_FAULT_ERROR
+    MasterMut,      // master-table insert/erase
+    DropHeader,     // sub-page header drop
+    Call,           // any other call, by unqualified name
+    LambdaDef       // lambda literal defined here
+};
+
+struct Action
+{
+    Act kind = Act::Call;
+    std::string name;   // hook name, callee, published member
+    int line = 0;
+    int lambda = -1;    // index into the TU function list
+};
+
+struct Node
+{
+    enum class K
+    {
+        Seq,      // kids in order
+        Branch,   // kids = {cond, then[, else]}
+        Loop,     // kids = {cond, body}; bodyFirst for do-while
+        Act,      // act
+        Ret       // return / throw: path ends
+    };
+    K k = K::Seq;
+    std::vector<std::unique_ptr<Node>> kids;
+    Action act;
+    bool bodyFirst = false;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+NodePtr
+mkNode(Node::K k)
+{
+    auto n = std::make_unique<Node>();
+    n->k = k;
+    return n;
+}
+
+struct Fn
+{
+    std::string qual;       // MnmBackend::persistRecEpoch
+    std::string bare;       // persistRecEpoch
+    std::string sanction;   // bare; for lambdas the enclosing bare
+    std::string file;
+    int line = 0;
+    bool lambda = false;
+    NodePtr body;
+
+    // Lambda entry seeds, set at the definition site each pass.
+    bool defUfF = false, defUfT = true;
+    bool defMfF = false, defMfT = true;
+
+    // Summary (clean-entry exit facts + entry dependences).
+    bool mayLeaveUnfenced = false;
+    bool clearsUnfenced = false;
+    bool mustFaultAtExit = false;
+    bool pubEntryDep = false;
+    bool faultEntryDep = false;
+    int pubDepLine = 0;
+    int faultDepLine = 0;
+    int callers = 0;
+};
+
+// -------------------------------------------------------------------
+// Structural frontend: token stream -> functions with statement
+// trees. Approximate by design — it only has to recognize the
+// constructs the rules care about and keep control flow honest.
+// -------------------------------------------------------------------
+
+const std::set<std::string> kNvmNames = {"nvm", "nvm_", "nvmModel",
+                                         "nvm_model"};
+const std::set<std::string> kDomainNames = {"pd", "domain", "domain_",
+                                            "persist_"};
+const std::set<std::string> kMasterNames = {
+    "master", "master_", "mt", "masterTable", "master_table"};
+const std::set<std::string> kStmtKeywords = {
+    "if",     "while",  "for",    "switch",   "return", "do",
+    "else",   "case",   "default","break",    "continue", "try",
+    "catch",  "throw",  "goto",   "new",      "delete", "sizeof",
+    "alignof","decltype","noexcept","static_assert", "co_return",
+    "co_await", "co_yield", "operator", "this"};
+
+struct Tu
+{
+    std::string display;
+    std::vector<std::unique_ptr<Fn>> fns;
+};
+
+/** Index of the bracket matching t[i] (same-kind counting). */
+std::size_t
+matchBracket(const std::vector<Token> &t, std::size_t i)
+{
+    const std::string &open = t[i].text;
+    std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+    int depth = 0;
+    for (std::size_t j = i; j < t.size(); ++j) {
+        if (t[j].text == open)
+            ++depth;
+        else if (t[j].text == close && --depth == 0)
+            return j;
+    }
+    return t.size() - 1;
+}
+
+struct Extractor
+{
+    const std::vector<Token> &t;
+    Tu &tu;
+
+    void
+    run()
+    {
+        scanScope(0, t.size(), "");
+    }
+
+    /** Skip a `template <...>` preamble; returns index past '>'. */
+    std::size_t
+    skipTemplate(std::size_t i, std::size_t end)
+    {
+        ++i;   // 'template'
+        if (i >= end || t[i].text != "<")
+            return i;
+        int depth = 0;
+        for (; i < end; ++i) {
+            if (t[i].text == "<")
+                ++depth;
+            else if (t[i].text == ">" && --depth == 0)
+                return i + 1;
+        }
+        return end;
+    }
+
+    /**
+     * Scan declarations at namespace/class scope; ctx is the class
+     * qualifier ("" at namespace scope). Recognizes function bodies
+     * and recurses into namespaces and class definitions.
+     */
+    void
+    scanScope(std::size_t i, std::size_t end, const std::string &ctx)
+    {
+        while (i < end) {
+            const std::string &x = t[i].text;
+            if (x == "template") {
+                i = skipTemplate(i, end);
+                continue;
+            }
+            if (x == "namespace") {
+                std::size_t j = i + 1;
+                while (j < end &&
+                       (t[j].ident || t[j].text == "::"))
+                    ++j;
+                if (j < end && t[j].text == "{") {
+                    std::size_t c = matchBracket(t, j);
+                    scanScope(j + 1, c, ctx);
+                    i = c + 1;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if ((x == "class" || x == "struct" || x == "union") &&
+                (i == 0 || t[i - 1].text != "enum")) {
+                std::size_t j = i + 1;
+                std::string name;
+                while (j < end && t[j].text != "{" &&
+                       t[j].text != ";" && t[j].text != ":" &&
+                       t[j].text != "=") {
+                    if (t[j].text == "(" || t[j].text == "[") {
+                        j = matchBracket(t, j) + 1;
+                        continue;
+                    }
+                    if (t[j].ident && t[j].text != "final" &&
+                        t[j].text != "alignas")
+                        name = t[j].text;
+                    ++j;
+                }
+                if (j < end && t[j].text == ":") {
+                    while (j < end && t[j].text != "{" &&
+                           t[j].text != ";")
+                        ++j;
+                }
+                if (j < end && t[j].text == "{") {
+                    std::size_t c = matchBracket(t, j);
+                    std::string sub =
+                        ctx.empty() ? name : ctx + "::" + name;
+                    scanScope(j + 1, c, name.empty() ? ctx : sub);
+                    i = c + 1;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if (x == "enum") {
+                std::size_t j = i + 1;
+                while (j < end && t[j].text != "{" &&
+                       t[j].text != ";")
+                    ++j;
+                i = (j < end && t[j].text == "{")
+                        ? matchBracket(t, j) + 1
+                        : j + 1;
+                continue;
+            }
+            if (x == "(") {
+                i = tryFunction(i, end, ctx);
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    /**
+     * t[i] is '(' at declaration scope: either a function definition
+     * (name precedes, body follows) or a group to skip. Returns the
+     * index to resume scanning at.
+     */
+    std::size_t
+    tryFunction(std::size_t i, std::size_t end, const std::string &ctx)
+    {
+        std::size_t close = matchBracket(t, i);
+        std::string qual = nameBefore(i);
+        if (qual.empty())
+            return close + 1;
+
+        // Walk past trailing qualifiers to find the body (or learn
+        // this is just a declaration).
+        std::size_t j = close + 1;
+        while (j < end) {
+            const std::string &y = t[j].text;
+            if (y == "{" || y == ";" || y == "," || y == "=" ||
+                y == ")" || y == "}")
+                break;
+            if (y == ":")
+                break;   // ctor-init list
+            if (y == "(" || y == "[") {
+                j = matchBracket(t, j) + 1;
+                continue;
+            }
+            ++j;
+        }
+        if (j < end && t[j].text == ":") {
+            // Ctor-init list: the body '{' directly follows a ')' or
+            // '}' that closed the last initializer.
+            ++j;
+            while (j < end) {
+                if (t[j].text == "(" || t[j].text == "[") {
+                    j = matchBracket(t, j) + 1;
+                    continue;
+                }
+                if (t[j].text == "{") {
+                    const std::string &prev = t[j - 1].text;
+                    if (prev == ")" || prev == "}")
+                        break;   // body
+                    j = matchBracket(t, j) + 1;   // brace init
+                    continue;
+                }
+                if (t[j].text == ";")
+                    break;
+                ++j;
+            }
+        }
+        if (j >= end || t[j].text != "{")
+            return close + 1;
+
+        std::size_t bodyClose = matchBracket(t, j);
+        auto fn = std::make_unique<Fn>();
+        fn->qual = (ctx.empty() || qual.find("::") != std::string::npos)
+                       ? qual
+                       : ctx + "::" + qual;
+        std::size_t sep = fn->qual.rfind("::");
+        fn->bare = sep == std::string::npos
+                       ? fn->qual
+                       : fn->qual.substr(sep + 2);
+        fn->sanction = fn->bare;
+        fn->file = tu.display;
+        fn->line = t[i].line;
+        Fn *raw = fn.get();
+        tu.fns.push_back(std::move(fn));
+        parseBody(raw, j + 1, bodyClose);
+        return bodyClose + 1;
+    }
+
+    /** Qualified name ending just before the '(' at i, or "". */
+    std::string
+    nameBefore(std::size_t i)
+    {
+        if (i == 0)
+            return "";
+        std::size_t k = i - 1;
+        if (!t[k].ident) {
+            // operator==(...) / operator()(...) forms.
+            for (std::size_t back = 0; back < 3 && k > back; ++back)
+                if (t[k - back].text == "operator")
+                    return "operator";
+            return "";
+        }
+        if (kStmtKeywords.count(t[k].text))
+            return "";
+        std::string name = t[k].text;
+        while (k >= 2 && t[k - 1].text == "::" && t[k - 2].ident) {
+            name = t[k - 2].text + "::" + name;
+            k -= 2;
+        }
+        if (k >= 1 && t[k - 1].text == "~")
+            name = "~" + name;
+        // A member access before the name means this is a call
+        // expression, not a definition.
+        if (k >= 1 &&
+            (t[k - 1].text == "." || t[k - 1].text == "->"))
+            return "";
+        return name;
+    }
+
+    void parseBody(Fn *fn, std::size_t i, std::size_t end);
+};
+
+/**
+ * Parses one function body into the statement IR, registering lambda
+ * bodies as separate functions and tracking persist-domain / master
+ * aliases declared along the way.
+ */
+struct StmtParser
+{
+    const std::vector<Token> &t;
+    Extractor &ex;
+    Fn *fn;
+    std::set<std::string> domainAliases;
+    std::set<std::string> masterAliases;
+
+    NodePtr
+    parseSeq(std::size_t i, std::size_t end)
+    {
+        NodePtr seq = mkNode(Node::K::Seq);
+        while (i < end)
+            i = parseOne(i, end, seq.get());
+        return seq;
+    }
+
+    /** Parse one statement starting at i; returns the next index. */
+    std::size_t
+    parseOne(std::size_t i, std::size_t end, Node *seq)
+    {
+        if (i >= end)
+            return end;
+        const std::string &x = t[i].text;
+        if (x == ";" || x == "else")
+            return i + 1;
+        if (x == "{") {
+            std::size_t c = matchBracket(t, i);
+            seq->kids.push_back(parseSeq(i + 1, std::min(c, end)));
+            return c + 1;
+        }
+        if (x == "if") {
+            std::size_t open = i + 1;
+            if (open < end && t[open].text == "constexpr")
+                ++open;
+            if (open >= end || t[open].text != "(")
+                return i + 1;
+            std::size_t close = matchBracket(t, open);
+            NodePtr br = mkNode(Node::K::Branch);
+            br->kids.push_back(scanRange(open + 1, close));
+            NodePtr thenSeq = mkNode(Node::K::Seq);
+            std::size_t ni =
+                parseOne(close + 1, end, thenSeq.get());
+            br->kids.push_back(std::move(thenSeq));
+            if (ni < end && t[ni].text == "else") {
+                NodePtr elseSeq = mkNode(Node::K::Seq);
+                ni = parseOne(ni + 1, end, elseSeq.get());
+                br->kids.push_back(std::move(elseSeq));
+            }
+            seq->kids.push_back(std::move(br));
+            return ni;
+        }
+        if (x == "while") {
+            if (i + 1 >= end || t[i + 1].text != "(")
+                return i + 1;
+            std::size_t close = matchBracket(t, i + 1);
+            NodePtr loop = mkNode(Node::K::Loop);
+            loop->kids.push_back(scanRange(i + 2, close));
+            NodePtr body = mkNode(Node::K::Seq);
+            std::size_t ni = parseOne(close + 1, end, body.get());
+            loop->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(loop));
+            return ni;
+        }
+        if (x == "do") {
+            NodePtr body = mkNode(Node::K::Seq);
+            std::size_t ni = parseOne(i + 1, end, body.get());
+            NodePtr loop = mkNode(Node::K::Loop);
+            loop->bodyFirst = true;
+            if (ni < end && t[ni].text == "while" && ni + 1 < end &&
+                t[ni + 1].text == "(") {
+                std::size_t close = matchBracket(t, ni + 1);
+                loop->kids.push_back(scanRange(ni + 2, close));
+                ni = close + 1;
+                if (ni < end && t[ni].text == ";")
+                    ++ni;
+            } else {
+                loop->kids.push_back(mkNode(Node::K::Seq));
+            }
+            loop->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(loop));
+            return ni;
+        }
+        if (x == "for") {
+            if (i + 1 >= end || t[i + 1].text != "(")
+                return i + 1;
+            std::size_t close = matchBracket(t, i + 1);
+            NodePtr loop = mkNode(Node::K::Loop);
+            loop->kids.push_back(scanRange(i + 2, close));
+            NodePtr body = mkNode(Node::K::Seq);
+            std::size_t ni = parseOne(close + 1, end, body.get());
+            loop->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(loop));
+            return ni;
+        }
+        if (x == "switch") {
+            if (i + 1 >= end || t[i + 1].text != "(")
+                return i + 1;
+            std::size_t close = matchBracket(t, i + 1);
+            NodePtr br = mkNode(Node::K::Branch);
+            br->kids.push_back(scanRange(i + 2, close));
+            NodePtr body = mkNode(Node::K::Seq);
+            std::size_t ni = parseOne(close + 1, end, body.get());
+            // Conservative: the body may or may not run (no else).
+            br->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(br));
+            return ni;
+        }
+        if (x == "case") {
+            std::size_t j = i + 1;
+            while (j < end && t[j].text != ":")
+                ++j;
+            return j + 1;
+        }
+        if (x == "default" && i + 1 < end && t[i + 1].text == ":")
+            return i + 2;
+        if (x == "return" || x == "throw") {
+            std::size_t stop = stmtEnd(i + 1, end);
+            seq->kids.push_back(scanRange(i + 1, stop));
+            seq->kids.push_back(mkNode(Node::K::Ret));
+            return stop + 1;
+        }
+        if (x == "break" || x == "continue" || x == "goto") {
+            std::size_t j = i;
+            while (j < end && t[j].text != ";")
+                ++j;
+            return j + 1;
+        }
+        if (x == "try")
+            return i + 1;
+        if (x == "catch") {
+            // Handler may or may not run: branch without else.
+            std::size_t j = i + 1;
+            if (j < end && t[j].text == "(")
+                j = matchBracket(t, j) + 1;
+            NodePtr br = mkNode(Node::K::Branch);
+            br->kids.push_back(mkNode(Node::K::Seq));
+            NodePtr body = mkNode(Node::K::Seq);
+            std::size_t ni = parseOne(j, end, body.get());
+            br->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(br));
+            return ni;
+        }
+        // Flat statement.
+        std::size_t stop = stmtEnd(i, end);
+        registerAliases(i, stop);
+        seq->kids.push_back(scanRange(i, stop));
+        return stop + 1;
+    }
+
+    /** First ';' at bracket depth zero in [i, end). */
+    std::size_t
+    stmtEnd(std::size_t i, std::size_t end)
+    {
+        while (i < end) {
+            const std::string &x = t[i].text;
+            if (x == ";")
+                return i;
+            if (x == "(" || x == "[" || x == "{") {
+                i = matchBracket(t, i) + 1;
+                continue;
+            }
+            if (x == ")" || x == "}")
+                return i;   // malformed; stop at enclosing close
+            ++i;
+        }
+        return end;
+    }
+
+    /**
+     * Alias declarations: `PersistDomain &d = nvm.persist();` makes d
+     * a domain alias; a declaration whose initializer mentions the
+     * master table makes the declared name a master alias.
+     */
+    void
+    registerAliases(std::size_t i, std::size_t stop)
+    {
+        std::size_t eq = stop;
+        for (std::size_t j = i; j < stop; ++j) {
+            const std::string &x = t[j].text;
+            if (x == "(" || x == "[" || x == "{") {
+                j = matchBracket(t, j);
+                continue;
+            }
+            if (x == "=") {
+                eq = j;
+                break;
+            }
+        }
+        if (eq == stop || eq == i || !t[eq - 1].ident)
+            return;
+        const std::string &name = t[eq - 1].text;
+        if (stop >= 4 && t[stop - 1].text == ")" &&
+            t[stop - 2].text == "(" &&
+            t[stop - 3].text == "persist") {
+            domainAliases.insert(name);
+            return;
+        }
+        for (std::size_t j = eq + 1; j < stop; ++j)
+            if (t[j].ident && kMasterNames.count(t[j].text)) {
+                masterAliases.insert(name);
+                return;
+            }
+    }
+
+    /** Scan an expression token range into a Seq of actions. */
+    NodePtr
+    scanRange(std::size_t i, std::size_t end)
+    {
+        NodePtr seq = mkNode(Node::K::Seq);
+        scanInto(i, end, seq.get());
+        return seq;
+    }
+
+    void
+    addAct(Node *seq, Act kind, const std::string &name, int line,
+           int lambda = -1)
+    {
+        NodePtr n = mkNode(Node::K::Act);
+        n->act = {kind, name, line, lambda};
+        seq->kids.push_back(std::move(n));
+    }
+
+    void
+    scanInto(std::size_t i, std::size_t end, Node *seq)
+    {
+        while (i < end) {
+            const Token &tok = t[i];
+            const std::string &x = tok.text;
+            auto at = [&](std::size_t k) -> const std::string & {
+                static const std::string empty;
+                return k < end ? t[k].text : empty;
+            };
+
+            if (x == "{") {
+                std::size_t c = matchBracket(t, i);
+                scanInto(i + 1, std::min(c, end), seq);
+                i = c + 1;
+                continue;
+            }
+            if (x == "[") {
+                if (at(i + 1) == "[") {
+                    // [[attribute]]
+                    std::size_t c = matchBracket(t, i + 1);
+                    i = (c + 1 < end && t[c + 1].text == "]")
+                            ? c + 2
+                            : c + 1;
+                    continue;
+                }
+                const std::string &prev =
+                    i > 0 ? t[i - 1].text : std::string();
+                bool subscript =
+                    !prev.empty() &&
+                    (t[i - 1].ident || prev == "]" || prev == ")");
+                if (subscript) {
+                    // Scan the index expression, keep going after.
+                    std::size_t c = matchBracket(t, i);
+                    scanInto(i + 1, std::min(c, end), seq);
+                    i = c + 1;
+                    continue;
+                }
+                i = tryLambda(i, end, seq);
+                continue;
+            }
+            if ((x == "NVO_FAULT_POINT" || x == "NVO_FAULT_ERROR") &&
+                at(i + 1) == "(" && i + 2 < end && t[i + 2].str) {
+                addAct(seq, Act::FaultHook, t[i + 2].text, tok.line);
+                i += 3;
+                continue;
+            }
+            if (tok.ident && kNvmNames.count(x)) {
+                if (at(i + 1) == "." && at(i + 2) == "persist" &&
+                    at(i + 3) == "(" && at(i + 4) == ")" &&
+                    at(i + 5) == "." && at(i + 7) == "(") {
+                    const std::string &m = at(i + 6);
+                    if (m == "write") {
+                        addAct(seq, Act::PersistWrite, m,
+                               t[i + 6].line);
+                        i += 8;
+                        continue;
+                    }
+                    if (m == "barrier") {
+                        addAct(seq, Act::Barrier, m, t[i + 6].line);
+                        i += 8;
+                        continue;
+                    }
+                }
+                if (at(i + 1) == "." && at(i + 2) == "write" &&
+                    at(i + 3) == "(") {
+                    addAct(seq, Act::RawNvmWrite, x, t[i + 2].line);
+                    i += 4;
+                    continue;
+                }
+            }
+            if (tok.ident &&
+                (kDomainNames.count(x) || domainAliases.count(x)) &&
+                (at(i + 1) == "." || at(i + 1) == "->") &&
+                at(i + 3) == "(") {
+                const std::string &m = at(i + 2);
+                if (m == "write") {
+                    addAct(seq, Act::PersistWrite, m, t[i + 2].line);
+                    i += 4;
+                    continue;
+                }
+                if (m == "barrier") {
+                    addAct(seq, Act::Barrier, m, t[i + 2].line);
+                    i += 4;
+                    continue;
+                }
+            }
+            if (tok.ident && x.rfind("durable", 0) == 0 &&
+                x.size() > 7 && x.back() == '_' &&
+                at(i + 1) == "=") {
+                addAct(seq, Act::Publish, x, tok.line);
+                i += 2;
+                continue;
+            }
+            if (tok.ident &&
+                (kMasterNames.count(x) || masterAliases.count(x)) &&
+                (at(i + 1) == "." || at(i + 1) == "->") &&
+                (at(i + 2) == "insert" || at(i + 2) == "erase") &&
+                at(i + 3) == "(") {
+                addAct(seq, Act::MasterMut, at(i + 2), t[i + 2].line);
+                i += 4;
+                continue;
+            }
+            if (x == "dropHeader" && i > 0 &&
+                (t[i - 1].text == "." || t[i - 1].text == "->") &&
+                at(i + 1) == "(") {
+                addAct(seq, Act::DropHeader, x, tok.line);
+                i += 2;
+                continue;
+            }
+            if (tok.ident && at(i + 1) == "(" &&
+                !kStmtKeywords.count(x)) {
+                addAct(seq, Act::Call, x, tok.line);
+                i += 2;
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    /**
+     * t[i] is '[' opening a capture list (maybe). On a real lambda,
+     * registers the body as a new function (sanctioned under the
+     * enclosing one), emits a LambdaDef, and returns the index past
+     * the body. Otherwise returns i + 1.
+     */
+    std::size_t
+    tryLambda(std::size_t i, std::size_t end, Node *seq)
+    {
+        std::size_t close = matchBracket(t, i);
+        if (close >= end)
+            return i + 1;
+        std::size_t j = close + 1;
+        if (j < end && t[j].text == "(")
+            j = matchBracket(t, j) + 1;
+        while (j < end &&
+               (t[j].text == "mutable" || t[j].text == "constexpr" ||
+                t[j].text == "noexcept" || t[j].text == "->" ||
+                t[j].ident || t[j].text == "::" || t[j].text == "*" ||
+                t[j].text == "&" || t[j].text == "<" ||
+                t[j].text == ">")) {
+            if (t[j].text == "noexcept" && j + 1 < end &&
+                t[j + 1].text == "(") {
+                j = matchBracket(t, j + 1) + 1;
+                continue;
+            }
+            ++j;
+        }
+        if (j >= end || t[j].text != "{")
+            return i + 1;
+        std::size_t bodyClose = matchBracket(t, j);
+
+        auto lam = std::make_unique<Fn>();
+        lam->qual = fn->qual + "::<lambda:" +
+                    std::to_string(t[i].line) + ">";
+        lam->bare = lam->qual;
+        lam->sanction = fn->sanction;
+        lam->file = fn->file;
+        lam->line = t[i].line;
+        lam->lambda = true;
+        Fn *raw = lam.get();
+        ex.tu.fns.push_back(std::move(lam));
+        int idx = static_cast<int>(ex.tu.fns.size()) - 1;
+
+        StmtParser sub{t, ex, raw, domainAliases, masterAliases};
+        raw->body = sub.parseSeq(j + 1, bodyClose);
+        addAct(seq, Act::LambdaDef, raw->qual, t[i].line, idx);
+        return bodyClose + 1;
+    }
+};
+
+void
+Extractor::parseBody(Fn *fn, std::size_t i, std::size_t end)
+{
+    StmtParser p{t, *this, fn, {}, {}};
+    fn->body = p.parseSeq(i, end);
+}
+
+// -------------------------------------------------------------------
+// Analysis: abstract interpretation over the statement trees.
+//
+// Each fact is tracked twice per path — once assuming the function
+// was entered "clean" and once assuming "dirty" — which makes entry-
+// dependence visible without inter-procedural path enumeration:
+//   ufF/ufT: may an unfenced persist write be pending, given a
+//            fenced / unfenced entry state;
+//   mfF/mfT: has a fault hook definitely fired, given an unhooked /
+//            hooked entry state.
+// -------------------------------------------------------------------
+
+struct St
+{
+    bool ufF = false, ufT = true;
+    bool mfF = false, mfT = true;
+    bool term = false;
+};
+
+St
+joinSt(const St &a, const St &b)
+{
+    if (a.term)
+        return b;
+    if (b.term)
+        return a;
+    St s;
+    s.ufF = a.ufF || b.ufF;
+    s.ufT = a.ufT || b.ufT;
+    s.mfF = a.mfF && b.mfF;
+    s.mfT = a.mfT && b.mfT;
+    s.term = false;
+    return s;
+}
+
+struct Analyzer
+{
+    Tu &tu;
+    std::map<std::string, std::vector<Fn *>> byBare;
+    std::vector<Violation> *out = nullptr;   // null = summary pass
+    std::set<std::tuple<std::string, int, std::string>> seen;
+
+    Fn *cur = nullptr;
+    St exitAcc;
+    bool anyExit = false;
+
+    void
+    report(int line, const std::string &rule, const std::string &msg)
+    {
+        if (!out)
+            return;
+        auto key = std::make_tuple(cur->file, line, rule);
+        if (!seen.insert(key).second)
+            return;
+        out->push_back({cur->file, line, rule, msg, cur->qual});
+    }
+
+    /** A durable-mutation site needs a fault hook on its path. */
+    void
+    faultSite(int line, const std::string &what, const St &s)
+    {
+        if (s.term)
+            return;
+        if (!s.mfT) {
+            report(line, "fault-coverage",
+                   what + " with no NVO_FAULT_POINT on its path: "
+                   "crash campaigns cannot cut power before this "
+                   "durable mutation");
+        } else if (!s.mfF && !cur->faultEntryDep) {
+            cur->faultEntryDep = true;
+            cur->faultDepLine = line;
+        }
+    }
+
+    void
+    apply(const Action &a, St &s)
+    {
+        switch (a.kind) {
+        case Act::FaultHook:
+            s.mfF = s.mfT = true;
+            break;
+        case Act::Barrier:
+            s.ufF = s.ufT = false;
+            break;
+        case Act::PersistWrite:
+            faultSite(a.line, "persist-domain write", s);
+            s.ufF = s.ufT = true;
+            break;
+        case Act::RawNvmWrite:
+            report(a.line, "persist-domain",
+                   "direct NVM write bypasses the persist boundary "
+                   "(use " + a.name + ".persist().write)");
+            s.ufF = s.ufT = true;
+            break;
+        case Act::Publish:
+            faultSite(a.line, "durable publish", s);
+            if (s.ufF) {
+                report(a.line, "persist-order",
+                       "publish of " + a.name + " can be reached "
+                       "with an unfenced persist write pending; a "
+                       "barrier() must order merge writes before the "
+                       "recovery word names them (paper Sec. V-B)");
+            } else if (s.ufT) {
+                if (!cur->pubEntryDep) {
+                    cur->pubEntryDep = true;
+                    cur->pubDepLine = a.line;
+                }
+            }
+            break;
+        case Act::MasterMut:
+            if (cur->sanction != "masterInsert") {
+                report(a.line, "ledger-hook",
+                       "master-table " + a.name + " outside "
+                       "MnmBackend::masterInsert (or a lambda defined "
+                       "there); the provenance ledger would miss this "
+                       "version transition");
+            }
+            break;
+        case Act::DropHeader:
+            if (cur->sanction != "reclaimSubPage") {
+                report(a.line, "ledger-hook",
+                       "sub-page dropHeader outside "
+                       "MnmBackend::reclaimSubPage (or a lambda "
+                       "defined there); buried versions must exit "
+                       "the ledger first");
+            }
+            break;
+        case Act::Call: {
+            auto it = byBare.find(a.name);
+            if (it == byBare.end())
+                break;
+            // Merge summaries of same-named functions (overloads):
+            // may-facts OR, must-facts AND.
+            bool mayLeave = false, clears = true, mustFault = true;
+            bool pubDep = false, faultDep = false;
+            int pubLine = 0, faultLine = 0;
+            for (Fn *callee : it->second) {
+                mayLeave = mayLeave || callee->mayLeaveUnfenced;
+                clears = clears && callee->clearsUnfenced;
+                mustFault = mustFault && callee->mustFaultAtExit;
+                if (callee->pubEntryDep) {
+                    pubDep = true;
+                    pubLine = callee->pubDepLine;
+                }
+                if (callee->faultEntryDep) {
+                    faultDep = true;
+                    faultLine = callee->faultDepLine;
+                }
+            }
+            if (pubDep) {
+                if (s.ufF) {
+                    report(a.line, "persist-order",
+                           "call of " + a.name + " (which publishes "
+                           "durable state at line " +
+                           std::to_string(pubLine) + " without its "
+                           "own fence) while an unfenced persist "
+                           "write is pending");
+                } else if (s.ufT && !cur->pubEntryDep) {
+                    cur->pubEntryDep = true;
+                    cur->pubDepLine = a.line;
+                }
+            }
+            if (faultDep) {
+                if (!s.mfT) {
+                    report(a.line, "fault-coverage",
+                           "call of " + a.name + " (which mutates "
+                           "durable state at line " +
+                           std::to_string(faultLine) + " relying on "
+                           "a caller-side hook) with no "
+                           "NVO_FAULT_POINT on this path");
+                } else if (!s.mfF && !cur->faultEntryDep) {
+                    cur->faultEntryDep = true;
+                    cur->faultDepLine = a.line;
+                }
+            }
+            s.ufF = (s.ufF && !clears) || mayLeave;
+            s.ufT = (s.ufT && !clears) || mayLeave;
+            s.mfF = s.mfF || mustFault;
+            s.mfT = s.mfT || mustFault;
+            break;
+        }
+        case Act::LambdaDef: {
+            Fn *lam = tu.fns[static_cast<std::size_t>(a.lambda)].get();
+            lam->defUfF = s.ufF;
+            lam->defUfT = s.ufT;
+            lam->defMfF = s.mfF;
+            lam->defMfT = s.mfT;
+            break;
+        }
+        }
+    }
+
+    St
+    exec(const Node *n, St s)
+    {
+        switch (n->k) {
+        case Node::K::Seq:
+            for (const auto &kid : n->kids) {
+                if (s.term)
+                    break;
+                s = exec(kid.get(), s);
+            }
+            return s;
+        case Node::K::Act:
+            if (!s.term)
+                apply(n->act, s);
+            return s;
+        case Node::K::Ret:
+            if (!s.term) {
+                if (anyExit) {
+                    exitAcc = joinSt(exitAcc, s);
+                } else {
+                    exitAcc = s;
+                    anyExit = true;
+                }
+                s.term = true;
+            }
+            return s;
+        case Node::K::Branch: {
+            s = exec(n->kids[0].get(), s);
+            if (s.term)
+                return s;
+            St a = exec(n->kids[1].get(), s);
+            St b = n->kids.size() > 2 ? exec(n->kids[2].get(), s) : s;
+            if (a.term && b.term) {
+                s.term = true;
+                return s;
+            }
+            return joinSt(a, b);
+        }
+        case Node::K::Loop: {
+            const Node *condN = n->kids[0].get();
+            const Node *bodyN = n->kids[1].get();
+            if (n->bodyFirst) {
+                St b = exec(bodyN, s);
+                if (!b.term)
+                    b = exec(condN, b);
+                St b2 = b;
+                if (!b2.term) {
+                    b2 = exec(bodyN, b2);
+                    if (!b2.term)
+                        b2 = exec(condN, b2);
+                }
+                if (b.term && b2.term) {
+                    s.term = true;
+                    return s;
+                }
+                return joinSt(b, b2);
+            }
+            St c = exec(condN, s);
+            if (c.term)
+                return c;
+            St exit0 = c;   // zero iterations
+            St b1 = exec(bodyN, c);
+            if (!b1.term)
+                b1 = exec(condN, b1);
+            St b2 = b1;
+            if (!b2.term) {
+                b2 = exec(bodyN, b2);
+                if (!b2.term)
+                    b2 = exec(condN, b2);
+            }
+            St r = exit0;
+            if (!b1.term)
+                r = joinSt(r, b1);
+            if (!b2.term)
+                r = joinSt(r, b2);
+            return r;
+        }
+        }
+        return s;
+    }
+
+    /** Walk one function; recompute and install its summary.
+     *  Returns true when the summary changed. */
+    bool
+    walk(Fn *f)
+    {
+        cur = f;
+        exitAcc = St{};
+        anyExit = false;
+        St entry;
+        if (f->lambda) {
+            entry.ufF = f->defUfF;
+            entry.ufT = f->defUfT;
+            entry.mfF = f->defMfF;
+            entry.mfT = f->defMfT;
+        }
+        bool oldPubDep = f->pubEntryDep;
+        bool oldFaultDep = f->faultEntryDep;
+        f->pubEntryDep = false;
+        f->faultEntryDep = false;
+        St fin = exec(f->body.get(), entry);
+        if (!fin.term) {
+            exitAcc = anyExit ? joinSt(exitAcc, fin) : fin;
+            anyExit = true;
+        }
+        bool mayLeave, clears, mustFault;
+        if (anyExit) {
+            mayLeave = exitAcc.ufF;
+            clears = !exitAcc.ufT;
+            mustFault = exitAcc.mfF;
+        } else {
+            // No path returns: callers never resume.
+            mayLeave = false;
+            clears = true;
+            mustFault = true;
+        }
+        bool changed = mayLeave != f->mayLeaveUnfenced ||
+                       clears != f->clearsUnfenced ||
+                       mustFault != f->mustFaultAtExit ||
+                       oldPubDep != f->pubEntryDep ||
+                       oldFaultDep != f->faultEntryDep;
+        f->mayLeaveUnfenced = mayLeave;
+        f->clearsUnfenced = clears;
+        f->mustFaultAtExit = mustFault;
+        return changed;
+    }
+
+    void
+    countCallers(const Node *n)
+    {
+        if (n->k == Node::K::Act && n->act.kind == Act::Call) {
+            auto it = byBare.find(n->act.name);
+            if (it != byBare.end())
+                for (Fn *callee : it->second)
+                    ++callee->callers;
+        }
+        for (const auto &kid : n->kids)
+            countCallers(kid.get());
+    }
+
+    void
+    run(std::vector<Violation> &violations)
+    {
+        for (auto &f : tu.fns)
+            if (!f->lambda)
+                byBare[f->bare].push_back(f.get());
+        for (auto &f : tu.fns)
+            countCallers(f->body.get());
+
+        // Summary fixpoint: bounded because the TU call graphs are
+        // shallow; five passes cover every chain in the tree plus
+        // slack for the corpus.
+        out = nullptr;
+        for (int pass = 0; pass < 5; ++pass) {
+            bool changed = false;
+            for (auto &f : tu.fns)
+                changed = walk(f.get()) || changed;
+            if (!changed)
+                break;
+        }
+
+        out = &violations;
+        for (auto &f : tu.fns)
+            walk(f.get());
+
+        // An entry-dependent durable site in a function nothing in
+        // this TU calls is an uncovered public entry point.
+        for (auto &f : tu.fns) {
+            if (f->lambda || !f->faultEntryDep || f->callers > 0)
+                continue;
+            cur = f.get();
+            report(f->faultDepLine, "fault-coverage",
+                   "durable mutation relies on a caller-side "
+                   "NVO_FAULT_POINT, but no caller in this "
+                   "translation unit provides one");
+        }
+    }
+};
+
+// -------------------------------------------------------------------
+// Clang AST frontend: `clang -Xclang -ast-dump=json` -> the same IR.
+// Reads the dump with jsonmini (no libTooling link); locations use
+// clang's differential encoding, so file/line are tracked as "last
+// seen" during the walk.
+// -------------------------------------------------------------------
+
+struct AstReader
+{
+    Tu &tu;
+    bool forceScope = false;
+    std::string lastFile;
+    int lastLine = 0;
+
+    static const jsonmini::Value *
+    kidAt(const jsonmini::Value *v, std::size_t i)
+    {
+        const jsonmini::Value *inner = v->get("inner");
+        if (!inner || !inner->isArray() || i >= inner->arr.size())
+            return nullptr;
+        return inner->arr[i].get();
+    }
+
+    static std::size_t
+    kidCount(const jsonmini::Value *v)
+    {
+        const jsonmini::Value *inner = v->get("inner");
+        return inner && inner->isArray() ? inner->arr.size() : 0;
+    }
+
+    static std::string
+    kindOf(const jsonmini::Value *v)
+    {
+        const jsonmini::Value *k = v->get("kind");
+        return k ? k->asString() : std::string();
+    }
+
+    void
+    updateLoc(const jsonmini::Value *v)
+    {
+        static const char *paths[][3] = {
+            {"loc", nullptr, nullptr},
+            {"loc", "spellingLoc", nullptr},
+            {"loc", "expansionLoc", nullptr},
+            {"range", "begin", nullptr},
+            {"range", "begin", "spellingLoc"},
+            {"range", "begin", "expansionLoc"},
+        };
+        for (const auto &p : paths) {
+            const jsonmini::Value *loc = v->get(p[0]);
+            if (loc && p[1])
+                loc = loc->get(p[1]);
+            if (loc && p[2])
+                loc = loc->get(p[2]);
+            if (!loc)
+                continue;
+            if (const jsonmini::Value *f = loc->get("file"))
+                lastFile = f->asString();
+            if (const jsonmini::Value *l = loc->get("line"))
+                lastLine = static_cast<int>(l->asInt());
+        }
+    }
+
+    /** True when the subtree mentions @p cls in any qualType. */
+    static bool
+    mentionsType(const jsonmini::Value *v, const std::string &cls)
+    {
+        if (const jsonmini::Value *q = v->get("type", "qualType"))
+            if (q->asString().find(cls) != std::string::npos)
+                return true;
+        const jsonmini::Value *inner = v->get("inner");
+        if (inner && inner->isArray())
+            for (const auto &kid : inner->arr)
+                if (mentionsType(kid.get(), cls))
+                    return true;
+        return false;
+    }
+
+    /** First StringLiteral value in the subtree, unquoted. */
+    static std::string
+    findString(const jsonmini::Value *v)
+    {
+        if (kindOf(v) == "StringLiteral") {
+            if (const jsonmini::Value *val = v->get("value")) {
+                std::string s = val->asString();
+                if (s.size() >= 2 && s.front() == '"' &&
+                    s.back() == '"')
+                    return s.substr(1, s.size() - 2);
+                return s;
+            }
+        }
+        const jsonmini::Value *inner = v->get("inner");
+        if (inner && inner->isArray())
+            for (const auto &kid : inner->arr) {
+                std::string s = findString(kid.get());
+                if (!s.empty())
+                    return s;
+            }
+        return "";
+    }
+
+    /** First decl-reference name in the subtree (DeclRefExpr /
+     *  MemberExpr), for assignment targets and callees. */
+    static std::string
+    findName(const jsonmini::Value *v)
+    {
+        std::string k = kindOf(v);
+        if (k == "MemberExpr") {
+            if (const jsonmini::Value *n = v->get("name"))
+                return n->asString();
+        }
+        if (k == "DeclRefExpr") {
+            if (const jsonmini::Value *n =
+                    v->get("referencedDecl", "name"))
+                return n->asString();
+        }
+        const jsonmini::Value *inner = v->get("inner");
+        if (inner && inner->isArray())
+            for (const auto &kid : inner->arr) {
+                std::string s = findName(kid.get());
+                if (!s.empty())
+                    return s;
+            }
+        return "";
+    }
+
+    void
+    addAct(Node *seq, Act kind, const std::string &name, int line,
+           int lambda = -1)
+    {
+        NodePtr n = mkNode(Node::K::Act);
+        n->act = {kind, name, line, lambda};
+        seq->kids.push_back(std::move(n));
+    }
+
+    /** Convert one statement/expression node into @p seq. */
+    void
+    convert(const jsonmini::Value *v, Node *seq, Fn *fn)
+    {
+        if (!v || !v->isObject())
+            return;
+        updateLoc(v);
+        std::string k = kindOf(v);
+        int line = lastLine;
+
+        auto convertKids = [&](Node *dst, std::size_t from,
+                               std::size_t to) {
+            for (std::size_t i = from; i < to; ++i)
+                convert(kidAt(v, i), dst, fn);
+        };
+        std::size_t n = kidCount(v);
+
+        if (k == "IfStmt") {
+            bool hasElse = false;
+            if (const jsonmini::Value *he = v->get("hasElse"))
+                hasElse = he->boolean;
+            std::size_t branches = hasElse ? 2 : 1;
+            if (n < branches)
+                return;
+            NodePtr br = mkNode(Node::K::Branch);
+            NodePtr cond = mkNode(Node::K::Seq);
+            convertKids(cond.get(), 0, n - branches);
+            br->kids.push_back(std::move(cond));
+            NodePtr thenB = mkNode(Node::K::Seq);
+            convert(kidAt(v, n - branches), thenB.get(), fn);
+            br->kids.push_back(std::move(thenB));
+            if (hasElse) {
+                NodePtr elseB = mkNode(Node::K::Seq);
+                convert(kidAt(v, n - 1), elseB.get(), fn);
+                br->kids.push_back(std::move(elseB));
+            }
+            seq->kids.push_back(std::move(br));
+            return;
+        }
+        if (k == "WhileStmt" || k == "ForStmt" ||
+            k == "CXXForRangeStmt") {
+            if (n == 0)
+                return;
+            NodePtr loop = mkNode(Node::K::Loop);
+            NodePtr cond = mkNode(Node::K::Seq);
+            convertKids(cond.get(), 0, n - 1);
+            loop->kids.push_back(std::move(cond));
+            NodePtr body = mkNode(Node::K::Seq);
+            convert(kidAt(v, n - 1), body.get(), fn);
+            loop->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(loop));
+            return;
+        }
+        if (k == "DoStmt") {
+            if (n < 2)
+                return;
+            NodePtr loop = mkNode(Node::K::Loop);
+            loop->bodyFirst = true;
+            NodePtr cond = mkNode(Node::K::Seq);
+            convert(kidAt(v, n - 1), cond.get(), fn);
+            loop->kids.push_back(std::move(cond));
+            NodePtr body = mkNode(Node::K::Seq);
+            convertKids(body.get(), 0, n - 1);
+            loop->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(loop));
+            return;
+        }
+        if (k == "SwitchStmt") {
+            if (n == 0)
+                return;
+            NodePtr br = mkNode(Node::K::Branch);
+            NodePtr cond = mkNode(Node::K::Seq);
+            convertKids(cond.get(), 0, n - 1);
+            br->kids.push_back(std::move(cond));
+            NodePtr body = mkNode(Node::K::Seq);
+            convert(kidAt(v, n - 1), body.get(), fn);
+            br->kids.push_back(std::move(body));
+            seq->kids.push_back(std::move(br));
+            return;
+        }
+        if (k == "ReturnStmt" || k == "CXXThrowExpr") {
+            convertKids(seq, 0, n);
+            seq->kids.push_back(mkNode(Node::K::Ret));
+            return;
+        }
+        if (k == "LambdaExpr") {
+            const jsonmini::Value *body = nullptr;
+            for (std::size_t i = n; i > 0; --i) {
+                const jsonmini::Value *kid = kidAt(v, i - 1);
+                if (kid && kindOf(kid) == "CompoundStmt") {
+                    body = kid;
+                    break;
+                }
+            }
+            if (!body)
+                return;
+            auto lam = std::make_unique<Fn>();
+            lam->qual = fn->qual + "::<lambda:" +
+                        std::to_string(line) + ">";
+            lam->bare = lam->qual;
+            lam->sanction = fn->sanction;
+            lam->file = fn->file;
+            lam->line = line;
+            lam->lambda = true;
+            Fn *raw = lam.get();
+            tu.fns.push_back(std::move(lam));
+            int idx = static_cast<int>(tu.fns.size()) - 1;
+            raw->body = mkNode(Node::K::Seq);
+            convert(body, raw->body.get(), raw);
+            addAct(seq, Act::LambdaDef, raw->qual, line, idx);
+            return;
+        }
+        if (k == "CXXMemberCallExpr") {
+            const jsonmini::Value *callee = kidAt(v, 0);
+            std::string method =
+                callee ? findName(callee) : std::string();
+            // Base and arguments still execute: walk them first.
+            convertKids(seq, 0, n);
+            if (!callee)
+                return;
+            int mline = lastLine;
+            auto on = [&](const char *cls) {
+                return mentionsType(callee, cls);
+            };
+            if (method == "write" && on("PersistDomain"))
+                addAct(seq, Act::PersistWrite, method, mline);
+            else if (method == "barrier" && on("PersistDomain"))
+                addAct(seq, Act::Barrier, method, mline);
+            else if (method == "write" && on("NvmModel"))
+                addAct(seq, Act::RawNvmWrite, "nvm", mline);
+            else if ((method == "insert" || method == "erase") &&
+                     on("MasterTable"))
+                addAct(seq, Act::MasterMut, method, mline);
+            else if (method == "dropHeader")
+                addAct(seq, Act::DropHeader, method, mline);
+            else if (method == "hitPoint" || method == "errorPoint")
+                addAct(seq, Act::FaultHook, findString(v), mline);
+            else if (!method.empty())
+                addAct(seq, Act::Call, method, mline);
+            return;
+        }
+        if (k == "CallExpr" || k == "CXXOperatorCallExpr") {
+            convertKids(seq, 0, n);
+            const jsonmini::Value *callee = kidAt(v, 0);
+            std::string name =
+                callee ? findName(callee) : std::string();
+            if (!name.empty())
+                addAct(seq, Act::Call, name, lastLine);
+            return;
+        }
+        if (k == "BinaryOperator" || k == "CompoundAssignOperator") {
+            std::string opcode;
+            if (const jsonmini::Value *op = v->get("opcode"))
+                opcode = op->asString();
+            convertKids(seq, 0, n);
+            if (opcode == "=" && n >= 1) {
+                std::string lhs = findName(kidAt(v, 0));
+                if (lhs.rfind("durable", 0) == 0 && lhs.size() > 7 &&
+                    lhs.back() == '_')
+                    addAct(seq, Act::Publish, lhs, line);
+            }
+            return;
+        }
+        if (k == "FunctionDecl" || k == "CXXMethodDecl" ||
+            k == "CXXConstructorDecl" || k == "CXXDestructorDecl" ||
+            k == "CXXConversionDecl") {
+            convertFunction(v);
+            return;
+        }
+        // Default: walk children in order.
+        convertKids(seq, 0, n);
+    }
+
+    void
+    convertFunction(const jsonmini::Value *v)
+    {
+        if (const jsonmini::Value *imp = v->get("isImplicit"))
+            if (imp->boolean)
+                return;
+        updateLoc(v);
+        const jsonmini::Value *body = nullptr;
+        for (std::size_t i = kidCount(v); i > 0; --i) {
+            const jsonmini::Value *kid = kidAt(v, i - 1);
+            if (kid && kindOf(kid) == "CompoundStmt") {
+                body = kid;
+                break;
+            }
+        }
+        if (!body)
+            return;
+        std::string file = lastFile;
+        if (!forceScope && !file.empty() &&
+            file.find("nvoverlay/") == std::string::npos &&
+            file.find("repl/") == std::string::npos)
+            return;
+        auto fn = std::make_unique<Fn>();
+        if (const jsonmini::Value *nm = v->get("name"))
+            fn->qual = nm->asString();
+        if (fn->qual.empty())
+            fn->qual = "<anonymous>";
+        fn->bare = fn->qual;
+        fn->sanction = fn->bare;
+        fn->file = file.empty() ? tu.display : file;
+        fn->line = lastLine;
+        Fn *raw = fn.get();
+        tu.fns.push_back(std::move(fn));
+        raw->body = mkNode(Node::K::Seq);
+        convert(body, raw->body.get(), raw);
+    }
+
+    /** Top-level walk: find every function with a body. */
+    void
+    run(const jsonmini::Value *root)
+    {
+        if (!root || !root->isObject())
+            return;
+        std::string k = kindOf(root);
+        if (k == "FunctionDecl" || k == "CXXMethodDecl" ||
+            k == "CXXConstructorDecl" || k == "CXXDestructorDecl" ||
+            k == "CXXConversionDecl") {
+            convertFunction(root);
+            return;
+        }
+        updateLoc(root);
+        const jsonmini::Value *inner = root->get("inner");
+        if (inner && inner->isArray())
+            for (const auto &kid : inner->arr)
+                run(kid.get());
+    }
+};
+
+// -------------------------------------------------------------------
+// Driver: per-file analysis, suppression, corpus, self-test.
+// -------------------------------------------------------------------
+
+std::vector<Violation>
+checkText(const std::string &display, const std::string &text)
+{
+    std::vector<Token> toks = tokenize(text);
+    Tu tu{display, {}};
+    Extractor ex{toks, tu};
+    ex.run();
+    std::vector<Violation> out;
+    Analyzer az{tu, {}, nullptr, {}, nullptr, {}, false};
+    az.run(out);
+
+    AllowMarkers markers = collectMarkers(text);
+    out.erase(std::remove_if(
+                  out.begin(), out.end(),
+                  [&markers](const Violation &v) {
+                      auto it = markers.find(v.line);
+                      if (it == markers.end())
+                          return false;
+                      return it->second.count(v.rule) != 0 ||
+                             it->second.count("*") != 0;
+                  }),
+              out.end());
+    std::sort(out.begin(), out.end(),
+              [](const Violation &a, const Violation &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return out;
+}
+
+std::vector<Violation>
+checkAstText(const std::string &display, const std::string &json,
+             bool force_scope)
+{
+    Tu tu{display, {}};
+    std::vector<Violation> out;
+    try {
+        jsonmini::ValuePtr root = jsonmini::parse(json);
+        AstReader rd{tu, force_scope, "", 0};
+        rd.run(root.get());
+    } catch (const std::exception &e) {
+        out.push_back({display, 0, "ast-parse", e.what(), ""});
+        return out;
+    }
+    Analyzer az{tu, {}, nullptr, {}, nullptr, {}, false};
+    az.run(out);
+    std::sort(out.begin(), out.end(),
+              [](const Violation &a, const Violation &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return out;
+}
+
+struct AllowEntry
+{
+    std::string rule;
+    std::string pathSuffix;
+    std::string function;   // optional ":func" qualifier
+};
+
+std::vector<AllowEntry>
+loadAllowlist(const std::string &path, bool &ok)
+{
+    std::vector<AllowEntry> entries;
+    std::ifstream in(path);
+    ok = in.good();
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        AllowEntry e;
+        std::string spec;
+        if (!(ls >> e.rule >> spec))
+            continue;
+        std::size_t colon = spec.find(':');
+        if (colon != std::string::npos) {
+            e.function = spec.substr(colon + 1);
+            spec = spec.substr(0, colon);
+        }
+        e.pathSuffix = spec;
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+bool
+suffixMatches(const std::string &path, const std::string &suffix)
+{
+    if (suffix.size() > path.size())
+        return false;
+    if (path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    return path.size() == suffix.size() ||
+           path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool
+allowlisted(const Violation &v, const std::vector<AllowEntry> &allow)
+{
+    for (const auto &e : allow) {
+        if (e.rule != v.rule && e.rule != "*")
+            continue;
+        if (!suffixMatches(v.file, e.pathSuffix))
+            continue;
+        if (!e.function.empty() &&
+            v.function.find(e.function) == std::string::npos)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+/** Only src/nvoverlay/ and src/repl/ carry the persist protocol. */
+bool
+inScope(const std::string &path)
+{
+    return path.find("nvoverlay/") != std::string::npos ||
+           path.find("repl/") != std::string::npos;
+}
+
+bool
+checkable(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+// -------------------------------------------------------------------
+// Self-test: each rule demonstrated in both directions, including
+// the cross-function cases the token linter cannot see.
+// -------------------------------------------------------------------
+
+int
+selfTest()
+{
+    struct Case
+    {
+        const char *name;
+        const char *code;
+        const char *expectRule;   // nullptr = expect clean
+    };
+    const Case cases[] = {
+        {"fenced publish is clean",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier();\n"
+         "  durableRecEpoch_ = recEpoch_; }\n",
+         nullptr},
+        {"unfenced publish fires",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  durableRecEpoch_ = recEpoch_; }\n",
+         "persist-order"},
+        {"branch-skippable barrier fires",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  if (!p.testSkipRecBarrier)\n"
+         "      nvm.persist().barrier();\n"
+         "  durableRecEpoch_ = recEpoch_; }\n",
+         "persist-order"},
+        {"barrier on both branches is clean",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  if (fast) { nvm.persist().barrier(); }\n"
+         "  else { nvm.persist().barrier(); }\n"
+         "  durableRecEpoch_ = recEpoch_; }\n",
+         nullptr},
+        {"loop carries the unfenced write to the next publish",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  while (more) {\n"
+         "    durableCursor_ = c;\n"
+         "    nvm.persist().write(a, 8, now, k);\n"
+         "  } }\n",
+         "persist-order"},
+        {"terminated path does not leak into the join",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  if (bail) { nvm.persist().barrier();\n"
+         "    durableCursor_ = c; return; }\n"
+         "  nvm.persist().barrier();\n"
+         "  durableCursor_ = c; }\n",
+         nullptr},
+        {"callee barrier clears the pending write",
+         "void fence() { nvm.persist().barrier(); }\n"
+         "void g() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  fence();\n"
+         "  durableCursor_ = c; }\n",
+         nullptr},
+        {"callee write reaches a later publish",
+         "void wr() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k); }\n"
+         "void g() { NVO_FAULT_POINT(\"y\"); wr();\n"
+         "  durableCursor_ = c; }\n",
+         "persist-order"},
+        {"publish-only callee flagged at the dirty call site",
+         "void pub() { NVO_FAULT_POINT(\"p\"); durableCursor_ = c; }\n"
+         "void g() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  pub(); }\n",
+         "persist-order"},
+        {"publish-only callee fine after a fence",
+         "void pub() { NVO_FAULT_POINT(\"p\"); durableCursor_ = c; }\n"
+         "void g() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier();\n"
+         "  pub(); }\n",
+         nullptr},
+        {"persist-domain alias write without fence fires",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  PersistDomain &d = nvm.persist();\n"
+         "  d.write(a, 8, now, k);\n"
+         "  durableCursor_ = c; }\n",
+         "persist-order"},
+        {"persist-domain alias fence is seen",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  PersistDomain &d = nvm.persist();\n"
+         "  d.write(a, 8, now, k);\n"
+         "  d.barrier();\n"
+         "  durableCursor_ = c; }\n",
+         nullptr},
+        {"unhooked persist write fires",
+         "void f() { nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier(); }\n",
+         "fault-coverage"},
+        {"hook in a retry-loop condition covers the write",
+         "void f() { while (NVO_FAULT_ERROR(\"dev\")) { retry(); }\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier(); }\n",
+         nullptr},
+        {"branch-only hook does not cover the write",
+         "void f() { if (slow) NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier(); }\n",
+         "fault-coverage"},
+        {"hook inherited through a call",
+         "void hook() { NVO_FAULT_POINT(\"x\"); }\n"
+         "void f() { hook();\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier(); }\n",
+         nullptr},
+        {"caller-dependent coverage flagged at bare call",
+         "void wr2() { nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier(); }\n"
+         "void f() { wr2(); }\n",
+         "fault-coverage"},
+        {"caller provides the hook",
+         "void wr2() { nvm.persist().write(a, 8, now, k);\n"
+         "  nvm.persist().barrier(); }\n"
+         "void f() { NVO_FAULT_POINT(\"x\"); wr2(); }\n",
+         nullptr},
+        {"raw NVM write fires",
+         "void f() { nvm.write(a, 8, now, k); }\n",
+         "persist-domain"},
+        {"master mutation outside masterInsert fires",
+         "void f() { part.master->insert(a, v, e); }\n",
+         "ledger-hook"},
+        {"master mutation inside masterInsert is sanctioned",
+         "void masterInsert() { part.master->insert(a, v, e); }\n",
+         nullptr},
+        {"undo lambda inside masterInsert is sanctioned",
+         "void masterInsert() {\n"
+         "  domain.stage(kind, [mt, a, old]{ mt->insert(a, old); });\n"
+         "  domain.stage(kind, [mt, a]{ mt->erase(a); }); }\n",
+         nullptr},
+        {"lambda elsewhere is not sanctioned",
+         "void f() { run([&]{ master->erase(a); }); }\n",
+         "ledger-hook"},
+        {"dropHeader outside reclaimSubPage fires",
+         "void f() { pool.dropHeader(a); }\n",
+         "ledger-hook"},
+        {"dropHeader inside reclaimSubPage is sanctioned",
+         "void reclaimSubPage() { part.pool->dropHeader(a); }\n",
+         nullptr},
+        {"inline allow marker suppresses",
+         "void f() { nvm.write(a, 8);"
+         "   // nvo-check: allow(persist-domain)\n"
+         "}\n",
+         nullptr},
+        {"comments and raw strings carry no actions",
+         "// nvm.persist().write(a); durableCursor_ = c;\n"
+         "void f() { const char *s =\n"
+         "  R\"(nvm.write(x); master->insert(y);)\"; use(s); }\n",
+         nullptr},
+        {"switch body may be skipped",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  switch (mode) {\n"
+         "  case 0: nvm.persist().barrier(); break;\n"
+         "  default: nvm.persist().barrier(); break;\n"
+         "  }\n"
+         "  durableCursor_ = c; }\n",
+         "persist-order"},
+        {"do-while body is guaranteed",
+         "void f() { NVO_FAULT_POINT(\"x\");\n"
+         "  nvm.persist().write(a, 8, now, k);\n"
+         "  do { nvm.persist().barrier(); } while (again());\n"
+         "  durableCursor_ = c; }\n",
+         nullptr},
+    };
+
+    int failures = 0;
+    for (const Case &c : cases) {
+        std::vector<Violation> got =
+            checkText("nvoverlay/self_test.cc", c.code);
+        bool pass;
+        if (c.expectRule == nullptr) {
+            pass = got.empty();
+        } else {
+            pass = false;
+            for (const Violation &v : got)
+                if (v.rule == c.expectRule)
+                    pass = true;
+        }
+        if (!pass) {
+            ++failures;
+            std::fprintf(stderr, "self-test FAILED: %s\n", c.name);
+            if (got.empty()) {
+                std::fprintf(stderr, "  (no violations found, "
+                                     "expected %s)\n",
+                             c.expectRule);
+            }
+            for (const Violation &v : got)
+                std::fprintf(stderr, "  got %s:%d: [%s] %s\n",
+                             v.file.c_str(), v.line, v.rule.c_str(),
+                             v.message.c_str());
+        }
+    }
+
+    // The AST frontend, against hand-written dumps of the same
+    // shapes (clang's JSON schema; differential line encoding).
+    struct AstCase
+    {
+        const char *name;
+        const char *json;
+        const char *expectRule;
+    };
+    const char *ast_bad =
+        "{\"kind\":\"TranslationUnitDecl\",\"inner\":[{"
+        "\"kind\":\"FunctionDecl\",\"name\":\"persistRecEpoch\","
+        "\"loc\":{\"file\":\"nvoverlay/omc.cc\",\"line\":3},"
+        "\"inner\":[{\"kind\":\"CompoundStmt\",\"inner\":["
+        "{\"kind\":\"CXXMemberCallExpr\","
+        "\"range\":{\"begin\":{\"line\":4}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"hitPoint\","
+        "\"type\":{\"qualType\":\"void\"},"
+        "\"inner\":[{\"kind\":\"CallExpr\","
+        "\"type\":{\"qualType\":\"nvo::fault::Registry &\"}}]},"
+        "{\"kind\":\"StringLiteral\",\"value\":\"\\\"omc.rec\\\"\"}]},"
+        "{\"kind\":\"CXXMemberCallExpr\","
+        "\"range\":{\"begin\":{\"line\":5}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"write\","
+        "\"inner\":[{\"kind\":\"CXXMemberCallExpr\","
+        "\"type\":{\"qualType\":\"nvo::PersistDomain &\"},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"persist\","
+        "\"inner\":[{\"kind\":\"DeclRefExpr\","
+        "\"type\":{\"qualType\":\"nvo::NvmModel\"}}]}]}]}]},"
+        "{\"kind\":\"BinaryOperator\",\"opcode\":\"=\","
+        "\"range\":{\"begin\":{\"line\":7}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\","
+        "\"name\":\"durableRecEpoch_\"},"
+        "{\"kind\":\"MemberExpr\",\"name\":\"recEpoch_\"}]}]}]}]}";
+    const char *ast_good =
+        "{\"kind\":\"TranslationUnitDecl\",\"inner\":[{"
+        "\"kind\":\"FunctionDecl\",\"name\":\"persistRecEpoch\","
+        "\"loc\":{\"file\":\"nvoverlay/omc.cc\",\"line\":3},"
+        "\"inner\":[{\"kind\":\"CompoundStmt\",\"inner\":["
+        "{\"kind\":\"CXXMemberCallExpr\","
+        "\"range\":{\"begin\":{\"line\":4}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"hitPoint\","
+        "\"type\":{\"qualType\":\"void\"},"
+        "\"inner\":[{\"kind\":\"CallExpr\","
+        "\"type\":{\"qualType\":\"nvo::fault::Registry &\"}}]},"
+        "{\"kind\":\"StringLiteral\",\"value\":\"\\\"omc.rec\\\"\"}]},"
+        "{\"kind\":\"CXXMemberCallExpr\","
+        "\"range\":{\"begin\":{\"line\":5}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"write\","
+        "\"inner\":[{\"kind\":\"CXXMemberCallExpr\","
+        "\"type\":{\"qualType\":\"nvo::PersistDomain &\"},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"persist\","
+        "\"inner\":[{\"kind\":\"DeclRefExpr\","
+        "\"type\":{\"qualType\":\"nvo::NvmModel\"}}]}]}]}]},"
+        "{\"kind\":\"CXXMemberCallExpr\","
+        "\"range\":{\"begin\":{\"line\":6}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"barrier\","
+        "\"inner\":[{\"kind\":\"CXXMemberCallExpr\","
+        "\"type\":{\"qualType\":\"nvo::PersistDomain &\"},"
+        "\"inner\":[{\"kind\":\"MemberExpr\",\"name\":\"persist\","
+        "\"inner\":[{\"kind\":\"DeclRefExpr\","
+        "\"type\":{\"qualType\":\"nvo::NvmModel\"}}]}]}]}]},"
+        "{\"kind\":\"BinaryOperator\",\"opcode\":\"=\","
+        "\"range\":{\"begin\":{\"line\":7}},"
+        "\"inner\":[{\"kind\":\"MemberExpr\","
+        "\"name\":\"durableRecEpoch_\"},"
+        "{\"kind\":\"MemberExpr\",\"name\":\"recEpoch_\"}]}]}]}]}";
+    const AstCase ast_cases[] = {
+        {"ast frontend catches the skipped barrier", ast_bad,
+         "persist-order"},
+        {"ast frontend accepts the fenced publish", ast_good,
+         nullptr},
+    };
+    for (const AstCase &c : ast_cases) {
+        std::vector<Violation> got =
+            checkAstText("ast-self-test", c.json, true);
+        bool pass;
+        if (c.expectRule == nullptr) {
+            pass = got.empty();
+        } else {
+            pass = false;
+            for (const Violation &v : got)
+                if (v.rule == c.expectRule)
+                    pass = true;
+        }
+        if (!pass) {
+            ++failures;
+            std::fprintf(stderr, "self-test FAILED: %s\n", c.name);
+            for (const Violation &v : got)
+                std::fprintf(stderr, "  got %s:%d: [%s] %s\n",
+                             v.file.c_str(), v.line, v.rule.c_str(),
+                             v.message.c_str());
+        }
+    }
+
+    int total = static_cast<int>(std::size(cases)) +
+                static_cast<int>(std::size(ast_cases));
+    if (failures == 0) {
+        std::printf("nvo_check self-test: %d cases passed\n", total);
+        return 0;
+    }
+    std::fprintf(stderr, "nvo_check self-test: %d/%d cases FAILED\n",
+                 failures, total);
+    return 1;
+}
+
+/**
+ * Corpus mode: every fixture under DIR named
+ * `<rule_with_underscores>.<good|bad>[.variant].cc` (structural) or
+ * `...ast.json` (AST frontend) must come out clean / flag its rule.
+ */
+int
+runCorpus(const std::string &dir)
+{
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        if (entry.is_regular_file())
+            files.push_back(entry.path());
+    if (ec) {
+        std::fprintf(stderr, "cannot read corpus dir %s\n",
+                     dir.c_str());
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    int failures = 0, ran = 0;
+    for (const fs::path &p : files) {
+        std::string name = p.filename().string();
+        bool ast = name.size() > 9 &&
+                   name.compare(name.size() - 9, 9, ".ast.json") == 0;
+        bool cc = p.extension() == ".cc";
+        if (!ast && !cc)
+            continue;
+        std::size_t dot = name.find('.');
+        if (dot == std::string::npos)
+            continue;
+        std::string rule = name.substr(0, dot);
+        std::replace(rule.begin(), rule.end(), '_', '-');
+        bool expect_bad = name.find(".bad") != std::string::npos;
+        bool expect_good = name.find(".good") != std::string::npos;
+        if (!expect_bad && !expect_good)
+            continue;
+
+        std::ifstream in(p);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        if (!in.good() && !in.eof()) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         p.string().c_str());
+            return 2;
+        }
+        std::vector<Violation> got =
+            ast ? checkAstText(name, ss.str(), true)
+                : checkText("nvoverlay/" + name, ss.str());
+        ++ran;
+        bool pass;
+        if (expect_good) {
+            pass = got.empty();
+        } else {
+            pass = false;
+            for (const Violation &v : got)
+                if (v.rule == rule)
+                    pass = true;
+        }
+        if (!pass) {
+            ++failures;
+            std::fprintf(stderr, "corpus FAILED: %s (expected %s)\n",
+                         name.c_str(),
+                         expect_good ? "clean" : rule.c_str());
+            for (const Violation &v : got)
+                std::fprintf(stderr, "  got %s:%d: [%s] %s\n",
+                             v.file.c_str(), v.line, v.rule.c_str(),
+                             v.message.c_str());
+        }
+    }
+    if (ran == 0) {
+        std::fprintf(stderr,
+                     "corpus %s matched no fixture files\n",
+                     dir.c_str());
+        return 2;
+    }
+    if (failures == 0) {
+        std::printf("nvo_check corpus: %d fixtures passed\n", ran);
+        return 0;
+    }
+    std::fprintf(stderr, "nvo_check corpus: %d/%d fixtures FAILED\n",
+                 failures, ran);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string allowlist_path;
+    std::string corpus_dir;
+    bool no_allowlist = false;
+    bool force_scope = false;
+    bool ast_mode = false;
+    bool self_test = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--corpus") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--corpus needs a directory argument\n");
+                return 2;
+            }
+            corpus_dir = argv[++i];
+        } else if (arg == "--allowlist") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--allowlist needs a file argument\n");
+                return 2;
+            }
+            allowlist_path = argv[++i];
+        } else if (arg == "--no-allowlist") {
+            no_allowlist = true;
+        } else if (arg == "--force-scope") {
+            force_scope = true;
+        } else if (arg == "--ast-json") {
+            ast_mode = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(
+                stderr,
+                "usage: nvo_check [--allowlist FILE | --no-allowlist]"
+                " [--force-scope]\n"
+                "                 [--ast-json] [--self-test]"
+                " [--corpus DIR] [PATH...]\n");
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (self_test)
+        return selfTest();
+    if (!corpus_dir.empty())
+        return runCorpus(corpus_dir);
+    if (paths.empty()) {
+        std::fprintf(stderr, "usage: nvo_check [options] PATH...\n"
+                             "       nvo_check --self-test\n");
+        return 2;
+    }
+
+    std::vector<AllowEntry> allow;
+    if (!no_allowlist) {
+        if (allowlist_path.empty() &&
+            fs::exists("tools/nvo_check_allow.txt"))
+            allowlist_path = "tools/nvo_check_allow.txt";
+        if (!allowlist_path.empty()) {
+            bool ok = false;
+            allow = loadAllowlist(allowlist_path, ok);
+            if (!ok) {
+                std::fprintf(stderr, "cannot read allowlist %s\n",
+                             allowlist_path.c_str());
+                return 2;
+            }
+        }
+    }
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p, ec))
+                if (entry.is_regular_file() &&
+                    checkable(entry.path()))
+                    files.push_back(entry.path());
+        } else {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    int checked = 0;
+    bool bad = false;
+    for (const fs::path &file : files) {
+        std::string display = file.generic_string();
+        if (!ast_mode && !force_scope && !inScope(display))
+            continue;
+        std::ifstream in(file);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        if (!in.good() && !in.eof()) {
+            std::fprintf(stderr, "cannot read %s\n", display.c_str());
+            return 2;
+        }
+        std::vector<Violation> vs =
+            ast_mode ? checkAstText(display, ss.str(), force_scope)
+                     : checkText(display, ss.str());
+        ++checked;
+        for (const Violation &v : vs) {
+            if (v.rule == "ast-parse") {
+                std::fprintf(stderr, "%s: AST parse error: %s\n",
+                             v.file.c_str(), v.message.c_str());
+                return 2;
+            }
+            if (allowlisted(v, allow))
+                continue;
+            bad = true;
+            std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                        v.rule.c_str(), v.message.c_str());
+        }
+    }
+    if (!bad)
+        std::printf("nvo_check: %d file(s) clean\n", checked);
+    return bad ? 1 : 0;
+}

@@ -111,8 +111,32 @@ collectMarkers(const std::string &text)
 }
 
 /**
+ * True when the '"' at @p i opens a raw string literal: preceded by
+ * an R (optionally with a u8/u/U/L encoding prefix) that is itself
+ * the start of the literal, not the tail of an identifier.
+ */
+bool
+isRawStringStart(const std::string &text, std::size_t i)
+{
+    if (i == 0 || text[i - 1] != 'R')
+        return false;
+    std::size_t p = i - 1;   // index of the 'R'
+    if (p >= 2 && text[p - 2] == 'u' && text[p - 1] == '8')
+        p -= 2;
+    else if (p >= 1 && (text[p - 1] == 'u' || text[p - 1] == 'U' ||
+                        text[p - 1] == 'L'))
+        p -= 1;
+    return p == 0 ||
+           !(std::isalnum(static_cast<unsigned char>(text[p - 1])) ||
+             text[p - 1] == '_');
+}
+
+/**
  * Replace comments and string/char literal bodies with spaces,
- * preserving line structure so token line numbers stay true.
+ * preserving line structure so token line numbers stay true. Raw
+ * string literals (R"delim(...)delim", with any encoding prefix) are
+ * handled before the ordinary string state so their unescaped quotes
+ * and parentheses cannot corrupt the rest of the file.
  */
 std::string
 stripCommentsAndStrings(const std::string &text)
@@ -134,6 +158,29 @@ stripCommentsAndStrings(const std::string &text)
                 st = St::Block;
                 out += "  ";
                 ++i;
+            } else if (c == '"' && isRawStringStart(text, i)) {
+                // R"delim( ... )delim": scan the delimiter, then blank
+                // the body up to (and including) the matching
+                // terminator, preserving newlines.
+                std::size_t open = text.find('(', i + 1);
+                if (open == std::string::npos) {
+                    out += '"';   // malformed; treat as ordinary
+                    st = St::Str;
+                    break;
+                }
+                std::string term = ")" +
+                                   text.substr(i + 1, open - i - 1) +
+                                   "\"";
+                std::size_t end = text.find(term, open + 1);
+                std::size_t stop = end == std::string::npos
+                                       ? text.size()
+                                       : end + term.size();
+                out += '"';
+                for (std::size_t j = i + 1; j + 1 < stop; ++j)
+                    out += text[j] == '\n' ? '\n' : ' ';
+                if (stop > i + 1)
+                    out += '"';
+                i = stop - 1;
             } else if (c == '"') {
                 st = St::Str;
                 out += '"';
@@ -597,6 +644,29 @@ selfTest()
         {"string mentioning delete is clean", "common/foo.cc",
          "const char *s = \"new delete if (a < b)\";\n",
          nullptr},
+        {"block comment mentioning new is clean", "common/foo.cc",
+         "/* new delete printf */ int x = 0;\n",
+         nullptr},
+        {"code sharing a line with a block comment fires",
+         "common/foo.cc",
+         "/* harmless */ int *p = new int;\n",
+         "raw-new-delete"},
+        {"raw string mentioning violations is clean", "common/foo.cc",
+         "const char *s = R\"(new delete printf if (a < b))\";\n",
+         nullptr},
+        {"delimited raw string with quote is clean", "common/foo.cc",
+         "const char *s = uR\"x(quote \" paren ) new)x\";\n"
+         "int y = 0;\n",
+         nullptr},
+        {"code after a raw string on the same line fires",
+         "common/foo.cc",
+         "const char *s = R\"(x)\"; int *p = new int;\n",
+         "raw-new-delete"},
+        {"raw string quote does not swallow later code",
+         "common/foo.cc",
+         "const char *s = R\"(\")\";\n"
+         "void f(int *p) { delete p; }\n",
+         "raw-new-delete"},
         {"inline allow marker suppresses", "common/foo.cc",
          "int *p = new int;   // nvo-lint: allow(raw-new-delete)\n",
          nullptr},
