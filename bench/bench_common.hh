@@ -16,6 +16,7 @@
 #define NVO_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -73,6 +74,36 @@ extractJsonPath(int &argc, char **argv)
     }
     argc = w;
     return path;
+}
+
+/**
+ * Pull `--jobs <n>` / `--jobs=<n>` out of argv (same compaction as
+ * extractJsonPath). Returns 1 when absent. Benches hand the value to
+ * par::forkMap to fan independent cells across worker processes;
+ * results are merged in cell order, so the printed tables and the
+ * --json rows are identical for every job count.
+ */
+inline unsigned
+extractJobs(int &argc, char **argv)
+{
+    unsigned jobs = 1;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 0));
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return jobs == 0 ? 1 : jobs;
 }
 
 inline Config

@@ -11,19 +11,65 @@
  * entries).
  */
 
+#include <array>
+
 #include "bench_common.hh"
+#include "par/procpool.hh"
 
 using namespace nvo;
+
+namespace
+{
+
+/** One measured cell shipped back from a forkMap worker. */
+struct Cell
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t nvmWriteBytes = 0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::JsonReport report("fig14_epoch_sweep",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     report.setConfig(cfg);
     const std::uint64_t sizes[] = {500'000, 1'000'000, 2'000'000,
                                    4'000'000};
+    const std::array<const char *, 4> schemes = {
+        "none", "nvoverlay", "picl", "picl-l2"};
+
+    // Every (epoch size, scheme) cell is an independent simulation,
+    // so the sweep fans across --jobs worker processes and merges in
+    // cell order: same table and JSON rows for any job count.
+    constexpr unsigned numCells = 16;
+    std::vector<std::string> payloads = par::forkMap(
+        numCells, jobs, [&](unsigned t) {
+            Config wcfg = bench::forWorkload(cfg, "art");
+            wcfg.set("epoch.stores_global", sizes[t / schemes.size()]);
+            auto r = runExperiment(wcfg, schemes[t % schemes.size()],
+                                   "art");
+            char buf[64];
+            std::snprintf(
+                buf, sizeof buf, "%llu %llu",
+                static_cast<unsigned long long>(r.stats.cycles),
+                static_cast<unsigned long long>(
+                    r.stats.totalNvmWriteBytes()));
+            return std::string(buf);
+        });
+    std::array<Cell, numCells> cells;
+    for (unsigned t = 0; t < numCells; ++t) {
+        unsigned long long cyc = 0, wr = 0;
+        if (std::sscanf(payloads[t].c_str(), "%llu %llu", &cyc,
+                        &wr) != 2)
+            fatal("fig14: malformed worker payload '%s'",
+                  payloads[t].c_str());
+        cells[t] = {cyc, wr};
+    }
 
     std::printf("Figure 14 — Epoch-size sensitivity (ART, "
                 "ops/thread=%llu)\n",
@@ -34,39 +80,33 @@ main(int argc, char **argv)
                        11);
     table.printHeader();
 
-    for (std::uint64_t ep : sizes) {
-        Config wcfg = bench::forWorkload(cfg, "art");
-        wcfg.set("epoch.stores_global", ep);
-        auto base = runExperiment(wcfg, "none", "art");
-        auto nvo = runExperiment(wcfg, "nvoverlay", "art");
-        auto picl = runExperiment(wcfg, "picl", "art");
-        auto picl2 = runExperiment(wcfg, "picl-l2", "art");
-        double nb =
-            static_cast<double>(nvo.stats.totalNvmWriteBytes());
+    for (unsigned si = 0; si < 4; ++si) {
+        std::uint64_t ep = sizes[si];
+        const Cell &base = cells[si * 4 + 0];
+        const Cell &nvo = cells[si * 4 + 1];
+        const Cell &picl = cells[si * 4 + 2];
+        const Cell &picl2 = cells[si * 4 + 3];
+        double nb = static_cast<double>(nvo.nvmWriteBytes);
         std::string cell = std::to_string(ep / 1000) + "K";
         report.add(cell, "picl", "norm_cycles",
-                   double(picl.stats.cycles) / base.stats.cycles);
+                   double(picl.cycles) / base.cycles);
         report.add(cell, "picl-l2", "norm_cycles",
-                   double(picl2.stats.cycles) / base.stats.cycles);
+                   double(picl2.cycles) / base.cycles);
         report.add(cell, "nvoverlay", "norm_cycles",
-                   double(nvo.stats.cycles) / base.stats.cycles);
+                   double(nvo.cycles) / base.cycles);
         report.add(cell, "picl", "norm_nvm_write_bytes",
-                   picl.stats.totalNvmWriteBytes() / nb);
+                   picl.nvmWriteBytes / nb);
         report.add(cell, "picl-l2", "norm_nvm_write_bytes",
-                   picl2.stats.totalNvmWriteBytes() / nb);
+                   picl2.nvmWriteBytes / nb);
         report.add(cell, "nvoverlay", "nvm_write_bytes", nb);
         table.printRow(
             {std::to_string(ep / 1000) + "K",
-             TablePrinter::num(
-                 double(picl.stats.cycles) / base.stats.cycles, 2),
-             TablePrinter::num(
-                 double(picl2.stats.cycles) / base.stats.cycles, 2),
-             TablePrinter::num(
-                 double(nvo.stats.cycles) / base.stats.cycles, 2),
-             TablePrinter::num(picl.stats.totalNvmWriteBytes() / nb,
+             TablePrinter::num(double(picl.cycles) / base.cycles, 2),
+             TablePrinter::num(double(picl2.cycles) / base.cycles,
                                2),
-             TablePrinter::num(picl2.stats.totalNvmWriteBytes() / nb,
-                               2),
+             TablePrinter::num(double(nvo.cycles) / base.cycles, 2),
+             TablePrinter::num(picl.nvmWriteBytes / nb, 2),
+             TablePrinter::num(picl2.nvmWriteBytes / nb, 2),
              TablePrinter::num(nb / 1e9, 3)});
     }
     report.write();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shard-engine scaling and determinism check (ROADMAP item 1).
+ *
+ * Runs NVOverlay on one pregen-friendly workload (kmeans, whose
+ * generator is confinement-certified) and one generation-serial
+ * workload (btree) under the sequential engine and under the shard
+ * engine at 1, 2, and 8 shards, then reports:
+ *
+ *  - norm_cycles: simulated cycles relative to the sequential oracle.
+ *    The engine is bit-identical by construction, so every one of
+ *    these rows must be exactly 1.0 — they are the rows committed to
+ *    BENCH_fig_par_scaling.json, turning the nvo_bench_diff CI gate
+ *    into a cross-shard-count determinism check;
+ *  - host_speedup: sequential host wall clock over the shard run's.
+ *    Host-dependent, so these rows are emitted for information (the
+ *    committed baseline deliberately omits them; nvo_bench_diff
+ *    reports unknown rows as "fresh" without gating). On a 1-core
+ *    host the token-serialized engine adds overhead; the wall-clock
+ *    win on real multi-core hosts comes from pre-generation here and
+ *    from process fan-out (`--jobs`, nvo_sim `jobs=`) elsewhere.
+ */
+
+#include <array>
+
+#include "bench_common.hh"
+
+using namespace nvo;
+
+int
+main(int argc, char **argv)
+{
+    bench::JsonReport report("fig_par_scaling",
+                             bench::extractJsonPath(argc, argv));
+    Config cfg = bench::benchConfig(argc, argv);
+    report.setConfig(cfg);
+
+    const std::array<const char *, 2> workloads = {"kmeans", "btree"};
+    const std::array<unsigned, 3> shardCounts = {1, 2, 8};
+
+    std::printf("Shard-engine scaling (nvoverlay, ops/thread=%llu)\n",
+                static_cast<unsigned long long>(
+                    cfg.getU64("wl.ops", bench::defaultOps)));
+    TablePrinter table({"workload", "shards", "norm-cyc", "speedup"},
+                       11);
+    table.printHeader();
+
+    for (const char *workload : workloads) {
+        Config wcfg = bench::forWorkload(cfg, workload);
+        auto seq = runExperiment(wcfg, "nvoverlay", workload);
+        for (unsigned shards : shardCounts) {
+            Config pcfg = wcfg;
+            pcfg.set("par.shards",
+                     static_cast<std::uint64_t>(shards));
+            auto par = runExperiment(pcfg, "nvoverlay", workload);
+            double norm = static_cast<double>(par.stats.cycles) /
+                          static_cast<double>(seq.stats.cycles);
+            double speedup =
+                par.hostSeconds > 0
+                    ? seq.hostSeconds / par.hostSeconds
+                    : 0.0;
+            std::string scheme =
+                "shards" + std::to_string(shards);
+            report.add(workload, scheme, "norm_cycles", norm);
+            report.add(workload, scheme, "host_speedup", speedup);
+            table.printRow({workload, std::to_string(shards),
+                            TablePrinter::num(norm, 4),
+                            TablePrinter::num(speedup, 2)});
+            if (norm != 1.0)
+                warn("shard engine diverged from the sequential "
+                     "oracle: %s shards=%u norm_cycles=%.6f",
+                     workload, shards, norm);
+        }
+    }
+    report.write();
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/log.hh"
@@ -12,6 +13,7 @@
 #include "nvoverlay/nvoverlay_scheme.hh"
 #include "nvoverlay/recovery.hh"
 #include "obs/trace.hh"
+#include "par/procpool.hh"
 
 namespace nvo
 {
@@ -194,6 +196,39 @@ minimizePlan(const Config &base_cfg, const CampaignParams &params,
     return plan;
 }
 
+/** Pipe-framed CrashReport (par::forkMap payload). The two string
+ *  fields cannot contain newlines, so a line-oriented format is
+ *  unambiguous. */
+std::string
+encodeReport(const CrashReport &rep)
+{
+    std::ostringstream os;
+    os << (rep.crashed ? 1 : 0) << ' ' << rep.firedHit << ' '
+       << rep.recEpoch << ' ' << rep.linesChecked << ' '
+       << rep.mismatches << ' ' << rep.inflightSkips << ' '
+       << rep.linesRestored << '\n'
+       << rep.firedPoint << '\n'
+       << rep.error;
+    return os.str();
+}
+
+CrashReport
+decodeReport(const std::string &payload)
+{
+    CrashReport rep;
+    std::istringstream is(payload);
+    int crashed = 0;
+    is >> crashed >> rep.firedHit >> rep.recEpoch >>
+        rep.linesChecked >> rep.mismatches >> rep.inflightSkips >>
+        rep.linesRestored;
+    rep.crashed = crashed != 0;
+    is.ignore();   // the newline ending the numeric row
+    std::getline(is, rep.firedPoint);
+    std::getline(is, rep.error, '\0');
+    nvo_assert(!is.bad(), "malformed campaign worker payload");
+    return rep;
+}
+
 } // namespace
 
 CampaignResult
@@ -223,13 +258,16 @@ runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
         probes.push_back(std::move(probe));
     }
 
+    // Every plan is drawn in the parent before any trial runs. The
+    // trials themselves never touch the Rng, so this produces the
+    // exact plan stream of the historical draw-then-run loop — and
+    // makes the stream independent of how trials are scheduled
+    // across worker processes.
     Rng rng(params.seed);
+    std::vector<CrashPlan> plans;
     for (unsigned t = 0; t < params.trials; ++t) {
-        unsigned wi =
-            t % static_cast<unsigned>(params.workloads.size());
-        const Probe &probe = probes[wi];
-        const std::string &workload = params.workloads[wi];
-
+        const Probe &probe =
+            probes[t % static_cast<unsigned>(params.workloads.size())];
         CrashPlan plan;
         if (enabled && !probe.points.empty()) {
             const auto &pt =
@@ -241,9 +279,27 @@ runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
             plan.cycle =
                 1 + rng.below(std::max<Cycle>(probe.cycles, 2) - 1);
         }
+        plans.push_back(std::move(plan));
+    }
 
-        CrashSimulator sim(trial_cfg, params.scheme, workload);
-        CrashReport rep = sim.run(plan);
+    std::vector<std::string> payloads = par::forkMap(
+        params.trials, params.jobs,
+        [&](unsigned t) {
+            unsigned wi =
+                t % static_cast<unsigned>(params.workloads.size());
+            CrashSimulator sim(trial_cfg, params.scheme,
+                               params.workloads[wi]);
+            return encodeReport(sim.run(plans[t]));
+        },
+        // Children stay silent; the parent prints every per-trial
+        // line below, in trial order, whatever the job count.
+        [](unsigned) { setQuiet(true); });
+
+    for (unsigned t = 0; t < params.trials; ++t) {
+        unsigned wi =
+            t % static_cast<unsigned>(params.workloads.size());
+        const std::string &workload = params.workloads[wi];
+        CrashReport rep = decodeReport(payloads[t]);
         ++res.trials;
         if (rep.crashed)
             ++res.crashes;
@@ -262,8 +318,11 @@ runCrashCampaign(const Config &base_cfg, const CampaignParams &params)
                rep.consistent() ? "" : "  ** FAIL **");
         if (!rep.consistent()) {
             if (res.failures == 0) {
-                CrashPlan minimized =
-                    minimizePlan(trial_cfg, params, workload, plan);
+                // Minimization bisects serially in the parent; the
+                // first failure is the lowest trial index, matching
+                // the sequential sweep.
+                CrashPlan minimized = minimizePlan(
+                    trial_cfg, params, workload, plans[t]);
                 res.failingRepro =
                     reproLine(params, workload, minimized);
                 res.failingPlan = minimized;

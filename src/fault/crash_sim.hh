@@ -98,6 +98,14 @@ struct CampaignParams
     std::vector<std::string> workloads;
     unsigned trials = 50;
     std::uint64_t seed = 1;
+    /**
+     * Worker processes for the trial sweep (par::forkMap); <= 1 runs
+     * inline. Every plan is pre-drawn from the seeded Rng in the
+     * parent before any trial executes, so the plan stream, the
+     * merged result, and the first-failure choice (lowest trial
+     * index) are identical for every job count.
+     */
+    unsigned jobs = 1;
 };
 
 struct CampaignResult

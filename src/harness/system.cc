@@ -136,12 +136,42 @@ System::build(const std::string &scheme_name)
     hier->setEpochSource(
         [raw](unsigned) { return raw->globalEpoch(); });
 
+    // Shard execution engine (ROADMAP item 1). par.shards > 0 selects
+    // the host-parallel engine; the default keeps the sequential step
+    // loop, which doubles as the bit-identity oracle. Probed with
+    // has() first so a sequential run's config dump (and therefore
+    // its exported stats JSON) is unchanged from before the engine
+    // existed.
+    unsigned par_shards =
+        cfg_.has("par.shards")
+            ? static_cast<unsigned>(cfg_.getU64("par.shards", 0))
+            : 0;
+    if (par_shards > 0) {
+        par::ShardEngine::Params pp;
+        pp.shards = std::min(par_shards, num_vds);
+        pp.threads =
+            static_cast<unsigned>(cfg_.getU64("par.threads", 0));
+        pp.trafficRing = cfg_.getU64("par.ring", 1024);
+        pp.pregen = cfg_.getBool("par.pregen", true);
+        parEngine_ = std::make_unique<par::ShardEngine>(
+            pp, *wl, num_vds, hp.numLlcSlices, cores_per_vd);
+        hier->setTrafficSink(parEngine_.get());
+    }
+
     Core::Params cp;
     cp.issueWidth =
         static_cast<unsigned>(cfg_.getU64("sys.issue_width", 4));
     for (unsigned c = 0; c < num_cores; ++c)
         cores.push_back(std::make_unique<Core>(
-            cp, c, *hier, *wl, *scheme_, stats_));
+            cp, c, *hier,
+            parEngine_ ? parEngine_->sourceFor(c) : *wl, *scheme_,
+            stats_));
+    if (parEngine_) {
+        std::vector<Core *> raw;
+        for (auto &core : cores)
+            raw.push_back(core.get());
+        parEngine_->start(raw);
+    }
 
     // Invariant sweeps (NVO_AUDIT builds): the hierarchy's structural
     // audit plus whatever protocol sweeps the scheme registers. Light
@@ -222,8 +252,14 @@ System::stepQuantum()
 {
     quantumEnd += quantum;
     obs::tracer().setNow(quantumEnd);
-    for (auto &core : cores)
-        core->runUntil(quantumEnd);
+    if (parEngine_) {
+        // Token round through the shards: same core-major order as
+        // the loop below, with idle workers pre-generating batches.
+        parEngine_->runQuantum(quantumEnd);
+    } else {
+        for (auto &core : cores)
+            core->runUntil(quantumEnd);
+    }
     scheme_->tick(quantumEnd);
     if (Cycle gs = scheme_->takeGlobalStall()) {
         for (auto &core : cores)

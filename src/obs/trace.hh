@@ -70,9 +70,10 @@ enum class Cat : std::uint32_t
     Fault = 1u << 8,     ///< fault injection, persist barriers/crashes
     Ledger = 1u << 9,    ///< version-lifecycle provenance transitions
     Repl = 1u << 10,     ///< epoch-delta shipping to the standby
+    Par = 1u << 11,      ///< shard engine: token barriers, ring drains
 };
 
-constexpr std::uint32_t allCats = 0x7ffu;
+constexpr std::uint32_t allCats = 0xfffu;
 
 /** Typed events. Metadata (name, category, arg names) in info(). */
 enum class Ev : std::uint16_t
@@ -131,6 +132,10 @@ enum class Ev : std::uint16_t
     ReplBackpressure,///< a0 = send-queue depth
     ReplCursorPersist, ///< a0 = cursor epoch, a1 = generation
     ReplResume,      ///< a0 = durable cursor, a1 = rec-epoch
+    // Shard engine (src/par). Emitted by the coordinator only, after
+    // the quantum barrier — the Tracer is not thread-safe.
+    ParToken,        ///< a0 = barrier seq, a1 = 1 when poisoned
+    ParXDrain,       ///< a0 = msgs drained, a1 = ring high water
     NumEvents
 };
 
@@ -174,6 +179,11 @@ constexpr std::uint32_t
 trackOmc(unsigned omc)
 {
     return 256 + omc;
+}
+constexpr std::uint32_t
+trackShard(unsigned shard)
+{
+    return 512 + shard;
 }
 
 std::string trackName(std::uint32_t track);

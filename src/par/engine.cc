@@ -1,0 +1,316 @@
+#include "par/engine.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "common/log.hh"
+#include "cpu/core.hh"
+#include "obs/trace.hh"
+#include "workload/workload.hh"
+
+namespace nvo
+{
+namespace par
+{
+
+namespace
+{
+
+/** Idle probes between condvar parks. Small: the engine must behave
+ *  on oversubscribed hosts (CI runners), where spinning a worker
+ *  starves the token holder. */
+constexpr unsigned spinLimit = 64;
+
+constexpr std::chrono::microseconds parkTimeout{200};
+
+} // namespace
+
+ShardEngine::ShardEngine(const Params &params, WorkloadBase &workload,
+                         unsigned num_vds, unsigned num_slices,
+                         unsigned cores_per_vd)
+    : p(params),
+      map_(params.shards, num_vds, num_slices, cores_per_vd),
+      slots(params.shards), doneRing(8)
+{
+    rep.shards = p.shards;
+    rep.pregen = p.pregen && workload.independentGen();
+
+    unsigned threads = p.threads == 0 ? p.shards : p.threads;
+    if (threads > p.shards)
+        threads = p.shards;
+    rep.threads = threads;
+
+    for (unsigned c = 0; c < map_.numCores(); ++c)
+        sources.push_back(std::make_unique<StagedSource>(
+            workload, c, p.pregenRing, rep.pregen));
+
+    for (unsigned s = 0; s < p.shards; ++s) {
+        slots[s].xring =
+            std::make_unique<SpscRing<XMsg>>(p.trafficRing);
+        for (unsigned c : map_.coresOf(s))
+            slots[s].staged.push_back(sources[c].get());
+    }
+
+    for (unsigned w = 0; w < threads; ++w)
+        grantRings.push_back(std::make_unique<SpscRing<Grant>>(8));
+}
+
+ShardEngine::~ShardEngine() { stopWorkers(); }
+
+RefSource &
+ShardEngine::sourceFor(unsigned core)
+{
+    nvo_assert(core < sources.size());
+    return *sources[core];
+}
+
+void
+ShardEngine::start(const std::vector<Core *> &cores)
+{
+    nvo_assert(!started, "ShardEngine started twice");
+    nvo_assert(cores.size() == map_.numCores(),
+               "core count does not match the shard map");
+    for (unsigned s = 0; s < p.shards; ++s)
+        for (unsigned c : map_.coresOf(s))
+            slots[s].cores.push_back(cores[c]);
+    started = true;
+    for (unsigned w = 0; w < rep.threads; ++w)
+        workers.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+ShardEngine::pushGrant(unsigned worker, Grant g)
+{
+    // Serialized producer: at most one token circulates, and Stop
+    // grants are only posted once it has been retired.
+    bool ok = grantRings[worker]->tryPush(g);
+    nvo_assert(ok, "grant ring overflow");
+    {
+        // Empty critical section: pairs the push with the receiver's
+        // checked wait so a park between its probe and its wait
+        // cannot miss this grant.
+        std::lock_guard<std::mutex> lk(wakeMutex);
+    }
+    wakeCv.notify_all();
+}
+
+void
+ShardEngine::note(unsigned from_domain, unsigned to_domain,
+                  Hierarchy::XTraffic kind)
+{
+    unsigned from = map_.shardOfDomain(from_domain);
+    unsigned to = map_.shardOfDomain(to_domain);
+    if (from == to) {
+        ++slots[from].metrics.xLocal;
+        return;
+    }
+    XMsg m;
+    m.fromShard = from;
+    m.toShard = to;
+    m.kind = kind == Hierarchy::XTraffic::Coherence
+                 ? XKind::Coherence
+                 : (kind == Hierarchy::XTraffic::Eviction
+                        ? XKind::Eviction
+                        : XKind::Snapshot);
+    // Only the token holder reaches this path (the hierarchy runs
+    // under the token), so pushes into any destination ring are
+    // serialized even though senders alternate across threads.
+    if (slots[to].xring->tryPush(m))
+        ++slots[from].metrics.xSent;
+    else
+        ++slots[from].metrics.xDropped;
+}
+
+bool
+ShardEngine::idleWork(unsigned worker)
+{
+    // Pre-generate upcoming batches for the cores of the shards this
+    // worker owns, round-robin so no single core's ring hogs the idle
+    // time. Legal only under the independentGen() confinement
+    // contract (see par/pregen.hh); otherwise every source reports
+    // staging disabled and this is a cheap no-op scan.
+    bool did = false;
+    for (unsigned s = worker; s < p.shards; s += rep.threads) {
+        Slot &slot = slots[s];
+        if (slot.staged.empty())
+            continue;
+        for (std::size_t i = 0; i < slot.staged.size(); ++i) {
+            unsigned idx = slot.pregenCursor++ %
+                           static_cast<unsigned>(slot.staged.size());
+            StagedSource *src = slot.staged[idx];
+            if (src->prefill()) {
+                ++slot.metrics.pregenBatches;
+                did = true;
+                break;
+            }
+        }
+    }
+    return did;
+}
+
+void
+ShardEngine::workerMain(unsigned worker)
+{
+    unsigned first = worker; // lowest shard this worker owns
+    for (;;) {
+        Grant g;
+        unsigned spins = 0;
+        while (!grantRings[worker]->tryPop(g)) {
+            ++slots[first].metrics.grantWaitSpins;
+            if (idleWork(worker)) {
+                spins = 0;
+                continue;
+            }
+            if (++spins >= spinLimit) {
+                std::unique_lock<std::mutex> lk(wakeMutex);
+                if (grantRings[worker]->empty())
+                    wakeCv.wait_for(lk, parkTimeout);
+                spins = 0;
+            }
+        }
+        if (g.op == Grant::Op::Stop)
+            return;
+        runShard(g);
+    }
+}
+
+void
+ShardEngine::runShard(const Grant &g)
+{
+    Slot &slot = slots[g.shard];
+    bool poisoned = g.poisoned;
+    if (!poisoned) {
+        // Token turn: this thread owns the shard's state for the
+        // duration of the guard. The capability's acquire/release
+        // double as the runtime-audit and TSan-visible handoff.
+        ShardGuard guard(slot.cap);
+        ++slot.metrics.quanta;
+        try {
+            for (Core *core : slot.cores) {
+                core->runUntil(g.quantumEnd);
+                ++slot.metrics.coresRun;
+            }
+        } catch (...) {
+            // Match the sequential engine: cores after the throwing
+            // one do not run this quantum. Park the exception for the
+            // coordinator and poison the rest of the round.
+            slot.error = std::current_exception();
+            poisoned = true;
+        }
+    }
+    forwardToken(g, poisoned);
+}
+
+void
+ShardEngine::forwardToken(const Grant &g, bool poisoned)
+{
+    if (g.shard + 1 < p.shards) {
+        Grant next = g;
+        next.shard = g.shard + 1;
+        next.poisoned = poisoned;
+        pushGrant(next.shard % rep.threads, next);
+        return;
+    }
+    Done d;
+    d.seq = g.seq;
+    d.poisoned = poisoned;
+    bool ok = doneRing.tryPush(d);
+    nvo_assert(ok, "done ring overflow");
+    {
+        std::lock_guard<std::mutex> lk(wakeMutex);
+    }
+    wakeCv.notify_all();
+}
+
+void
+ShardEngine::runQuantum(Cycle quantum_end)
+{
+    nvo_assert(started && !stopped,
+               "runQuantum outside the engine's lifetime");
+    Grant g;
+    g.op = Grant::Op::Run;
+    g.shard = 0;
+    g.quantumEnd = quantum_end;
+    g.seq = ++seq;
+    g.poisoned = false;
+    pushGrant(0, g);
+
+    Done d;
+    unsigned spins = 0;
+    while (!doneRing.tryPop(d)) {
+        if (++spins >= spinLimit) {
+            std::unique_lock<std::mutex> lk(wakeMutex);
+            if (doneRing.empty())
+                wakeCv.wait_for(lk, parkTimeout);
+            spins = 0;
+        }
+    }
+    nvo_assert(d.seq == g.seq, "token barrier out of sequence");
+    ++rep.quanta;
+    rep.tokens += p.shards;
+    NVO_TRACE(Par, ParToken, obs::trackShard(p.shards - 1),
+              quantum_end, d.seq, d.poisoned ? 1 : 0);
+
+    // Barrier drain: no token is in flight, so the coordinator owns
+    // every ring. Fixed shard order keeps the accounting (and any
+    // trace it emits) deterministic.
+    for (unsigned s = 0; s < p.shards; ++s) {
+        Slot &slot = slots[s];
+        XMsg m;
+        std::uint64_t drained = 0;
+        std::uint64_t hw = slot.xring->highWater();
+        while (slot.xring->tryPop(m)) {
+            ++slot.metrics.xReceived;
+            ++slot.metrics.xByKind[static_cast<unsigned>(m.kind)];
+            ++drained;
+        }
+        if (hw > slot.metrics.xRingHighWater)
+            slot.metrics.xRingHighWater = hw;
+        if (drained)
+            NVO_TRACE(Par, ParXDrain, obs::trackShard(s), quantum_end,
+                      drained, hw);
+    }
+
+    for (unsigned s = 0; s < p.shards; ++s) {
+        if (slots[s].error) {
+            std::exception_ptr e = slots[s].error;
+            slots[s].error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+ShardEngine::stopWorkers()
+{
+    if (!started || stopped)
+        return;
+    stopped = true;
+    for (unsigned w = 0; w < rep.threads; ++w) {
+        Grant g;
+        g.op = Grant::Op::Stop;
+        g.shard = 0;
+        g.quantumEnd = 0;
+        g.seq = ++seq;
+        g.poisoned = false;
+        pushGrant(w, g);
+    }
+    for (auto &t : workers)
+        t.join();
+    workers.clear();
+
+    // Joined workers = full synchronization; fold the staging
+    // counters into the per-shard rows and publish the report.
+    for (unsigned s = 0; s < p.shards; ++s) {
+        for (StagedSource *src : slots[s].staged) {
+            if (src->highWater() > slots[s].metrics.pregenHighWater)
+                slots[s].metrics.pregenHighWater = src->highWater();
+        }
+    }
+    rep.shard.clear();
+    for (unsigned s = 0; s < p.shards; ++s)
+        rep.shard.push_back(slots[s].metrics);
+}
+
+} // namespace par
+} // namespace nvo

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Shared-nothing shard execution engine (ROADMAP item 1).
+ *
+ * Partitions the System step loop into shards — contiguous VD blocks
+ * (cores + L1/L2) plus their LLC-slice/OMC domains — each owned by
+ * one worker thread holding the shard's ShardCap for the duration of
+ * its turn. Shards exchange everything (the execution token,
+ * cross-shard traffic notes) through bounded SPSC rings; the quantum
+ * barrier drains the rings in fixed shard order, so the engine's
+ * externally visible results are bit-identical to the sequential
+ * engine for the same seed (tests/test_par.cc proves it byte-wise on
+ * exported stats JSON).
+ *
+ * Determinism argument (docs/PARALLELISM.md in full): the simulated
+ * machine is globally coherent — cores share LLC slices (replacement
+ * order is visible), the directory snoops across VDs, and a single
+ * SeqNo stream orders stores — so any schedule that reorders two
+ * cores' hierarchy accesses can change simulated state. The engine
+ * therefore serializes *simulated* work on an execution token passed
+ * shard 0 -> 1 -> ... -> N-1 each quantum (exactly the sequential
+ * core-major order) and extracts host parallelism from everything
+ * off that critical path: workload pre-generation for generation-
+ * independent workloads (par/pregen.hh) runs on idle workers
+ * concurrently with other shards' token turns, and whole independent
+ * simulations fan out process-level (par/procpool.hh, `jobs=N`).
+ *
+ * The token's ring hops are release/acquire edges, so every touch of
+ * shared simulator state is ordered without a single mutex — which
+ * is also what makes the engine clean under ThreadSanitizer and the
+ * ShardCap owner audit.
+ */
+
+#ifndef NVO_PAR_ENGINE_HH
+#define NVO_PAR_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/thread_safety.hh"
+#include "common/types.hh"
+#include "par/msg.hh"
+#include "par/pregen.hh"
+#include "par/ring.hh"
+#include "par/shard.hh"
+
+namespace nvo
+{
+
+class Core;
+class WorkloadBase;
+
+namespace par
+{
+
+/** Engine-side metrics, kept out of RunStats on purpose: the stats
+ *  JSON of a par run must stay byte-identical to the sequential
+ *  engine's (the determinism contract). */
+struct EngineReport
+{
+    unsigned shards = 0;
+    unsigned threads = 0;
+    bool pregen = false;
+    std::uint64_t quanta = 0;    ///< barriers completed
+    std::uint64_t tokens = 0;    ///< grant hops (== quanta * shards)
+    std::vector<ShardMetrics> shard;
+
+    std::uint64_t
+    totalCross() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &m : shard)
+            n += m.xReceived + m.xDropped;
+        return n;
+    }
+
+    std::uint64_t
+    totalLocal() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &m : shard)
+            n += m.xLocal;
+        return n;
+    }
+
+    std::uint64_t
+    totalPregen() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &m : shard)
+            n += m.pregenBatches;
+        return n;
+    }
+};
+
+class ShardEngine : public Hierarchy::TrafficSink
+{
+  public:
+    struct Params
+    {
+        /** Shards (clamped to numVds by the System). */
+        unsigned shards = 1;
+        /** Worker threads; 0 = one per shard. */
+        unsigned threads = 0;
+        /** Capacity of each shard's inbound traffic ring. */
+        std::size_t trafficRing = 1024;
+        /** Staged batches per core (pre-generation depth). */
+        std::size_t pregenRing = 64;
+        /** Enable pre-generation for independentGen() workloads. */
+        bool pregen = true;
+    };
+
+    ShardEngine(const Params &params, WorkloadBase &workload,
+                unsigned num_vds, unsigned num_slices,
+                unsigned cores_per_vd);
+    ~ShardEngine() override;
+
+    ShardEngine(const ShardEngine &) = delete;
+    ShardEngine &operator=(const ShardEngine &) = delete;
+
+    /** RefSource the System must hand core @p core (staged when the
+     *  workload's generator is confinement-certified, else a plain
+     *  forwarder to the workload). */
+    RefSource &sourceFor(unsigned core);
+
+    /** Bind the built cores and start the workers (call once, after
+     *  core construction). */
+    void start(const std::vector<Core *> &cores);
+
+    /**
+     * Run every core to @p quantum_end by circulating the execution
+     * token through the shards, then drain the traffic rings in shard
+     * order. Rethrows (on this thread) the first exception a shard's
+     * core raised — e.g. an injected CrashFault — after the token has
+     * completed its round, so crash campaigns behave exactly as under
+     * the sequential engine.
+     */
+    void runQuantum(Cycle quantum_end);
+
+    /** Join the workers and publish the final per-shard metric rows
+     *  (idempotent; implied by destruction). No runQuantum after. */
+    void stop() { stopWorkers(); }
+
+    const EngineReport &report() const { return rep; }
+    const ShardMap &map() const { return map_; }
+
+    /** Hierarchy::TrafficSink: called by the token holder. */
+    void note(unsigned from_domain, unsigned to_domain,
+              Hierarchy::XTraffic kind) override;
+
+  private:
+    struct Slot
+    {
+        ShardCap cap;
+        std::vector<Core *> cores;
+        std::vector<StagedSource *> staged;
+        std::unique_ptr<SpscRing<XMsg>> xring;
+        ShardMetrics metrics;
+        std::exception_ptr error;
+        unsigned pregenCursor = 0;
+    };
+
+    void workerMain(unsigned worker);
+    void runShard(const Grant &g);
+    void forwardToken(const Grant &g, bool poisoned);
+    /** One unit of idle work; returns true when something was done. */
+    bool idleWork(unsigned worker);
+    void pushGrant(unsigned worker, Grant g);
+    void stopWorkers();
+
+    Params p;
+    ShardMap map_;
+    std::vector<Slot> slots;
+    std::vector<std::unique_ptr<StagedSource>> sources;
+    std::vector<std::thread> workers;
+    std::vector<std::unique_ptr<SpscRing<Grant>>> grantRings;
+    SpscRing<Done> doneRing;
+
+    /** Parking lot for idle workers and the waiting coordinator; the
+     *  rings carry the data, the condvar only wakes sleepers. */
+    std::mutex wakeMutex;
+    std::condition_variable wakeCv;
+
+    EngineReport rep;
+    std::uint64_t seq = 0;
+    bool started = false;
+    bool stopped = false;
+};
+
+} // namespace par
+} // namespace nvo
+
+#endif // NVO_PAR_ENGINE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Message types carried on the shard engine's SPSC rings.
+ *
+ * Two traffic classes flow between shards:
+ *
+ *  - the execution token (Grant): one per shard per quantum, passed
+ *    shard 0 -> 1 -> ... -> N-1 -> coordinator. The grant's journey
+ *    through the rings is the engine's entire synchronization — its
+ *    release/acquire hops order every touch of shared simulator
+ *    state (see docs/PARALLELISM.md);
+ *  - cross-shard traffic notes (XMsg): one per coherence snoop,
+ *    eviction, or snapshot emission that crosses a shard boundary,
+ *    posted by the token holder into the destination shard's ring
+ *    and drained by the coordinator at the quantum barrier in fixed
+ *    shard order. Notes feed the EngineReport only; simulation state
+ *    never depends on them, so a full ring drops the note and counts
+ *    the overflow instead of blocking.
+ */
+
+#ifndef NVO_PAR_MSG_HH
+#define NVO_PAR_MSG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nvo
+{
+namespace par
+{
+
+/** Cross-shard traffic classes (mirrors Hierarchy::XTraffic). */
+enum class XKind : std::uint8_t
+{
+    Coherence = 0,   ///< remote snoop (invalidate / downgrade)
+    Eviction,        ///< capacity write back into an LLC/OMC domain
+    Snapshot,        ///< version emission (store-evict, walk, flush)
+    NumKinds
+};
+
+constexpr unsigned numXKinds =
+    static_cast<unsigned>(XKind::NumKinds);
+
+/** One cross-shard traffic note. */
+struct XMsg
+{
+    std::uint32_t fromShard = 0;
+    std::uint32_t toShard = 0;
+    XKind kind = XKind::Coherence;
+};
+
+/** Worker commands (the grant ring element). */
+struct Grant
+{
+    enum class Op : std::uint8_t
+    {
+        Run,    ///< execute `shard`'s cores up to `quantumEnd`
+        Stop,   ///< shut the worker down
+    };
+
+    Op op = Op::Run;
+    std::uint32_t shard = 0;
+    Cycle quantumEnd = 0;
+    /** Token sequence number (== quanta started; for tracing). */
+    std::uint64_t seq = 0;
+    /** An earlier shard threw (e.g. an injected CrashFault): skip
+     *  execution, keep forwarding — exactly the cores the sequential
+     *  engine would also never have run this quantum. */
+    bool poisoned = false;
+};
+
+/** Barrier completion notice (last shard -> coordinator). */
+struct Done
+{
+    std::uint64_t seq = 0;
+    bool poisoned = false;
+};
+
+} // namespace par
+} // namespace nvo
+
+#endif // NVO_PAR_MSG_HH

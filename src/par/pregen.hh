@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Off-critical-path workload pre-generation for the shard engine.
+ *
+ * A StagedSource sits between one core and the shared workload. While
+ * a worker waits for its execution token it stages upcoming batches
+ * for its own cores into a bounded ring; during the token turn the
+ * core pops staged batches instead of calling into the workload
+ * generator. The staged stream replays the per-thread generation
+ * sequence exactly (same calls, same order, same RNG draws), so
+ * simulation results are bit-identical with staging on or off.
+ *
+ * Staging is only legal for workloads whose generator is provably
+ * thread-confined (WorkloadBase::independentGen(): genOp touches
+ * nothing but that thread's RNG/cursor/arena — e.g. kmeans). For all
+ * other workloads the StagedSource degrades to a plain forwarder and
+ * generation happens inline during the token turn, i.e. in exact
+ * sequential order.
+ *
+ * Threading contract: prefill() and nextOp() both run on the worker
+ * thread that owns the core (prefill while idle, nextOp while holding
+ * the shard's token), so the ring never actually crosses threads —
+ * the SpscRing is used for its bounded-queue semantics and metrics.
+ * What *is* concurrent is this worker's prefill against other shards'
+ * token turns, which is safe precisely because of the
+ * independentGen() confinement contract.
+ */
+
+#ifndef NVO_PAR_PREGEN_HH
+#define NVO_PAR_PREGEN_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cpu/memref.hh"
+#include "par/ring.hh"
+#include "workload/workload.hh"
+
+namespace nvo
+{
+namespace par
+{
+
+class StagedSource final : public RefSource
+{
+  public:
+    StagedSource(WorkloadBase &workload, unsigned thread,
+                 std::size_t ring_batches, bool staged)
+        : wl(workload), thread_(thread), staged_(staged),
+          ring(ring_batches)
+    {
+    }
+
+    /**
+     * Stage one upcoming batch (worker idle work). Returns false when
+     * there is nothing left to stage (thread finished or ring full)
+     * so the caller can move on.
+     */
+    bool
+    prefill()
+    {
+        if (!staged_ || exhausted || ring.size() == ring.capacity())
+            return false;
+        Batch b;
+        b.more = wl.nextOp(thread_, b.refs);
+        if (!b.more)
+            exhausted = true;
+        bool pushed = ring.tryPush(std::move(b));
+        ++staged;
+        return pushed && !exhausted;
+    }
+
+    bool
+    nextOp(unsigned thread, std::vector<MemRef> &out) override
+    {
+        (void)thread;
+        Batch b;
+        if (staged_ && ring.tryPop(b)) {
+            out.swap(b.refs);
+            return b.more;
+        }
+        return wl.nextOp(thread_, out);
+    }
+
+    bool stagingEnabled() const { return staged_; }
+    std::uint64_t stagedBatches() const { return staged; }
+    std::uint64_t highWater() const { return ring.highWater(); }
+
+  private:
+    struct Batch
+    {
+        std::vector<MemRef> refs;
+        bool more = true;
+    };
+
+    WorkloadBase &wl;
+    unsigned thread_;
+    bool staged_;
+    bool exhausted = false;
+    std::uint64_t staged = 0;
+    SpscRing<Batch> ring;
+};
+
+} // namespace par
+} // namespace nvo
+
+#endif // NVO_PAR_PREGEN_HH

@@ -1,0 +1,165 @@
+#include "par/procpool.hh"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+namespace par
+{
+
+namespace
+{
+
+/** Write exactly @p len bytes (pipes may take partial writes). */
+void
+writeAll(int fd, const void *buf, std::size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // Dying quietly here would lose the payload; the parent
+            // notices the missing task and reports it fatally.
+            ::_exit(3);
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+/** Read exactly @p len bytes; false on clean EOF at a frame start. */
+bool
+readAll(int fd, void *buf, std::size_t len, bool *eof_at_start)
+{
+    char *p = static_cast<char *>(buf);
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, p + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0) {
+            if (eof_at_start)
+                *eof_at_start = got == 0;
+            return false;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<std::string>
+forkMap(unsigned num_tasks, unsigned jobs,
+        const std::function<std::string(unsigned)> &fn,
+        const std::function<void(unsigned)> &child_init)
+{
+    std::vector<std::string> results(num_tasks);
+    if (num_tasks == 0)
+        return results;
+    if (jobs > num_tasks)
+        jobs = num_tasks;
+    if (jobs <= 1) {
+        for (unsigned t = 0; t < num_tasks; ++t)
+            results[t] = fn(t);
+        return results;
+    }
+
+    struct Worker
+    {
+        pid_t pid;
+        int fd;
+    };
+    std::vector<Worker> workers;
+
+    for (unsigned w = 0; w < jobs; ++w) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            fatal("forkMap: pipe failed: %s", std::strerror(errno));
+        // Stdio buffers are duplicated into the child by fork; flush
+        // them first so buffered output is not emitted twice.
+        std::fflush(nullptr);
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("forkMap: fork failed: %s", std::strerror(errno));
+        if (pid == 0) {
+            ::close(fds[0]);
+            if (child_init)
+                child_init(w);
+            for (unsigned t = w; t < num_tasks; t += jobs) {
+                std::string payload = fn(t);
+                std::uint32_t hdr[2] = {
+                    t, static_cast<std::uint32_t>(payload.size())};
+                writeAll(fds[1], hdr, sizeof(hdr));
+                writeAll(fds[1], payload.data(), payload.size());
+            }
+            ::close(fds[1]);
+            std::fflush(nullptr);
+            ::_exit(0);
+        }
+        ::close(fds[1]);
+        workers.push_back({pid, fds[0]});
+    }
+
+    // Children are independent, so draining them one at a time cannot
+    // deadlock: a child blocked on a full pipe simply waits until its
+    // turn to be drained.
+    std::vector<bool> have(num_tasks, false);
+    for (const Worker &worker : workers) {
+        for (;;) {
+            std::uint32_t hdr[2];
+            bool eof = false;
+            if (!readAll(worker.fd, hdr, sizeof(hdr), &eof)) {
+                if (!eof)
+                    fatal("forkMap: truncated result frame from "
+                          "worker pid %d",
+                          static_cast<int>(worker.pid));
+                break;
+            }
+            if (hdr[0] >= num_tasks)
+                fatal("forkMap: bogus task id %u in result frame",
+                      static_cast<unsigned>(hdr[0]));
+            std::string payload(hdr[1], '\0');
+            if (hdr[1] > 0 &&
+                !readAll(worker.fd, &payload[0], hdr[1], nullptr))
+                fatal("forkMap: truncated payload for task %u",
+                      static_cast<unsigned>(hdr[0]));
+            results[hdr[0]] = std::move(payload);
+            have[hdr[0]] = true;
+        }
+        ::close(worker.fd);
+    }
+
+    for (const Worker &worker : workers) {
+        int status = 0;
+        if (::waitpid(worker.pid, &status, 0) < 0)
+            fatal("forkMap: waitpid failed: %s",
+                  std::strerror(errno));
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            fatal("forkMap: worker pid %d exited abnormally "
+                  "(status 0x%x)",
+                  static_cast<int>(worker.pid), status);
+    }
+
+    for (unsigned t = 0; t < num_tasks; ++t)
+        if (!have[t])
+            fatal("forkMap: no result for task %u", t);
+    return results;
+}
+
+} // namespace par
+} // namespace nvo

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring (the only channel
+ * shards may use to exchange data; see docs/PARALLELISM.md).
+ *
+ * Classic Lamport queue over a power-of-two slot array: the producer
+ * owns `tail`, the consumer owns `head`, and each side reads the
+ * other's index with acquire ordering and publishes its own with
+ * release ordering. A successful tryPop therefore happens-after the
+ * tryPush that wrote the slot — this release/acquire edge is what
+ * carries *all* cross-thread ordering in the shard engine (the
+ * execution token travels as a ring element), which is why the engine
+ * needs no mutex around simulator state and why TSan sees every
+ * handoff.
+ *
+ * "Single producer" is a serialization contract, not a single-thread
+ * requirement: different threads may push as long as every push
+ * happens-after the previous one (the token chain provides exactly
+ * that — a worker only pushes a grant after popping the preceding
+ * one). The same holds for the consumer side.
+ *
+ * Capacity is fixed at construction and rounded up to a power of two;
+ * a full ring rejects the push (callers count the rejection — the
+ * engine never blocks on a data ring). `highWater()` records the
+ * deepest producer-observed occupancy for the per-shard backpressure
+ * metrics.
+ */
+
+#ifndef NVO_PAR_RING_HH
+#define NVO_PAR_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nvo
+{
+namespace par
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots.resize(cap);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Producer side. Returns false (and counts the reject) when the
+     *  ring is full; the element is untouched in that case. */
+    bool
+    tryPush(T &&v)
+    {
+        std::uint64_t t = tail.load(std::memory_order_relaxed);
+        std::uint64_t h = head.load(std::memory_order_acquire);
+        std::uint64_t depth = t - h;
+        if (depth == slots.size()) {
+            rejects.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots[t & (slots.size() - 1)] = std::move(v);
+        tail.store(t + 1, std::memory_order_release);
+        if (depth + 1 > water.load(std::memory_order_relaxed))
+            water.store(depth + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    bool
+    tryPush(const T &v)
+    {
+        T copy = v;
+        return tryPush(std::move(copy));
+    }
+
+    /** Consumer side. Returns false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::uint64_t h = head.load(std::memory_order_relaxed);
+        std::uint64_t t = tail.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        out = std::move(slots[h & (slots.size() - 1)]);
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Approximate occupancy (exact from either owning side). */
+    std::size_t
+    size() const
+    {
+        std::uint64_t t = tail.load(std::memory_order_acquire);
+        std::uint64_t h = head.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(t - h);
+    }
+
+    bool empty() const { return size() == 0; }
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Deepest occupancy the producer has observed. */
+    std::uint64_t
+    highWater() const
+    {
+        return water.load(std::memory_order_relaxed);
+    }
+
+    /** Pushes refused because the ring was full. */
+    std::uint64_t
+    fullRejects() const
+    {
+        return rejects.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<T> slots;
+    /** Producer and consumer indices live on separate cache lines so
+     *  the two sides never false-share. */
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    alignas(64) std::atomic<std::uint64_t> water{0};
+    std::atomic<std::uint64_t> rejects{0};
+};
+
+} // namespace par
+} // namespace nvo
+
+#endif // NVO_PAR_RING_HH

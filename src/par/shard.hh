@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shard topology: how the simulated machine's domains map onto the
+ * engine's shared-nothing shards.
+ *
+ * Two domain families exist (ISSUE/ROADMAP item 1):
+ *
+ *  - per-VD domains: a VD's cores plus their L1s and the VD's L2.
+ *    VDs are assigned to shards in contiguous ascending blocks so
+ *    that walking shards 0..N-1 and, inside each shard, its VDs and
+ *    cores in ascending order reproduces the sequential engine's
+ *    core-major order exactly;
+ *  - LLC-slice + OMC domains: slice s and OMC partition s (the MNM
+ *    geometry ties them 1:1) are assigned to shards by the same
+ *    block rule, so cross-shard traffic accounting can attribute a
+ *    version emission to "VD domain -> slice domain" and decide
+ *    whether it crossed a shard boundary.
+ *
+ * Domain ids are flat: 0..numVds-1 name the VDs, numVds..numVds+
+ * numSlices-1 name the slice/OMC domains (matching the id scheme of
+ * Hierarchy::TrafficSink).
+ */
+
+#ifndef NVO_PAR_SHARD_HH
+#define NVO_PAR_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace nvo
+{
+namespace par
+{
+
+class ShardMap
+{
+  public:
+    ShardMap() = default;
+
+    ShardMap(unsigned num_shards, unsigned num_vds,
+             unsigned num_slices, unsigned cores_per_vd)
+        : shards(num_shards), vds(num_vds), slices(num_slices),
+          coresPerVd_(cores_per_vd)
+    {
+        nvo_assert(shards >= 1 && shards <= vds,
+                   "par.shards must be in [1, numVds]");
+    }
+
+    unsigned numShards() const { return shards; }
+    unsigned numVds() const { return vds; }
+    unsigned numSlices() const { return slices; }
+    unsigned coresPerVd() const { return coresPerVd_; }
+    unsigned numCores() const { return vds * coresPerVd_; }
+
+    /** Balanced contiguous block partition: shard s owns VDs
+     *  [firstVd(s), firstVd(s+1)). */
+    unsigned
+    firstVd(unsigned shard) const
+    {
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(shard) * vds) / shards);
+    }
+
+    unsigned
+    shardOfVd(unsigned vd) const
+    {
+        nvo_assert(vd < vds);
+        // Inverse of the block rule above.
+        unsigned s = static_cast<unsigned>(
+            (static_cast<std::uint64_t>(vd) * shards + shards - 1) /
+            vds);
+        while (s < shards - 1 && vd >= firstVd(s + 1))
+            ++s;
+        while (s > 0 && vd < firstVd(s))
+            --s;
+        return s;
+    }
+
+    unsigned
+    shardOfSlice(unsigned slice) const
+    {
+        nvo_assert(slice < slices);
+        // Same block rule over the slice/OMC domains.
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(slice) * shards) / slices);
+    }
+
+    unsigned
+    shardOfCore(unsigned core) const
+    {
+        return shardOfVd(core / coresPerVd_);
+    }
+
+    /** Flat domain ids (TrafficSink encoding). */
+    unsigned domainOfVd(unsigned vd) const { return vd; }
+    unsigned
+    domainOfSlice(unsigned slice) const
+    {
+        return vds + slice;
+    }
+
+    unsigned
+    shardOfDomain(unsigned domain) const
+    {
+        return domain < vds ? shardOfVd(domain)
+                            : shardOfSlice(domain - vds);
+    }
+
+    /** Cores of @p shard, ascending (== sequential engine order). */
+    std::vector<unsigned>
+    coresOf(unsigned shard) const
+    {
+        std::vector<unsigned> out;
+        unsigned lo = firstVd(shard) * coresPerVd_;
+        unsigned hi = (shard + 1 == shards ? vds : firstVd(shard + 1)) *
+                      coresPerVd_;
+        for (unsigned c = lo; c < hi; ++c)
+            out.push_back(c);
+        return out;
+    }
+
+  private:
+    unsigned shards = 1;
+    unsigned vds = 1;
+    unsigned slices = 1;
+    unsigned coresPerVd_ = 1;
+};
+
+/** Per-shard engine metrics (EngineReport rows; never mixed into
+ *  RunStats so stats JSON stays bit-identical to the sequential
+ *  engine). */
+struct ShardMetrics
+{
+    std::uint64_t quanta = 0;          ///< token turns taken
+    std::uint64_t coresRun = 0;        ///< core->runUntil calls
+    std::uint64_t grantWaitSpins = 0;  ///< idle probes before a grant
+    std::uint64_t pregenBatches = 0;   ///< batches staged while idle
+    std::uint64_t pregenHighWater = 0; ///< deepest staged-ring depth
+    std::uint64_t xSent = 0;           ///< cross-shard notes posted
+    std::uint64_t xReceived = 0;       ///< notes drained at barriers
+    std::uint64_t xDropped = 0;        ///< notes lost to a full ring
+    std::uint64_t xLocal = 0;          ///< intra-shard traffic
+    std::uint64_t xRingHighWater = 0;  ///< deepest inbound ring depth
+    std::uint64_t xByKind[3] = {0, 0, 0}; ///< received, by XKind
+};
+
+} // namespace par
+} // namespace nvo
+
+#endif // NVO_PAR_SHARD_HH

@@ -1,0 +1,9 @@
+// lint-path: par/fixture.cc
+// Stepping a core without holding the shard's capability: the
+// canonical shard-confinement violation.
+
+void
+stepWithoutToken(Core *core, Cycle quantum_end)
+{
+    core->runUntil(quantum_end);
+}

@@ -1,0 +1,14 @@
+// lint-path: par/fixture.cc
+// Reaching for the cache hierarchy handle (here to force a flush)
+// outside any ShardGuard scope. Also checks that a guard armed in an
+// inner block does not cover code after its closing brace.
+
+void
+flushBehindTheTokensBack(unsigned vd)
+{
+    {
+        ShardGuard guard(slot.cap);
+        hier_->tagWalkScan(vd);   // fine: guard held
+    }
+    hier_->flushAll(vd);          // guard already released
+}

@@ -1,0 +1,13 @@
+// lint-path: par/fixture.cc
+// The token-holding shard steps its own cores under ShardGuard —
+// exactly the shape of ShardEngine::runShard.
+
+void
+runShard(Slot &slot, Cycle quantum_end)
+{
+    ShardGuard guard(slot.cap);
+    for (Core *core : slot.cores) {
+        core->runUntil(quantum_end);
+    }
+    hier_->tagWalkScan(slot.firstVd);
+}

@@ -1,0 +1,17 @@
+// lint-path: par/fixture.cc
+// Cross-shard traffic through the SPSC ring API needs no guard: the
+// ring's release/acquire pair is the sanctioned crossing point.
+
+void
+forwardTraffic(SpscRing<XMsg> &ring, XMsg msg, Metrics &m)
+{
+    if (ring.tryPush(msg)) {
+        m.xSent++;
+    } else {
+        m.xDropped++;
+    }
+    XMsg in;
+    while (ring.tryPop(in)) {
+        m.xReceived++;
+    }
+}

@@ -35,13 +35,27 @@
  *                    no direct sub-page dropHeader (route through
  *                    MnmBackend::reclaimSubPage, which only runs once
  *                    every buried version has exited the ledger).
+ *  - shard-confinement: code under src/par/ may only drive simulated
+ *                    state (core/scheme runUntil, tag-walk and flush
+ *                    entry points, the hierarchy handle) from inside
+ *                    a lexical ShardGuard scope — the runtime token
+ *                    that proves the shard owns that state. Traffic
+ *                    that crosses shards must go through the SPSC
+ *                    ring API (tryPush/tryPop) instead, which is
+ *                    always legal.
  *
  * Suppression: an allowlist file ("<rule> <path-suffix>" per line) or
  * an inline "nvo-lint: allow(rule)" marker on the offending line.
  *
  * Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
  * `--self-test` runs the rules against seeded violations and verifies
- * each one is caught.
+ * each one is caught. `--corpus DIR` lints every fixture in DIR,
+ * whose names encode the expectation:
+ * `<rule_with_underscores>.<good|bad>[.variant].cc` — bad fixtures
+ * must produce at least one violation of exactly that rule, good
+ * fixtures must lint clean. Fixtures may pin their lint scope with a
+ * leading `// lint-path: <path>` line (e.g. `par/fixture.cc` to put
+ * the file under the shard-confinement rule's jurisdiction).
  */
 
 #include <algorithm>
@@ -396,8 +410,17 @@ checkIncludeGuard(const std::string &display, const std::string &text,
 void
 lintTokens(const std::string &display, const std::vector<Token> &toks,
            bool is_epoch_header, bool raw_io_exempt,
-           bool persist_scope, std::vector<Violation> &out)
+           bool persist_scope, bool par_scope,
+           std::vector<Violation> &out)
 {
+    // Brace-depth bookkeeping for shard-confinement: a ShardGuard
+    // declaration covers the rest of the block it is declared in
+    // (destructor releases at the closing brace), so track the depth
+    // each live guard was declared at and retire it when its block
+    // closes.
+    int depth = 0;
+    std::vector<int> guard_depths;
+
     // Pass 1: identifiers declared with type EpochId.
     std::set<std::string> epoch_ids;
     for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -409,6 +432,52 @@ lintTokens(const std::string &display, const std::vector<Token> &toks,
     static const std::set<std::string> relops = {"<", ">", "<=", ">="};
     for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
+
+        if (t.text == "{") {
+            ++depth;
+        } else if (t.text == "}") {
+            --depth;
+            while (!guard_depths.empty() &&
+                   guard_depths.back() > depth)
+                guard_depths.pop_back();
+        }
+
+        if (par_scope) {
+            // A declaration "ShardGuard g(cap)" arms the scope.
+            if (t.text == "ShardGuard" && i + 1 < toks.size() &&
+                toks[i + 1].ident)
+                guard_depths.push_back(depth);
+            bool guarded = !guard_depths.empty();
+            // Simulated-state entry points: stepping a core or
+            // scheme, or forcing hierarchy walks/flushes.
+            static const std::set<std::string> sim_entry = {
+                "runUntil", "tagWalkScan", "flushAll"};
+            if (!guarded && t.ident && sim_entry.count(t.text) &&
+                i > 0 &&
+                (toks[i - 1].text == "." ||
+                 toks[i - 1].text == "->")) {
+                out.push_back(
+                    {display, t.line, "shard-confinement",
+                     t.text + "() outside a ShardGuard scope; only "
+                     "the token-holding shard may step simulated "
+                     "state (cross-shard traffic goes through the "
+                     "ring API)"});
+            }
+            // Touching the cache hierarchy handle directly is the
+            // same hazard regardless of which method is called.
+            static const std::set<std::string> hier_names = {
+                "hier", "hier_", "hierarchy", "hierarchy_"};
+            if (!guarded && t.ident && hier_names.count(t.text) &&
+                i + 1 < toks.size() &&
+                (toks[i + 1].text == "." ||
+                 toks[i + 1].text == "->")) {
+                out.push_back(
+                    {display, t.line, "shard-confinement",
+                     "hierarchy access outside a ShardGuard scope; "
+                     "shard-owned state may only be touched under "
+                     "the shard's capability"});
+            }
+        }
 
         if (relops.count(t.text) && i > 0 && i + 1 < toks.size()) {
             const Token &a = toks[i - 1];
@@ -520,10 +589,11 @@ lintText(const std::string &display, const std::string &guard_path,
         guard_path.rfind("common/log", 0) == 0 ||
         guard_path.rfind("harness/table_printer", 0) == 0;
     bool persist_scope = guard_path.rfind("nvoverlay/", 0) == 0;
+    bool par_scope = guard_path.rfind("par/", 0) == 0;
     if (is_header)
         checkIncludeGuard(display, text, guard_path, out);
     lintTokens(display, toks, is_epoch_header, raw_io_exempt,
-               persist_scope, out);
+               persist_scope, par_scope, out);
 
     // Drop violations suppressed by an inline marker.
     out.erase(std::remove_if(
@@ -740,6 +810,35 @@ selfTest()
          "void f() { pool.dropHeader(s); }"
          "  // nvo-lint: allow(ledger-hook)\n",
          nullptr},
+        {"unguarded runUntil flagged in par", "par/foo.cc",
+         "void f(Core *c) { c->runUntil(end); }\n",
+         "shard-confinement"},
+        {"unguarded hier access flagged in par", "par/foo.cc",
+         "void f() { hier_->flushAll(vd); }\n",
+         "shard-confinement"},
+        {"guarded runUntil is clean", "par/foo.cc",
+         "void f(Core *c) {\n"
+         "    ShardGuard guard(slot.cap);\n"
+         "    for (unsigned i = 0; i < n; ++i) { c->runUntil(e); }\n"
+         "}\n",
+         nullptr},
+        {"guard scope ends at its closing brace", "par/foo.cc",
+         "void f(Core *c) {\n"
+         "    { ShardGuard guard(slot.cap); c->runUntil(e); }\n"
+         "    c->runUntil(e);\n"
+         "}\n",
+         "shard-confinement"},
+        {"ring traffic needs no guard", "par/foo.cc",
+         "void f(XMsg m) { if (!ring.tryPush(m)) { drops++; } }\n",
+         nullptr},
+        {"runUntil outside par is not this rule's business",
+         "harness/foo.cc",
+         "void f(Core *c) { c->runUntil(end); }\n",
+         nullptr},
+        {"shard-confinement allow marker suppresses", "par/foo.cc",
+         "void f(Core *c) { c->runUntil(end); }"
+         "  // nvo-lint: allow(shard-confinement)\n",
+         nullptr},
     };
 
     int failures = 0;
@@ -782,12 +881,115 @@ lintable(const fs::path &p)
     return ext == ".hh" || ext == ".cc";
 }
 
+/**
+ * Fixture corpus: every lintable file in @p dir encodes its own
+ * expectation in its name, `<rule_with_underscores>.<good|bad>
+ * [.variant].cc`. A leading `// lint-path: <path>` line (within the
+ * first five lines) pins the guard path the fixture is linted under,
+ * so scope-gated rules can be exercised from anywhere on disk.
+ */
+int
+runCorpus(const std::string &dir)
+{
+    std::error_code ec;
+    std::vector<fs::path> fixtures;
+    for (auto it = fs::directory_iterator(dir, ec);
+         !ec && it != fs::directory_iterator(); ++it)
+        if (it->is_regular_file() && lintable(it->path()))
+            fixtures.push_back(it->path());
+    if (ec || fixtures.empty()) {
+        std::fprintf(stderr, "corpus %s: no lintable fixtures\n",
+                     dir.c_str());
+        return 2;
+    }
+    std::sort(fixtures.begin(), fixtures.end());
+
+    int failures = 0;
+    for (const fs::path &file : fixtures) {
+        std::string stem = file.filename().string();
+        std::size_t dot = stem.find('.');
+        if (dot == std::string::npos) {
+            std::fprintf(stderr, "corpus: unparsable name %s\n",
+                         stem.c_str());
+            ++failures;
+            continue;
+        }
+        std::string rule = stem.substr(0, dot);
+        std::replace(rule.begin(), rule.end(), '_', '-');
+        std::size_t dot2 = stem.find('.', dot + 1);
+        std::string verdict =
+            stem.substr(dot + 1, dot2 == std::string::npos
+                                     ? std::string::npos
+                                     : dot2 - dot - 1);
+        if (verdict != "good" && verdict != "bad") {
+            std::fprintf(stderr,
+                         "corpus: %s: expected .good or .bad\n",
+                         stem.c_str());
+            ++failures;
+            continue;
+        }
+
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string text = buf.str();
+
+        std::string gpath = stem;
+        std::istringstream head(text);
+        std::string line;
+        for (int n = 0; n < 5 && std::getline(head, line); ++n) {
+            std::size_t pos = line.find("lint-path:");
+            if (pos == std::string::npos)
+                continue;
+            std::istringstream ls(line.substr(pos + 10));
+            ls >> gpath;
+            break;
+        }
+
+        std::vector<Violation> vs =
+            lintText(file.generic_string(), gpath, text);
+        bool pass;
+        if (verdict == "good") {
+            pass = vs.empty();
+        } else {
+            pass = !vs.empty() &&
+                   std::all_of(vs.begin(), vs.end(),
+                               [&rule](const Violation &v) {
+                                   return v.rule == rule;
+                               });
+        }
+        if (!pass) {
+            ++failures;
+            std::fprintf(stderr, "corpus FAILED: %s (expected %s %s)\n",
+                         stem.c_str(), verdict.c_str(), rule.c_str());
+            for (const auto &v : vs)
+                std::fprintf(stderr, "  got %s:%d [%s] %s\n",
+                             v.file.c_str(), v.line, v.rule.c_str(),
+                             v.message.c_str());
+        }
+    }
+    if (failures == 0) {
+        std::printf("nvo_lint corpus: %zu fixture(s) passed\n",
+                    fixtures.size());
+        return 0;
+    }
+    std::fprintf(stderr, "nvo_lint corpus: %d fixture(s) failed\n",
+                 failures);
+    return 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string allowlist_path;
+    std::string corpus_dir;
     std::vector<std::string> roots;
     bool self_test = false;
 
@@ -802,10 +1004,17 @@ main(int argc, char **argv)
                 return 2;
             }
             allowlist_path = argv[++i];
+        } else if (arg == "--corpus") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--corpus needs a directory argument\n");
+                return 2;
+            }
+            corpus_dir = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: nvo_lint [--allowlist FILE] [--self-test] "
-                "PATH...\n");
+                "[--corpus DIR] PATH...\n");
             return 0;
         } else {
             roots.push_back(arg);
@@ -814,10 +1023,12 @@ main(int argc, char **argv)
 
     if (self_test)
         return selfTest();
+    if (!corpus_dir.empty())
+        return runCorpus(corpus_dir);
 
     if (roots.empty()) {
         std::fprintf(stderr, "usage: nvo_lint [--allowlist FILE] "
-                             "[--self-test] PATH...\n");
+                             "[--self-test] [--corpus DIR] PATH...\n");
         return 2;
     }
 

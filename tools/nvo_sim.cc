@@ -32,6 +32,7 @@
 #include "nvoverlay/recovery.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace.hh"
+#include "par/engine.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -55,6 +56,16 @@ usage()
         "                     workloads; rng.seed=<s> for the plan "
         "stream;\n"
         "                     exits 1 on any recovery mismatch)\n"
+        "  jobs=<n>           fan campaign trials across n worker\n"
+        "                     processes (plans are pre-drawn, so "
+        "results\n"
+        "                     are identical for any job count)\n"
+        "  par.shards=<n>     run the simulation on the shared-"
+        "nothing\n"
+        "                     shard engine (n shards; bit-identical "
+        "stats;\n"
+        "                     par.threads/par.ring/par.pregen tune "
+        "it)\n"
         "  crash_point=<p>    single crash-recovery trial at the\n"
         "  crash_hit=<n>      n-th hit of fault point p (needs a\n"
         "                     build with NVO_FAULT=ON)\n"
@@ -98,6 +109,7 @@ main(int argc, char **argv)
     std::string crash_point;
     std::uint64_t crash_hit = 1;
     Cycle crash_cycle = 0;
+    unsigned jobs = 1;
 
     Config cfg = defaultConfig();
     applyOverrides(cfg);
@@ -137,6 +149,9 @@ main(int argc, char **argv)
             crash_hit = std::strtoull(val.c_str(), nullptr, 0);
         else if (key == "crash_cycle")
             crash_cycle = std::strtoull(val.c_str(), nullptr, 0);
+        else if (key == "jobs")
+            jobs = static_cast<unsigned>(
+                std::strtoull(val.c_str(), nullptr, 0));
         else if (key == "verify")
             verify = val == "1" || val == "true";
         else if (key == "record")
@@ -178,6 +193,7 @@ main(int argc, char **argv)
         params.scheme = scheme;
         params.trials = campaign_trials;
         params.seed = cfg.getU64("rng.seed", 1);
+        params.jobs = jobs;
         if (campaign_workloads.empty()) {
             params.workloads.push_back(workload);
         } else {
@@ -288,6 +304,40 @@ main(int argc, char **argv)
                             sys.stats(), &sys.epochSeries(),
                             host_seconds);
         std::printf("stats json -> %s\n", stats_json_path.c_str());
+    }
+
+    if (par::ShardEngine *eng = sys.parEngine()) {
+        // Engine metrics live outside RunStats so the stats dump and
+        // JSON stay bit-identical to the sequential engine; report
+        // them separately here. stop() joins the workers first.
+        eng->stop();
+        const par::EngineReport &rep = eng->report();
+        std::printf("par: %u shards / %u workers, %llu quanta, "
+                    "%llu token hops, pregen %s (%llu batches)\n",
+                    rep.shards, rep.threads,
+                    static_cast<unsigned long long>(rep.quanta),
+                    static_cast<unsigned long long>(rep.tokens),
+                    rep.pregen ? "on" : "off",
+                    static_cast<unsigned long long>(
+                        rep.totalPregen()));
+        for (std::size_t s = 0; s < rep.shard.size(); ++s) {
+            const par::ShardMetrics &m = rep.shard[s];
+            std::printf("par: shard %zu: quanta=%llu cores_run=%llu "
+                        "x_sent=%llu x_recv=%llu x_local=%llu "
+                        "x_dropped=%llu ring_hw=%llu "
+                        "pregen=%llu\n",
+                        s,
+                        static_cast<unsigned long long>(m.quanta),
+                        static_cast<unsigned long long>(m.coresRun),
+                        static_cast<unsigned long long>(m.xSent),
+                        static_cast<unsigned long long>(m.xReceived),
+                        static_cast<unsigned long long>(m.xLocal),
+                        static_cast<unsigned long long>(m.xDropped),
+                        static_cast<unsigned long long>(
+                            m.xRingHighWater),
+                        static_cast<unsigned long long>(
+                            m.pregenBatches));
+        }
     }
 
     sys.stats().print(std::cout,
