@@ -9,7 +9,10 @@
  * PiCL-L2 highest (smaller on-chip version working set).
  */
 
+#include <array>
+
 #include "bench_common.hh"
+#include "par/procpool.hh"
 #include "workload/workload.hh"
 
 using namespace nvo;
@@ -19,8 +22,27 @@ main(int argc, char **argv)
 {
     bench::JsonReport report("fig12_writeamp",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     report.setConfig(cfg);
+
+    // Every (workload, scheme) cell is an independent simulation:
+    // fan the 12x4 grid across --jobs worker processes and merge in
+    // cell order, so the table and JSON rows are byte-identical for
+    // every job count.
+    const std::array<const char *, 4> schemes = {
+        "nvoverlay", "hwshadow", "picl", "picl-l2"};
+    const auto &wls = paperWorkloads();
+    const unsigned numCells =
+        static_cast<unsigned>(wls.size() * schemes.size());
+    std::vector<std::string> payloads = par::forkMap(
+        numCells, jobs, [&](unsigned t) {
+            const std::string &wl = wls[t / schemes.size()];
+            Config wcfg = bench::forWorkload(cfg, wl);
+            auto r = runExperiment(
+                wcfg, schemes[t % schemes.size()], wl);
+            return std::to_string(r.stats.totalNvmWriteBytes());
+        });
 
     std::printf("Figure 12 — NVM Write Bytes normalized to NVOverlay "
                 "(ops/thread=%llu)\n",
@@ -31,16 +53,23 @@ main(int argc, char **argv)
                        11);
     table.printHeader();
 
-    for (const auto &wl : paperWorkloads()) {
-        Config wcfg = bench::forWorkload(cfg, wl);
-        auto nvo = runExperiment(wcfg, "nvoverlay", wl);
-        double base =
-            static_cast<double>(nvo.stats.totalNvmWriteBytes());
+    for (std::size_t wi = 0; wi < wls.size(); ++wi) {
+        const std::string &wl = wls[wi];
+        std::array<std::uint64_t, 4> bytes{};
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const std::string &pay =
+                payloads[wi * schemes.size() + si];
+            char *end = nullptr;
+            bytes[si] = std::strtoull(pay.c_str(), &end, 10);
+            if (end == pay.c_str())
+                fatal("fig12: malformed worker payload '%s'",
+                      pay.c_str());
+        }
+        double base = static_cast<double>(bytes[0]);
         std::vector<std::string> row = {wl};
-        for (const char *scheme : {"hwshadow", "picl", "picl-l2"}) {
-            auto r = runExperiment(wcfg, scheme, wl);
-            double norm = r.stats.totalNvmWriteBytes() / base;
-            report.add(wl, scheme, "norm_nvm_write_bytes", norm);
+        for (std::size_t si = 1; si < schemes.size(); ++si) {
+            double norm = bytes[si] / base;
+            report.add(wl, schemes[si], "norm_nvm_write_bytes", norm);
             row.push_back(TablePrinter::num(norm, 2));
         }
         report.add(wl, "nvoverlay", "norm_nvm_write_bytes", 1.0);

@@ -11,10 +11,13 @@
  *     lower bandwidth under extremely small epochs.
  */
 
+#include <sstream>
+
 #include "bench_common.hh"
 #include "harness/system.hh"
 #include "nvoverlay/nvoverlay_scheme.hh"
 #include "baselines/picl.hh"
+#include "par/procpool.hh"
 
 using namespace nvo;
 
@@ -23,16 +26,52 @@ namespace
 
 constexpr unsigned numBins = 40;
 
-void
-printSeries(const char *label, const RunStats &st,
-            bench::JsonReport &report, const std::string &section)
+/** The slice of RunStats one bandwidth series needs, shippable
+ *  through a forkMap payload. */
+struct Series
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t bucketCycles = 1;
+    std::vector<std::uint64_t> bins;
+};
+
+std::string
+packSeries(const RunStats &st)
 {
     const auto &bins = st.nvmBandwidth.buckets();
+    std::ostringstream os;
+    os << st.cycles << ' ' << st.nvmBandwidth.bucketCycles() << ' '
+       << bins.size();
+    for (auto b : bins)
+        os << ' ' << b;
+    return os.str();
+}
+
+Series
+unpackSeries(const std::string &payload)
+{
+    Series s;
+    std::istringstream is(payload);
+    std::size_t n = 0;
+    if (!(is >> s.cycles >> s.bucketCycles >> n))
+        fatal("fig17: malformed worker payload '%s'",
+              payload.c_str());
+    s.bins.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!(is >> s.bins[i]))
+            fatal("fig17: truncated worker payload");
+    return s;
+}
+
+void
+printSeries(const char *label, const Series &st,
+            bench::JsonReport &report, const std::string &section)
+{
+    const auto &bins = st.bins;
     // Trim the post-run shutdown flush: only buckets within the
     // execution window belong to the figure.
     std::size_t n = std::min<std::size_t>(
-        bins.size(),
-        st.cycles / st.nvmBandwidth.bucketCycles() + 1);
+        bins.size(), st.cycles / st.bucketCycles + 1);
     while (n > 0 && bins[n - 1] == 0)
         --n;
     std::printf("%-10s", label);
@@ -41,8 +80,7 @@ printSeries(const char *label, const RunStats &st,
         return;
     }
     // Re-bin to a fixed number of columns; report GB/s at 3 GHz.
-    double cyc_per_bin =
-        static_cast<double>(st.nvmBandwidth.bucketCycles());
+    double cyc_per_bin = static_cast<double>(st.bucketCycles);
     for (unsigned col = 0; col < numBins; ++col) {
         std::size_t lo = col * n / numBins;
         std::size_t hi = (col + 1) * n / numBins;
@@ -123,37 +161,42 @@ main(int argc, char **argv)
 {
     bench::JsonReport report("fig17_bandwidth",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "btree");
+
+    // Four independent runs — (a) default epochs, (b) bursty epochs,
+    // each for PiCL and NVOverlay — fanned across --jobs workers and
+    // merged in cell order: output is byte-identical for any job
+    // count.
+    std::vector<std::string> payloads =
+        par::forkMap(4, jobs, [&](unsigned t) {
+            const char *scheme = (t % 2) ? "nvoverlay" : "picl";
+            if (t < 2) {
+                System sys(wcfg, scheme, "btree");
+                sys.run();
+                return packSeries(sys.stats());
+            }
+            return packSeries(burstyRun(wcfg, scheme));
+        });
 
     std::printf("Figure 17 — NVM write bandwidth over time "
                 "(B+Tree; %u columns over the run; GB/s)\n\n",
                 numBins);
 
     std::printf("(a) default 1M-uop epochs\n");
-    {
-        System picl(wcfg, "picl", "btree");
-        picl.run();
-        printSeries("picl", picl.stats(), report, "default_epochs");
-    }
-    {
-        System nvo(wcfg, "nvoverlay", "btree");
-        nvo.run();
-        printSeries("nvoverlay", nvo.stats(), report,
-                    "default_epochs");
-    }
+    printSeries("picl", unpackSeries(payloads[0]), report,
+                "default_epochs");
+    printSeries("nvoverlay", unpackSeries(payloads[1]), report,
+                "default_epochs");
 
     std::printf("\n(b) bursty epochs (1K / 10K / 100K-store "
                 "watch-point windows)\n");
-    {
-        auto st = burstyRun(wcfg, "picl");
-        printSeries("picl", st, report, "bursty_epochs");
-    }
-    {
-        auto st = burstyRun(wcfg, "nvoverlay");
-        printSeries("nvoverlay", st, report, "bursty_epochs");
-    }
+    printSeries("picl", unpackSeries(payloads[2]), report,
+                "bursty_epochs");
+    printSeries("nvoverlay", unpackSeries(payloads[3]), report,
+                "bursty_epochs");
     report.write();
     return 0;
 }

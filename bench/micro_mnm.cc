@@ -67,7 +67,7 @@ BM_MasterTableInsert(benchmark::State &state)
     Rng rng(4);
     for (auto _ : state) {
         Addr a = lineAlign(rng.below(1ull << 30));
-        benchmark::DoNotOptimize(mt.insert(a, poolBase, 1));
+        benchmark::DoNotOptimize(mt.insert(tenant::keyOf(a), poolBase, 1));
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -79,7 +79,7 @@ BM_MasterTableLookup(benchmark::State &state)
     MasterTable mt;
     Rng fill(5);
     for (int i = 0; i < 200000; ++i)
-        mt.insert(lineAlign(fill.below(1ull << 28)), poolBase + i, 1);
+        mt.insert(tenant::keyOf(lineAlign(fill.below(1ull << 28))), poolBase + i, 1);
     Rng rng(6);
     for (auto _ : state) {
         Addr a = lineAlign(rng.below(1ull << 28));
@@ -95,9 +95,9 @@ BM_PagePoolAllocFree(benchmark::State &state)
     PagePool pool(poolBase, 1ull << 26);
     unsigned lines = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {
-        Addr a = pool.allocLines(lines);
+        Addr a = pool.allocLines(lines, 0);
         benchmark::DoNotOptimize(a);
-        pool.freeLines(a, lines);
+        pool.freeLines(a, lines, 0);
     }
     state.SetItemsProcessed(state.iterations());
 }

@@ -234,6 +234,19 @@ System::build(const std::string &scheme_name)
                          [s] { return s->gcBytesCopied; });
         series_.addProbe("tag_walk_write_backs",
                          [s] { return s->tagWalkWriteBacks; });
+        // Tenant aggregates live in stats.extra (per-ASID detail is
+        // export-only); gated so untenanted series stay identical.
+        if (cfg_.has("tenant.enabled") &&
+            cfg_.getBool("tenant.enabled", false)) {
+            series_.addProbe("tenant_throttle_stalls", [s] {
+                auto it = s->extra.find("tenant_throttle_stalls");
+                return it == s->extra.end() ? 0 : it->second;
+            });
+            series_.addProbe("tenant_quota_rejections", [s] {
+                auto it = s->extra.find("tenant_quota_rejections");
+                return it == s->extra.end() ? 0 : it->second;
+            });
+        }
     }
 }
 

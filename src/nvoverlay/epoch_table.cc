@@ -89,7 +89,10 @@ EpochTable::grow(PageEntry &pe, const Sinks &sinks)
                            : std::min<unsigned>(
                                  pe.capacity * p.growthFactor,
                                  linesPerPage);
-    Addr fresh = pool.allocLines(new_cap);
+    // The overlay page's tag names the tenant whose quota this
+    // sub-page counts against.
+    const tenant::Asid asid = tenant::asidOf(pe.pageAddr);
+    Addr fresh = pool.allocLines(new_cap, asid);
     if (fresh == invalidAddr)
         return false;
 
@@ -115,7 +118,7 @@ EpochTable::grow(PageEntry &pe, const Sinks &sinks)
         if (const auto *old = std::as_const(pool).header(pe.subPage))
             hdr = *old;
         pool.dropHeader(pe.subPage);
-        pool.freeLines(pe.subPage, pe.capacity);
+        pool.freeLines(pe.subPage, pe.capacity, asid);
     }
     hdr.srcPage = pe.pageAddr;
     hdr.epoch = epoch_;

@@ -60,9 +60,10 @@ MasterTable::emitMeta(std::uint32_t bytes)
 }
 
 std::optional<MasterTable::Entry>
-MasterTable::insert(Addr line_addr, Addr nvm_addr, EpochWide e)
+MasterTable::insert(tenant::Key key, Addr nvm_addr, EpochWide e)
 {
     cap_.assertHeld();
+    const Addr line_addr = key.addr;
     nvo_assert(lineAlign(line_addr) == line_addr);
     InnerNode *node = root;
     for (unsigned level = 0; level < 3; ++level) {
@@ -95,9 +96,10 @@ MasterTable::insert(Addr line_addr, Addr nvm_addr, EpochWide e)
 }
 
 void
-MasterTable::erase(Addr line_addr)
+MasterTable::erase(tenant::Key key)
 {
     cap_.assertHeld();
+    const Addr line_addr = key.addr;
     InnerNode *node = root;
     for (unsigned level = 0; level < 3; ++level) {
         void *c = node->child[idxAt(line_addr, level)];

@@ -21,6 +21,7 @@
 
 #include "common/thread_safety.hh"
 #include "common/types.hh"
+#include "tenant/asid.hh"
 
 namespace nvo
 {
@@ -44,20 +45,22 @@ class MasterTable
     MasterTable &operator=(const MasterTable &) = delete;
 
     /**
-     * Map @p line_addr to @p nvm_addr (version of epoch @p e).
+     * Map @p key (an ASID-tagged line address) to @p nvm_addr
+     * (version of epoch @p e). The tenant's subtree is selected by
+     * the tag bits inside the key's address — see tenant/asid.hh.
      * Returns the replaced entry if one existed (its version becomes
      * stale and must be unreferenced for GC).
      */
-    std::optional<Entry> insert(Addr line_addr, Addr nvm_addr,
+    std::optional<Entry> insert(tenant::Key key, Addr nvm_addr,
                                 EpochWide e);
 
     /**
-     * Unmap @p line_addr (crash-unwind helper for the persist
-     * domain). Radix nodes stay allocated and no metadata write is
-     * emitted: the undo restores modelled state, it is not protocol
-     * traffic. No-op when the line is not mapped.
+     * Unmap @p key (crash-unwind helper for the persist domain).
+     * Radix nodes stay allocated and no metadata write is emitted:
+     * the undo restores modelled state, it is not protocol traffic.
+     * No-op when the line is not mapped.
      */
-    void erase(Addr line_addr);
+    void erase(tenant::Key key);
 
     const Entry *lookup(Addr line_addr) const;
 

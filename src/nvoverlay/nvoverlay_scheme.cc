@@ -50,6 +50,15 @@ NVOverlayScheme::NVOverlayScheme(const Config &cfg, NvmModel &nvm_model,
     replEnabled = cfg.getBool("repl.enabled", false);
     if (replEnabled)
         replParams = repl::Replicator::paramsFrom(cfg);
+
+    // has()-gated like par.shards: an untenanted config registers no
+    // tenant.* defaults, keeping the resolved-config dump (and so
+    // every stats/bench JSON) byte-identical to the pre-tenant code.
+    if (cfg.has("tenant.enabled")) {
+        tenantEnabled = cfg.getBool("tenant.enabled", false);
+        if (tenantEnabled)
+            tenantParams = tenant::TenantManager::paramsFrom(cfg);
+    }
 }
 
 NVOverlayScheme::~NVOverlayScheme() = default;
@@ -64,6 +73,15 @@ NVOverlayScheme::attach(Hierarchy &hierarchy)
     mnmParams.numVds = num_vds;
     backend_ = std::make_unique<MnmBackend>(mnmParams, nvm, stats);
     sense = std::make_unique<EpochSenseTracker>(num_vds);
+
+    if (tenantEnabled) {
+        tm_ = std::make_unique<tenant::TenantManager>(tenantParams,
+                                                      stats);
+        tm_->setOccupancyFn([this](tenant::Asid asid) {
+            return backend_->poolLinesOf(asid);
+        });
+        backend_->setTenantManager(tm_.get());
+    }
 
     if (replEnabled) {
         // Reserved words below the pool: rec-epoch lives at
@@ -147,18 +165,28 @@ NVOverlayScheme::onStore(unsigned core, unsigned vd, Addr line_addr,
                          Cycle now)
 {
     (void)core;
-    (void)line_addr;
     vds[vd].noteStore();
+    // QoS back-pressure lands here, on the offending tenant's own
+    // store stream: the storing core absorbs the stall that pays its
+    // tenant's accumulated token debt, so co-tenants on other
+    // addresses never feel it.
+    Cycle tstall = 0;
+    if (tm_) {
+        const tenant::Asid asid = tenant::asidOf(line_addr);
+        tm_->noteStore(asid);
+        tstall = tm_->throttleStall(asid, now);
+        now += tstall;
+    }
     if (vds[vd].storesInEpoch() >= storesPerEpochVd) {
         // Backpressure: past high water the epoch must not advance —
         // each advance eventually certifies another epoch's worth of
         // deltas into an already-saturated send queue. Stall the core
         // instead; the epoch advances once the link drains.
         if (repl_ && repl_->congested(now))
-            return repl_->stallCycles();
-        return advanceVd(vd, vds[vd].epoch() + 1, false, now);
+            return tstall + repl_->stallCycles();
+        return tstall + advanceVd(vd, vds[vd].epoch() + 1, false, now);
     }
-    return 0;
+    return tstall;
 }
 
 void
@@ -237,6 +265,11 @@ NVOverlayScheme::finalize(Cycle now)
         done = std::max(done, repl_->drain(done));
         repl_->exportStats();
     }
+
+    // 7. Final per-tenant counter export (occupancy snapshots the
+    //    post-drain pool state).
+    if (tm_)
+        tm_->exportStats();
     return done;
 }
 
@@ -272,6 +305,8 @@ NVOverlayScheme::updateStats()
         backend_->updateStats();
     if (repl_)
         repl_->exportStats();
+    if (tm_)
+        tm_->exportStats();
 }
 
 void

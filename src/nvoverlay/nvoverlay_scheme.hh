@@ -20,6 +20,7 @@
 #include "nvoverlay/tag_walker.hh"
 #include "nvoverlay/versioned_domain.hh"
 #include "repl/replicator.hh"
+#include "tenant/tenant.hh"
 
 namespace nvo
 {
@@ -82,6 +83,9 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
 
     /** Replication bundle; nullptr unless `repl.enabled=1`. */
     repl::Replicator *replicator() { return repl_.get(); }
+
+    /** Tenant policy bundle; nullptr unless `tenant.enabled=1`. */
+    tenant::TenantManager *tenantManager() { return tm_.get(); }
     const VersionedDomain &domain(unsigned vd) const
     {
         return vds[vd];
@@ -105,9 +109,14 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
     MnmBackend::Params mnmParams;
     bool replEnabled = false;
     repl::Replicator::Params replParams;
+    bool tenantEnabled = false;
+    tenant::TenantManager::Params tenantParams;
 
     std::vector<VersionedDomain> vds;
     std::vector<std::unique_ptr<TagWalker>> walkers;
+    // Declared before backend_: the backend holds a raw pointer to
+    // the manager, so the manager must outlive it.
+    std::unique_ptr<tenant::TenantManager> tm_;
     std::unique_ptr<MnmBackend> backend_;
     // Declared after backend_: the replicator detaches its ReplSink
     // from the backend on destruction, so it must die first.

@@ -10,6 +10,7 @@
 #include "mem/persist_domain.hh"
 #include "obs/ledger.hh"
 #include "obs/trace.hh"
+#include "tenant/tenant.hh"
 
 namespace nvo
 {
@@ -60,7 +61,7 @@ MnmBackend::getTable(Part &part, EpochWide e)
 
 Cycle
 MnmBackend::deviceWrite(Addr nvm_addr, Cycle now,
-                        obs::LedgerCause cause)
+                        obs::LedgerCause cause, tenant::Asid asid)
 {
     // Transient device-write errors are retried with exponential
     // backoff; a persistent failure past the retry budget means the
@@ -78,9 +79,12 @@ MnmBackend::deviceWrite(Addr nvm_addr, Cycle now,
         backoff *= 2;
     }
     // Every NvmWriteKind::Data byte on the nvoverlay path funnels
-    // through here, so attributing per cause sums exactly to the
-    // RunStats data-write total (the analyzer asserts it).
-    NVO_LEDGER(dataWrite(cause, lineBytes));
+    // through here, so attributing per cause — and per tenant — sums
+    // exactly to the RunStats data-write total (the analyzer asserts
+    // both partitions).
+    NVO_LEDGER(dataWrite(cause, lineBytes, asid));
+    if (tm_)
+        tm_->noteDataBytes(asid, lineBytes);
     stall += nvm.persist()
                  .write(nvm_addr, lineBytes, now, NvmWriteKind::Data)
                  .stall;
@@ -98,7 +102,8 @@ MnmBackend::flushPending(Part &part, const OmcBuffer::Pending &pending,
     nvo_assert(nvm_addr != invalidAddr,
                "buffered version missing from its table");
     return deviceWrite(nvm_addr, now,
-                       static_cast<obs::LedgerCause>(pending.cause));
+                       static_cast<obs::LedgerCause>(pending.cause),
+                       tenant::asidOf(pending.addr));
 }
 
 Cycle
@@ -109,10 +114,16 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
     cap_.assertHeld();
     unsigned oidx = omcOf(line_addr);
     Part &part = parts[oidx];
+    const tenant::Asid asid = tenant::asidOf(line_addr);
     Cycle stall = 0;
     NVO_FAULT_POINT("omc.insert");
     NVO_TRACE(Omc, OmcInsert, obs::trackOmc(oidx), now, line_addr,
               oid);
+    // Tenant policy: charge the token bucket and enforce the pool
+    // quota before the version lands (the insert always proceeds —
+    // over-quota tenants are throttled, never dropped).
+    if (tm_)
+        tm_->onInsert(asid, lineBytes, now);
 
     // Compaction pressure check (Sec. V-D / storage quota, Sec. V-F).
     if (p.compactionThreshold < 1.0 &&
@@ -125,7 +136,8 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
 
     EpochTable::Sinks sinks;
     sinks.reloc = [&](Addr a, std::uint32_t) {
-        stall += deviceWrite(a, now, obs::LedgerCause::SubpageReloc);
+        stall += deviceWrite(a, now, obs::LedgerCause::SubpageReloc,
+                             asid);
         stats.extra["subpage_reloc_bytes"] += lineBytes;
     };
     sinks.meta = [&](std::uint32_t bytes) {
@@ -133,7 +145,7 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
     };
     if (!buffered) {
         sinks.data = [&](Addr a, std::uint32_t) {
-            stall += deviceWrite(a, now, obs::causeOf(why));
+            stall += deviceWrite(a, now, obs::causeOf(why), asid);
         };
     }
     // When buffered, the 64 B version write is deferred until the
@@ -243,23 +255,25 @@ MnmBackend::masterInsert(Part &part, Addr line_addr, Addr nvm_addr,
     // masterInsert IS the sanctioned mutation point: every caller
     // pairs it with the ledger insert/merge hook, and the staged
     // undo lambdas replay state the ledger already accounted for.
+    // The tenant::Key carries the ASID tag into the tree.
+    const tenant::Key key = tenant::keyOf(line_addr);
     auto replaced = part.master->insert(   // nvo-lint: allow(ledger-hook)
-        line_addr, nvm_addr, e);
+        key, nvm_addr, e);
     PersistDomain &domain = nvm.persist();
     if (domain.armed()) {
         MasterTable *mt = part.master.get();
         if (replaced) {
             domain.stage(
                 PersistDomain::Kind::Master,
-                [mt, line_addr, old = *replaced] {
+                [mt, key, old = *replaced] {
                     mt->insert(   // nvo-lint: allow(ledger-hook)
-                        line_addr, old.nvmAddr, old.epoch);
+                        key, old.nvmAddr, old.epoch);
                 });
         } else {
             domain.stage(
                 PersistDomain::Kind::Master,
-                [mt, line_addr] {
-                    mt->erase(line_addr);   // nvo-lint: allow(ledger-hook)
+                [mt, key] {
+                    mt->erase(key);   // nvo-lint: allow(ledger-hook)
                 });
         }
     }
@@ -294,8 +308,10 @@ MnmBackend::reclaimSubPage(Part &part, EpochTable::PageEntry &pe)
     // Every version buried here already exited the ledger: unref
     // terminated the master-superseded ones and the stale-arrival /
     // compaction paths handled the rest, so raw pool frees are safe.
+    // The overlay page's tag credits the owning tenant's occupancy.
+    const tenant::Asid asid = tenant::asidOf(pe.pageAddr);
     part.pool->dropHeader(pe.subPage);   // nvo-lint: allow(ledger-hook)
-    part.pool->freeLines(pe.subPage, pe.capacity);
+    part.pool->freeLines(pe.subPage, pe.capacity, asid);
     pe.reclaimed = true;
 }
 
@@ -477,9 +493,14 @@ MnmBackend::compact(Cycle now)
             // Copy still-live versions forward to the newest merged
             // epoch, as if those addresses were written now.
             EpochTable &target = getTable(part, recEpoch_);
+            // cur_asid tracks the tenant of the line being moved so
+            // the copy (and any relocation it triggers — same page,
+            // same tenant) is attributed to its owner.
+            tenant::Asid cur_asid = 0;
             EpochTable::Sinks sinks;
             sinks.data = [&](Addr a, std::uint32_t) {
-                deviceWrite(a, now, obs::LedgerCause::CompactionCopy);
+                deviceWrite(a, now, obs::LedgerCause::CompactionCopy,
+                            cur_asid);
                 stats.gcBytesCopied += lineBytes;
             };
             sinks.meta = [&](std::uint32_t bytes) {
@@ -496,7 +517,13 @@ MnmBackend::compact(Cycle now)
                 moved.push_back(line_addr);
                 (void)content;
             });
+            // Fairness: serve tenants descending-occupancy first with
+            // a rotating tie-break, so one hot tenant cannot
+            // monopolize reclamation order across passes.
+            if (tm_)
+                tm_->orderForCompaction(moved);
             for (Addr line_addr : moved) {
+                cur_asid = tenant::asidOf(line_addr);
                 NVO_FAULT_POINT("omc.compact.copy");
                 LineData content;
                 table.readVersion(line_addr, content);
@@ -831,6 +858,16 @@ MnmBackend::poolPagesInUseTotal() const
     std::uint64_t total = 0;
     for (const auto &part : parts)
         total += part.pool->pagesInUse();
+    return total;
+}
+
+std::uint64_t
+MnmBackend::poolLinesOf(tenant::Asid asid) const
+{
+    cap_.assertHeld();
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        total += part.pool->linesInUse(asid);
     return total;
 }
 

@@ -30,9 +30,15 @@
 #include "nvoverlay/omc_buffer.hh"
 #include "nvoverlay/page_pool.hh"
 #include "obs/ledger.hh"
+#include "tenant/asid.hh"
 
 namespace nvo
 {
+
+namespace tenant
+{
+class TenantManager;
+}
 
 /**
  * Observer for epoch-delta replication (src/repl). The backend calls
@@ -146,6 +152,13 @@ class MnmBackend
     /** Attach (or detach with nullptr) the replication sink. */
     void setReplSink(ReplSink *sink) { replSink = sink; }
 
+    /** Attach the per-tenant quota/QoS/fairness policy (nullptr =
+     *  untenanted operation, zero policy overhead). */
+    void setTenantManager(tenant::TenantManager *tm) { tm_ = tm; }
+
+    /** Pool lines held by tenant @p asid, summed across partitions. */
+    std::uint64_t poolLinesOf(tenant::Asid asid) const;
+
     /** Clean shutdown: drain buffers and flush pending metadata. */
     Cycle finalize(Cycle now);
 
@@ -257,8 +270,10 @@ class MnmBackend
     EpochTable &getTable(Part &part, EpochWide e);
 
     /** Issue a 64 B version write to the device, attributed to the
-     *  lifecycle cause that produced it. */
-    Cycle deviceWrite(Addr nvm_addr, Cycle now, obs::LedgerCause cause);
+     *  lifecycle cause that produced it and to the tenant whose
+     *  tagged line produced it. */
+    Cycle deviceWrite(Addr nvm_addr, Cycle now, obs::LedgerCause cause,
+                      tenant::Asid asid);
 
     /** Write a pending buffered version out to the device. */
     Cycle flushPending(Part &part, const OmcBuffer::Pending &pending,
@@ -301,6 +316,7 @@ class MnmBackend
     EpochWide recEpoch_ NVO_GUARDED_BY(cap_) = 0;
     EpochWide durableRecEpoch_ NVO_GUARDED_BY(cap_) = 0;
     ReplSink *replSink = nullptr;
+    tenant::TenantManager *tm_ = nullptr;
     bool bufferBypass = false;
     std::uint64_t mergeCount NVO_GUARDED_BY(cap_) = 0;
     /** Version counter driving the testDropMerge seeded bug. */

@@ -62,8 +62,34 @@ PagePool::allocPage()
     return invalidAddr;
 }
 
+void
+PagePool::chargeAsid(tenant::Asid asid, std::int64_t lines)
+{
+    cap_.assertHeld();
+    if (lines >= 0) {
+        asidLines[asid] += static_cast<std::uint64_t>(lines);
+        return;
+    }
+    auto it = asidLines.find(asid);
+    nvo_assert(it != asidLines.end() &&
+                   it->second >= static_cast<std::uint64_t>(-lines),
+               "tenant line accounting went negative");
+    it->second -= static_cast<std::uint64_t>(-lines);
+    if (it->second == 0)
+        asidLines.erase(it);
+}
+
+void
+PagePool::forEachAsidLines(
+    const std::function<void(tenant::Asid, std::uint64_t)> &fn) const
+{
+    cap_.assertHeld();
+    for (const auto &kv : asidLines)
+        fn(kv.first, kv.second);
+}
+
 Addr
-PagePool::allocLines(unsigned lines)
+PagePool::allocLines(unsigned lines, tenant::Asid asid)
 {
     cap_.assertHeld();
     NVO_FAULT_POINT("pool.alloc");
@@ -98,18 +124,21 @@ PagePool::allocLines(unsigned lines)
     std::uint64_t bytes =
         static_cast<std::uint64_t>(rounded) * lineBytes;
     allocatedBytes += bytes;
+    chargeAsid(asid, rounded);
     if (pd && pd->armed()) {
         // Reverse-order unwind guarantees the halves pushed above are
         // still at the back of their lists when this undo runs.
         pd->stage(PersistDomain::Kind::PoolBitmap,
                   [this, block, order, src_order, from_free_list,
-                   bytes] {
+                   bytes, asid, rounded] {
                       cap_.assertHeld();
                       for (unsigned o = order; o < src_order; ++o)
                           freeLists[o].pop_back();
                       if (from_free_list)
                           freeLists[src_order].push_back(block);
                       allocatedBytes -= bytes;
+                      chargeAsid(asid,
+                                 -static_cast<std::int64_t>(rounded));
                   });
     }
     NVO_TRACE_NOW(Pool, PoolAlloc, obs::trackSim, block, rounded);
@@ -117,7 +146,7 @@ PagePool::allocLines(unsigned lines)
 }
 
 void
-PagePool::freeLines(Addr addr, unsigned lines)
+PagePool::freeLines(Addr addr, unsigned lines, tenant::Asid asid)
 {
     cap_.assertHeld();
     NVO_FAULT_POINT("pool.free");
@@ -127,12 +156,14 @@ PagePool::freeLines(Addr addr, unsigned lines)
     std::uint64_t bytes =
         static_cast<std::uint64_t>(rounded) * lineBytes;
     allocatedBytes -= bytes;
+    chargeAsid(asid, -static_cast<std::int64_t>(rounded));
     if (pd && pd->armed()) {
         pd->stage(PersistDomain::Kind::PoolBitmap,
-                  [this, order, bytes] {
+                  [this, order, bytes, asid, rounded] {
                       cap_.assertHeld();
                       freeLists[order].pop_back();
                       allocatedBytes += bytes;
+                      chargeAsid(asid, rounded);
                   });
     }
     NVO_TRACE_NOW(Pool, PoolFree, obs::trackSim, addr, rounded);
@@ -336,6 +367,14 @@ PagePool::audit() const
     // alloc/free keep the split exact.
     NVO_AUDIT(allocatedBytes + free_bytes == usedPages * pageBytes,
               "allocator byte accounting out of balance");
+
+    // Per-tenant line tallies partition the allocated bytes exactly
+    // (the stats-side exact-sum invariant's allocator twin).
+    std::uint64_t asid_lines = 0;
+    for (const auto &kv : asidLines)
+        asid_lines += kv.second;
+    NVO_AUDIT(asid_lines * lineBytes == allocatedBytes,
+              "per-tenant line accounting out of balance");
 }
 
 } // namespace nvo

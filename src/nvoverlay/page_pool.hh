@@ -17,12 +17,14 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_safety.hh"
 #include "common/types.hh"
 #include "mem/backing_store.hh"
+#include "tenant/asid.hh"
 
 namespace nvo
 {
@@ -58,12 +60,15 @@ class PagePool
 
     /**
      * Allocate a sub-page of at least @p lines lines (rounded up to a
-     * power of two). Returns invalidAddr when the pool is exhausted.
+     * power of two) on behalf of tenant @p asid (per-tenant occupancy
+     * accounting; asid 0 is untenanted). Returns invalidAddr when the
+     * pool is exhausted.
      */
-    Addr allocLines(unsigned lines);
+    Addr allocLines(unsigned lines, tenant::Asid asid);
 
-    /** Return a sub-page of @p lines lines to the allocator. */
-    void freeLines(Addr addr, unsigned lines);
+    /** Return a sub-page of @p lines lines to the allocator,
+     *  crediting tenant @p asid's occupancy. */
+    void freeLines(Addr addr, unsigned lines, tenant::Asid asid);
 
     /** Grow the pool by @p pages pages (the OS granting more space). */
     void extend(std::uint64_t pages);
@@ -107,6 +112,20 @@ class PagePool
         return allocatedBytes;
     }
 
+    /** Lines currently allocated on behalf of tenant @p asid. */
+    std::uint64_t
+    linesInUse(tenant::Asid asid) const
+    {
+        cap_.assertHeld();
+        auto it = asidLines.find(asid);
+        return it == asidLines.end() ? 0 : it->second;
+    }
+
+    /** Visit every tenant with allocated lines: fn(asid, lines). */
+    void forEachAsidLines(
+        const std::function<void(tenant::Asid, std::uint64_t)> &fn)
+        const;
+
     /** Fraction of pool pages currently holding data. */
     double
     utilization() const
@@ -140,9 +159,17 @@ class PagePool
     /** Future per-partition shard capability (ROADMAP item 1): the
      *  pool is per-OMC state and moves wholesale into one shard. */
     ShardCap cap_;
+    /** Tenant line accounting shared by alloc/free and their staged
+     *  undos (so a crash unwind restores per-tenant occupancy too). */
+    void chargeAsid(tenant::Asid asid, std::int64_t lines)
+        NVO_REQUIRES(cap_);
+
     std::uint64_t numPages NVO_GUARDED_BY(cap_);
     std::uint64_t usedPages NVO_GUARDED_BY(cap_) = 0;
     std::uint64_t allocatedBytes NVO_GUARDED_BY(cap_) = 0;
+    /** Lines allocated per tenant (key absent == 0). */
+    std::map<tenant::Asid, std::uint64_t> asidLines
+        NVO_GUARDED_BY(cap_);
     std::vector<std::uint64_t> bitmap NVO_GUARDED_BY(cap_);
     std::uint64_t scanHint NVO_GUARDED_BY(cap_) = 0;
     /** Free lists per order (order k = 2^k lines). */

@@ -8,7 +8,8 @@ namespace nvo
 {
 
 RecoveryManager::Result
-RecoveryManager::recover() const
+RecoveryManager::recoverFiltered(bool tenant_only,
+                                 tenant::Asid asid) const
 {
     Result result;
     result.recEpoch = backend.recEpoch();
@@ -19,6 +20,8 @@ RecoveryManager::recover() const
 
     backend.forEachMasterEntry(
         [&](Addr line_addr, const MasterTable::Entry &entry) {
+            if (tenant_only && tenant::asidOf(line_addr) != asid)
+                return;
             nvo_assert(entry.epoch <= result.recEpoch,
                        "master maps a version beyond rec-epoch");
             LineData content;
@@ -32,14 +35,29 @@ RecoveryManager::recover() const
     return result;
 }
 
+RecoveryManager::Result
+RecoveryManager::recover() const
+{
+    return recoverFiltered(false, 0);
+}
+
+RecoveryManager::Result
+RecoveryManager::recoverTenant(tenant::Asid asid) const
+{
+    return recoverFiltered(true, asid);
+}
+
 std::string
-RecoveryManager::validate(const Result &result,
-                          const MnmBackend &backend)
+RecoveryManager::validateFiltered(const Result &result,
+                                  const MnmBackend &backend,
+                                  bool tenant_only, tenant::Asid asid)
 {
     std::ostringstream err;
     std::uint64_t seen = 0;
     backend.forEachMasterEntry(
         [&](Addr line_addr, const MasterTable::Entry &entry) {
+            if (tenant_only && tenant::asidOf(line_addr) != asid)
+                return;
             ++seen;
             if (entry.epoch > result.recEpoch) {
                 err << "line " << std::hex << line_addr
@@ -58,6 +76,21 @@ RecoveryManager::validate(const Result &result,
         err << "restored " << result.linesRestored << " of " << seen
             << " mapped lines; ";
     return err.str();
+}
+
+std::string
+RecoveryManager::validate(const Result &result,
+                          const MnmBackend &backend)
+{
+    return validateFiltered(result, backend, false, 0);
+}
+
+std::string
+RecoveryManager::validateTenant(const Result &result,
+                                const MnmBackend &backend,
+                                tenant::Asid asid)
+{
+    return validateFiltered(result, backend, true, asid);
 }
 
 } // namespace nvo

@@ -55,6 +55,15 @@ class RecoveryManager
     Result recover() const;
 
     /**
+     * Per-tenant recovery: rebuild only tenant @p asid's address
+     * space (the master-table subtree its tag selects), leaving every
+     * co-tenant untouched and still live. The image is keyed by the
+     * tagged addresses, so it is byte-comparable against a full
+     * recovery or a solo run of the same tenant.
+     */
+    Result recoverTenant(tenant::Asid asid) const;
+
+    /**
      * Verify that the rebuilt image is self-consistent with the
      * master table (every mapped line restored, epochs <= rec-epoch).
      * Returns an empty string on success.
@@ -62,7 +71,18 @@ class RecoveryManager
     static std::string validate(const Result &result,
                                 const MnmBackend &backend);
 
+    /** validate() restricted to tenant @p asid's lines. */
+    static std::string validateTenant(const Result &result,
+                                      const MnmBackend &backend,
+                                      tenant::Asid asid);
+
   private:
+    Result recoverFiltered(bool tenant_only, tenant::Asid asid) const;
+    static std::string validateFiltered(const Result &result,
+                                        const MnmBackend &backend,
+                                        bool tenant_only,
+                                        tenant::Asid asid);
+
     const MnmBackend &backend;
 };
 

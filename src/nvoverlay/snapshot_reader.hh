@@ -55,6 +55,19 @@ class SnapshotReader
         return value;
     }
 
+    /**
+     * Tenant-scoped read: @p local_addr is tenant @p asid's own
+     * (untagged) address; the tag routes the lookup into that
+     * tenant's master/epoch subtrees. Co-tenant state is unreachable
+     * by construction — no tag, no path.
+     */
+    std::optional<Versioned>
+    readTenantLine(tenant::Asid asid, Addr local_addr,
+                   EpochWide e) const
+    {
+        return readLine(tenant::tag(asid, local_addr), e);
+    }
+
   private:
     const MnmBackend &backend;
 };

@@ -42,6 +42,11 @@ Ledger::configure(const Config &cfg)
 {
     reset();
     armed_ = ledgerCompiled && cfg.getBool("ledger.enabled", false);
+    // has()-gated so untenanted runs register no tenant.* defaults
+    // (the resolved-config dump must stay byte-identical).
+    testUnaccounted_ =
+        cfg.has("tenant.enabled") &&
+        cfg.getBool("tenant.test_unaccounted", false);
 }
 
 void
@@ -63,6 +68,7 @@ Ledger::reset()
     overwrites_ = 0;
     liveInserted_ = 0;
     bytesByCause.fill(0);
+    bytesByAsid_.clear();
     entries.clear();
 }
 
@@ -167,9 +173,22 @@ Ledger::dropped(unsigned omc, Addr line_addr, EpochWide oid, Cycle now)
 }
 
 void
-Ledger::dataWrite(LedgerCause cause, std::uint64_t bytes)
+Ledger::dataWrite(LedgerCause cause, std::uint64_t bytes,
+                  tenant::Asid asid)
 {
     bytesByCause[static_cast<std::size_t>(cause)] += bytes;
+    // Seeded attribution-leak bug: reloc bytes vanish from the
+    // per-tenant tallies, so they no longer sum to the total.
+    if (testUnaccounted_ && cause == LedgerCause::SubpageReloc)
+        return;
+    bytesByAsid_[asid] += bytes;
+}
+
+std::uint64_t
+Ledger::dataBytesOf(tenant::Asid asid) const
+{
+    auto it = bytesByAsid_.find(asid);
+    return it == bytesByAsid_.end() ? 0 : it->second;
 }
 
 std::uint64_t
@@ -224,6 +243,18 @@ Ledger::writeJson(JsonWriter &w) const
          i < static_cast<std::size_t>(LedgerCause::NumCauses); ++i)
         w.kv(toString(static_cast<LedgerCause>(i)), bytesByCause[i]);
     w.endObject();
+    // Emitted only when tenant traffic exists: untenanted runs keep
+    // the pre-tenant JSON byte-for-byte.
+    bool tenanted = false;
+    for (const auto &kv : bytesByAsid_)
+        if (kv.first != 0)
+            tenanted = true;
+    if (tenanted) {
+        w.key("data_bytes_by_asid").beginObject();
+        for (const auto &kv : bytesByAsid_)
+            w.kv(std::to_string(kv.first), kv.second);
+        w.endObject();
+    }
     w.kv("data_bytes_total", dataBytesTotal());
     w.endObject();
 }

@@ -38,6 +38,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -45,6 +46,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/trace.hh"
+#include "tenant/asid.hh"
 
 namespace nvo
 {
@@ -151,8 +153,13 @@ class Ledger
     void dropped(unsigned omc, Addr line_addr, EpochWide oid,
                  Cycle now);
 
-    /** Attribute @p bytes of NVM data traffic to @p cause. */
-    void dataWrite(LedgerCause cause, std::uint64_t bytes);
+    /** Attribute @p bytes of NVM data traffic to @p cause, and to
+     *  tenant @p asid (the tag of the line that produced the write;
+     *  0 = untenanted). Per-ASID tallies partition the same total the
+     *  per-cause tallies do, so both must sum exactly to
+     *  RunStats::nvmWriteBytes[Data]. */
+    void dataWrite(LedgerCause cause, std::uint64_t bytes,
+                   tenant::Asid asid = 0);
 
     // --- Queries ----------------------------------------------------
 
@@ -174,6 +181,16 @@ class Ledger
         return bytesByCause[static_cast<std::size_t>(c)];
     }
     std::uint64_t dataBytesTotal() const;
+
+    /** Data bytes attributed to one tenant. */
+    std::uint64_t dataBytesOf(tenant::Asid asid) const;
+
+    /**
+     * TEST ONLY (tenant.test_unaccounted): skip the per-ASID tally on
+     * sub-page relocation writes — a seeded attribution-leak bug the
+     * nvo_analyze per-tenant exact-sum check must catch.
+     */
+    void setTestUnaccounted(bool on) { testUnaccounted_ = on; }
 
     /** Visit every non-terminated (Inserted) entry. */
     void forEachLeak(
@@ -212,6 +229,11 @@ class Ledger
     std::array<std::uint64_t,
                static_cast<std::size_t>(LedgerCause::NumCauses)>
         bytesByCause{};
+    /** Ordered so the JSON emission is deterministic. Only emitted
+     *  when some write carried a nonzero ASID, keeping untenanted
+     *  stats JSON byte-identical to the pre-tenant schema. */
+    std::map<tenant::Asid, std::uint64_t> bytesByAsid_;
+    bool testUnaccounted_ = false;
     std::unordered_map<std::pair<Addr, EpochWide>, Entry, KeyHash>
         entries;
 };

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Address-space identifiers (ASIDs) for multi-tenant snapshotting.
+ *
+ * One OMC/MNM serves many isolated address spaces by tagging every
+ * physical address with a 12-bit ASID in bits 47..36 — above the
+ * highest address any workload arena produces (SimHeap tops out below
+ * 2^34) and inside the 48-bit prefix the master/epoch radix walks key
+ * on (bits 47..12). A tagged address therefore lands in a per-tenant
+ * subtree of every table automatically: the version key the paper
+ * writes as (line, OID) becomes (asid, line, OID) with no extra
+ * storage.
+ *
+ * ASID 0 is the identity tag: untenanted single-address-space runs
+ * use addresses below the tag field unchanged, so the single-tenant
+ * path is bit-identical to the pre-tenant code.
+ */
+
+#ifndef NVO_TENANT_ASID_HH
+#define NVO_TENANT_ASID_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nvo
+{
+namespace tenant
+{
+
+using Asid = std::uint16_t;
+
+constexpr unsigned asidShift = 36;
+constexpr unsigned asidBits = 12;
+constexpr Asid maxAsid = (1u << asidBits) - 1;
+constexpr Addr asidMask = static_cast<Addr>(maxAsid) << asidShift;
+
+/** Tag @p addr with @p asid (addr must not already carry a tag). */
+constexpr Addr
+tag(Asid asid, Addr addr)
+{
+    return addr | (static_cast<Addr>(asid & maxAsid) << asidShift);
+}
+
+/** The ASID carried by @p addr (0 for untenanted addresses). */
+constexpr Asid
+asidOf(Addr addr)
+{
+    return static_cast<Asid>((addr >> asidShift) & maxAsid);
+}
+
+/** Strip the ASID tag, recovering the tenant-local address. */
+constexpr Addr
+untag(Addr addr)
+{
+    return addr & ~asidMask;
+}
+
+/**
+ * ASID-carrying master-table key. The tenant dimension of the key is
+ * derived from the tagged address, never passed separately, so a Key
+ * cannot disagree with the address it maps — construct one with
+ * keyOf() at every master-table or page-pool mutation site (the
+ * asid-key lint rule bans raw un-tagged mutation calls outside
+ * src/tenant/).
+ */
+struct Key
+{
+    Addr addr = invalidAddr;
+
+    constexpr Asid asid() const { return asidOf(addr); }
+    constexpr Addr line() const { return untag(addr); }
+    constexpr bool operator==(const Key &o) const
+    {
+        return addr == o.addr;
+    }
+};
+
+constexpr Key
+keyOf(Addr tagged_addr)
+{
+    return Key{tagged_addr};
+}
+
+} // namespace tenant
+} // namespace nvo
+
+#endif // NVO_TENANT_ASID_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-tenant KV service (docs/MULTITENANCY.md).
+ *
+ * Each tenant owns a direct-addressed value region tagged with its
+ * ASID (tenant/asid.hh): key k of tenant a lives at
+ * tag(a, base_a + k * stride). Gets walk the value slot read-only;
+ * puts rewrite it. Keys are drawn from a per-tenant Zipfian sampler,
+ * so each tenant has a hot set; per-tenant skew and footprint vary
+ * with the ASID (wl.kv.mix) to model heterogeneous co-tenants.
+ *
+ * Determinism: a tenant's key choices come from its own Rng seeded by
+ * (wl.seed, asid) and advance only when that tenant executes an op,
+ * so tenant A's i-th operation is identical no matter how many
+ * co-tenants are configured or active. Threads serve active tenants
+ * round-robin; with `t` threads and `a` active tenants every tenant
+ * receives threads*ops/a operations (spread across threads).
+ */
+
+#include "common/log.hh"
+#include "workload/workloads.hh"
+
+namespace nvo
+{
+
+KvServiceWorkload::KvServiceWorkload(const Params &params,
+                                     const Config &cfg)
+    : WorkloadBase(params)
+{
+    const auto num_tenants =
+        static_cast<unsigned>(cfg.getU64("wl.kv.tenants", 4));
+    const std::uint64_t base_keys = cfg.getU64("wl.kv.keys", 8192);
+    const double skew = cfg.getF64("wl.kv.skew", 0.8);
+    const bool mix = cfg.getU64("wl.kv.mix", 1) != 0;
+    getPct = cfg.getF64("wl.kv.get_pct", 0.5);
+    valueBytes = cfg.getU64("wl.kv.value_bytes", 128);
+
+    nvo_assert(num_tenants >= 1 &&
+                   num_tenants <= tenant::maxAsid,
+               "wl.kv.tenants out of ASID range");
+    nvo_assert(valueBytes >= 8);
+    stride = (valueBytes + lineBytes - 1) & ~(lineBytes - 1ull);
+
+    // Allocate tenant regions in ascending ASID order so tenant a's
+    // base is independent of how many tenants follow it.
+    perTenant.reserve(num_tenants);
+    for (unsigned i = 0; i < num_tenants; ++i) {
+        const auto asid = static_cast<tenant::Asid>(i + 1);
+        // Heterogeneous co-tenants: footprint shrinks by up to 4x and
+        // skew sharpens with the ASID, so big/cold and small/hot
+        // tenants coexist on the same backend.
+        std::uint64_t keys =
+            mix ? std::max<std::uint64_t>(base_keys >> (i % 3), 64)
+                : base_keys;
+        double theta = mix ? skew + 0.2 * (i % 4) : skew;
+        perTenant.push_back(Tenant{
+            asid,
+            heap.alloc(sharedArena, keys * stride, lineBytes),
+            keys,
+            ZipfSampler(keys, theta),
+            Rng(p.seed * 0x85ebca77ull + asid),
+        });
+    }
+    rr.resize(p.numThreads, 0);
+}
+
+void
+KvServiceWorkload::genOp(unsigned thread, std::vector<MemRef> &out)
+{
+    // Serve active tenants round-robin per thread: thread t's k-th op
+    // goes to tenant (t + k) mod active.
+    Tenant &ten =
+        perTenant[(thread + rr[thread]++) % perTenant.size()];
+    ++ten.ops;
+
+    const std::uint64_t key = ten.zipf.sample(ten.rng);
+    const Addr slot =
+        tenant::tag(ten.asid, ten.base + key * stride);
+    if (ten.rng.chance(getPct)) {
+        ldRange(out, slot, valueBytes);
+    } else {
+        stRange(out, slot, valueBytes);
+    }
+}
+
+} // namespace nvo

@@ -117,6 +117,8 @@ makeWorkload(const std::string &name, const Config &cfg)
         return std::make_unique<GenomeWorkload>(p, cfg);
     if (name == "ssca2")
         return std::make_unique<Ssca2Workload>(p, cfg);
+    if (name == "kv_service")
+        return std::make_unique<KvServiceWorkload>(p, cfg);
     if (name == "trace")
         return std::make_unique<TraceWorkload>(
             p, cfg.getStr("wl.trace.path", "trace.nvot"));

@@ -105,7 +105,8 @@ class WorkloadBase : public RefSource
 
 /**
  * Factory. Valid names: hashtable, btree, art, rbtree, labyrinth,
- * bayes, yada, intruder, vacation, kmeans, genome, ssca2.
+ * bayes, yada, intruder, vacation, kmeans, genome, ssca2,
+ * kv_service.
  * Reads sizing knobs from @p cfg ("wl.threads", "wl.ops", "wl.seed",
  * plus per-workload keys documented in each implementation).
  */

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tenant/asid.hh"
 #include "workload/stamp_common.hh"
 #include "workload/workload.hh"
 
@@ -266,6 +267,49 @@ class GenomeWorkload : public WorkloadBase
     std::uint64_t segmentBytes;
     Addr segmentBase, resultBase, lockAddr;
     std::vector<std::uint64_t> matched;
+};
+
+/**
+ * Multi-tenant KV service: N tenants, each with its own ASID-tagged
+ * direct-addressed value region, zipfian get/put mixes, and
+ * per-tenant skew/footprint variation. The front end for the tenant
+ * subsystem (docs/MULTITENANCY.md): every reference a tenant emits is
+ * tagged with its ASID, so isolation, quotas, and per-tenant
+ * snapshots are exercised end to end.
+ *
+ * Tenant determinism contract: tenant A's operation stream is a pure
+ * function of (wl.seed, A, per-tenant op index) — co-tenant count and
+ * activity never perturb it. Tests rely on this to compare tenant A
+ * solo vs. with B..N active.
+ */
+class KvServiceWorkload : public WorkloadBase
+{
+  public:
+    KvServiceWorkload(const Params &params, const Config &cfg);
+    const char *name() const override { return "kv_service"; }
+    void genOp(unsigned thread, std::vector<MemRef> &out) override;
+
+    unsigned tenants() const
+    {
+        return static_cast<unsigned>(perTenant.size());
+    }
+
+  private:
+    struct Tenant
+    {
+        tenant::Asid asid;
+        Addr base;                   ///< untagged region base
+        std::uint64_t keys;          ///< footprint (keys)
+        ZipfSampler zipf;            ///< key-rank sampler
+        Rng rng;                     ///< tenant-private stream
+        std::uint64_t ops = 0;
+    };
+
+    std::vector<Tenant> perTenant;   ///< active tenants, asid order
+    std::vector<std::uint64_t> rr;   ///< per-thread round-robin cursor
+    std::uint64_t valueBytes;
+    std::uint64_t stride;            ///< line-rounded value slot size
+    double getPct;
 };
 
 /** SSCA2 graph kernel: CSR neighbor scans, scattered writes. */

@@ -1,0 +1,11 @@
+// lint-path: nvoverlay/fixture.cc
+// Page-pool alloc/free without the owning ASID: the pool cannot
+// charge the lines to a tenant's quota.
+
+Addr
+grabLines(PagePool &pool, std::uint64_t n)
+{
+    Addr base = pool.allocLines(n);
+    pool.freeLines(base, n);
+    return base;
+}

@@ -159,14 +159,14 @@ TEST(MasterTable, InsertLookupReplace)
 {
     MasterTable mt;
     EXPECT_EQ(mt.lookup(0x1000), nullptr);
-    auto replaced = mt.insert(0x1000, poolBase, 3);
+    auto replaced = mt.insert(tenant::keyOf(0x1000), poolBase, 3);
     EXPECT_FALSE(replaced.has_value());
     const auto *e = mt.lookup(0x1000);
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->nvmAddr, poolBase);
     EXPECT_EQ(e->epoch, 3u);
 
-    auto old = mt.insert(0x1000, poolBase + 64, 5);
+    auto old = mt.insert(tenant::keyOf(0x1000), poolBase + 64, 5);
     ASSERT_TRUE(old.has_value());
     EXPECT_EQ(old->epoch, 3u);
     EXPECT_EQ(mt.lookup(0x1000)->epoch, 5u);
@@ -177,11 +177,11 @@ TEST(MasterTable, MetaWritesPerInsert)
 {
     std::uint64_t bytes = 0;
     MasterTable mt([&](std::uint32_t b) { bytes += b; });
-    mt.insert(0x1000, poolBase, 1);
+    mt.insert(tenant::keyOf(0x1000), poolBase, 1);
     // First insert creates 3 inner pointers + leaf pointer + entry.
     EXPECT_EQ(bytes, 5u * 8);
     bytes = 0;
-    mt.insert(0x1040, poolBase + 64, 1);   // same leaf
+    mt.insert(tenant::keyOf(0x1040), poolBase + 64, 1);   // same leaf
     EXPECT_EQ(bytes, 8u);
 }
 
@@ -190,12 +190,12 @@ TEST(MasterTable, NodeBytesMatchStructure)
     MasterTable mt;
     std::uint64_t root_only = mt.nodeBytes();
     EXPECT_EQ(root_only, 512u * 8);
-    mt.insert(0x1000, poolBase, 1);
+    mt.insert(tenant::keyOf(0x1000), poolBase, 1);
     // +3 inner nodes +1 leaf node (64 entries x 8 B).
     EXPECT_EQ(mt.nodeBytes(), root_only + 3 * 512 * 8 + 64 * 8);
     // Fig. 13 lower bound: one full page of lines maps at 12.5 %.
     for (unsigned i = 0; i < 64; ++i)
-        mt.insert(0x1000 + i * 64, poolBase + i * 64, 1);
+        mt.insert(tenant::keyOf(0x1000 + i * 64), poolBase + i * 64, 1);
     double ratio = static_cast<double>(64 * 8) / (64 * 64);
     EXPECT_DOUBLE_EQ(ratio, 0.125);
 }
@@ -208,7 +208,7 @@ TEST(MasterTable, ForEachEnumeratesMappings)
     for (int i = 0; i < 500; ++i) {
         Addr a = lineAlign(rng.below(1ull << 30));
         EpochWide e = 1 + rng.below(9);
-        mt.insert(a, poolBase + i * 64, e);
+        mt.insert(tenant::keyOf(a), poolBase + i * 64, e);
         want[a] = e;
     }
     std::map<Addr, EpochWide> got;

@@ -31,12 +31,12 @@ TEST(PagePool, FullPageAllocation)
     PagePool pool(base, 4 * pageBytes);
     std::set<Addr> seen;
     for (int i = 0; i < 4; ++i) {
-        Addr a = pool.allocLines(64);
+        Addr a = pool.allocLines(64, 0);
         ASSERT_NE(a, invalidAddr);
         EXPECT_EQ(pageAlign(a), a);
         EXPECT_TRUE(seen.insert(a).second);
     }
-    EXPECT_EQ(pool.allocLines(64), invalidAddr) << "pool exhausted";
+    EXPECT_EQ(pool.allocLines(64, 0), invalidAddr) << "pool exhausted";
     EXPECT_EQ(pool.pagesInUse(), 4u);
 }
 
@@ -46,13 +46,13 @@ TEST(PagePool, SubPageSplitting)
     // 16 sub-pages of 4 lines fit in one page.
     std::set<Addr> seen;
     for (int i = 0; i < 16; ++i) {
-        Addr a = pool.allocLines(4);
+        Addr a = pool.allocLines(4, 0);
         ASSERT_NE(a, invalidAddr);
         EXPECT_TRUE(seen.insert(a).second);
     }
     EXPECT_EQ(pool.pagesInUse(), 1u);
     EXPECT_EQ(pool.bytesAllocated(), pageBytes);
-    EXPECT_EQ(pool.allocLines(1), invalidAddr);
+    EXPECT_EQ(pool.allocLines(1, 0), invalidAddr);
 }
 
 TEST(PagePool, SubPagesDoNotOverlap)
@@ -60,7 +60,7 @@ TEST(PagePool, SubPagesDoNotOverlap)
     PagePool pool(base, 8 * pageBytes);
     std::vector<std::pair<Addr, unsigned>> allocs;
     for (unsigned lines : {1u, 2u, 4u, 1u, 8u, 16u, 4u, 32u, 64u, 2u}) {
-        Addr a = pool.allocLines(lines);
+        Addr a = pool.allocLines(lines, 0);
         ASSERT_NE(a, invalidAddr);
         allocs.emplace_back(a, PagePool::roundLines(lines));
     }
@@ -79,26 +79,26 @@ TEST(PagePool, SubPagesDoNotOverlap)
 TEST(PagePool, FreeAndReuse)
 {
     PagePool pool(base, pageBytes);
-    Addr a = pool.allocLines(64);
-    pool.freeLines(a, 64);
-    Addr b = pool.allocLines(64);
+    Addr a = pool.allocLines(64, 0);
+    pool.freeLines(a, 64, 0);
+    Addr b = pool.allocLines(64, 0);
     EXPECT_EQ(a, b) << "freed block reused";
 }
 
 TEST(PagePool, ExtendGrowsCapacity)
 {
     PagePool pool(base, pageBytes);
-    ASSERT_NE(pool.allocLines(64), invalidAddr);
-    EXPECT_EQ(pool.allocLines(64), invalidAddr);
+    ASSERT_NE(pool.allocLines(64, 0), invalidAddr);
+    EXPECT_EQ(pool.allocLines(64, 0), invalidAddr);
     pool.extend(2);
-    EXPECT_NE(pool.allocLines(64), invalidAddr);
+    EXPECT_NE(pool.allocLines(64, 0), invalidAddr);
     EXPECT_EQ(pool.totalPages(), 3u);
 }
 
 TEST(PagePool, ContentRoundTrip)
 {
     PagePool pool(base, pageBytes);
-    Addr a = pool.allocLines(4);
+    Addr a = pool.allocLines(4, 0);
     LineData in;
     in.bytes[0] = 0xab;
     in.bytes[63] = 0xcd;
@@ -111,7 +111,7 @@ TEST(PagePool, ContentRoundTrip)
 TEST(PagePool, HeaderLifecycle)
 {
     PagePool pool(base, pageBytes);
-    Addr a = pool.allocLines(8);
+    Addr a = pool.allocLines(8, 0);
     EXPECT_EQ(pool.header(a), nullptr);
     PagePool::SubPageHeader hdr;
     hdr.srcPage = 0x123000;
@@ -137,10 +137,10 @@ TEST(PagePool, UtilizationTracksPages)
 {
     PagePool pool(base, 10 * pageBytes);
     EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
-    pool.allocLines(64);
+    pool.allocLines(64, 0);
     EXPECT_DOUBLE_EQ(pool.utilization(), 0.1);
     for (int i = 0; i < 16; ++i)
-        pool.allocLines(4);   // one more page split into sub-pages
+        pool.allocLines(4, 0);   // one more page split into sub-pages
     EXPECT_DOUBLE_EQ(pool.utilization(), 0.2);
 }
 

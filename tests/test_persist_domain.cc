@@ -90,7 +90,7 @@ TEST(PersistDomain, PagePoolCrashRestoresDurablePrefix)
     pd.arm();
 
     // Durable prefix: one sub-page with known content and header.
-    Addr sp = pool.allocLines(4);
+    Addr sp = pool.allocLines(4, 0);
     ASSERT_NE(sp, invalidAddr);
     pool.writeLine(sp, lineOf(0xAA));
     PagePool::SubPageHeader hdr;
@@ -106,10 +106,10 @@ TEST(PersistDomain, PagePoolCrashRestoresDurablePrefix)
     // free the original block.
     pool.writeLine(sp, lineOf(0xBB));
     pool.header(sp)->usedLines = 3;
-    Addr sp2 = pool.allocLines(8);
+    Addr sp2 = pool.allocLines(8, 0);
     ASSERT_NE(sp2, invalidAddr);
     pool.writeLine(sp2, lineOf(0xCC));
-    pool.freeLines(sp, 4);
+    pool.freeLines(sp, 4, 0);
     pool.dropHeader(sp);
     ASSERT_GT(pd.inFlight(), 0u);
 
@@ -141,13 +141,13 @@ TEST(PersistDomain, PagePoolAllocReuseUnwindsCleanly)
     pool.attachPersist(&pd);
     pd.arm();
 
-    Addr sp = pool.allocLines(4);
+    Addr sp = pool.allocLines(4, 0);
     pool.writeLine(sp, lineOf(0x11));
     pd.barrier();
     std::uint64_t durable_bytes = pool.bytesAllocated();
 
-    pool.freeLines(sp, 4);
-    Addr again = pool.allocLines(4);
+    pool.freeLines(sp, 4, 0);
+    Addr again = pool.allocLines(4, 0);
     EXPECT_EQ(again, sp) << "buddy free list should hand back the "
                             "just-freed block";
     pool.writeLine(again, lineOf(0x22));
@@ -160,22 +160,22 @@ TEST(PersistDomain, PagePoolAllocReuseUnwindsCleanly)
     pool.audit();
 
     // The block is still allocated: a fresh alloc must not alias it.
-    Addr other = pool.allocLines(4);
+    Addr other = pool.allocLines(4, 0);
     EXPECT_NE(other, sp);
 }
 
 TEST(MasterTableErase, RemovesOnlyTheTargetLine)
 {
     MasterTable mt;
-    mt.insert(0x40, 0xF000, 3);
-    mt.insert(0x80, 0xF040, 4);
+    mt.insert(tenant::keyOf(0x40), 0xF000, 3);
+    mt.insert(tenant::keyOf(0x80), 0xF040, 4);
     EXPECT_EQ(mt.mappedLines(), 2u);
-    mt.erase(0x40);
+    mt.erase(tenant::keyOf(0x40));
     EXPECT_EQ(mt.lookup(0x40), nullptr);
     ASSERT_NE(mt.lookup(0x80), nullptr);
     EXPECT_EQ(mt.lookup(0x80)->epoch, 4u);
     EXPECT_EQ(mt.mappedLines(), 1u);
-    mt.erase(0x4000);   // unmapped: no-op
+    mt.erase(tenant::keyOf(0x4000));   // unmapped: no-op
     EXPECT_EQ(mt.mappedLines(), 1u);
 }
 

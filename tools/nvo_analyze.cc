@@ -14,7 +14,10 @@
  *   (c) mapping-table occupancy and compaction efficiency from the
  *       nvoverlay stats section and the epoch series;
  *   (d) lifecycle leak detection — a version inserted but never
- *       merged, compacted, or dropped is a protocol bug.
+ *       merged, compacted, or dropped is a protocol bug;
+ *   (e) per-tenant attribution on multi-tenant runs — per-ASID byte
+ *       tallies checked to sum exactly to the device data total and
+ *       cross-checked against the tenant manager's own counters.
  *
  * Exit status: 0 clean, 1 a lifecycle/attribution violation (leaked
  * versions, or per-cause bytes diverging from the device total), 2
@@ -194,6 +197,75 @@ analyzeLedger(const Value &root)
     return rc;
 }
 
+/**
+ * Per-tenant attribution (docs/MULTITENANCY.md): the ledger's
+ * by-ASID byte tallies must sum *exactly* to the device data-write
+ * total, and each tenant's ledger bytes must agree with the
+ * TenantManager's independent counter — two code paths tallying the
+ * same deviceWrite stream. Reports per-ASID write amplification.
+ * Silently skipped (exit 0) for untenanted runs.
+ */
+int
+analyzeTenants(const Value &root)
+{
+    const Value *ledger = root.get("ledger");
+    const Value *by_asid =
+        ledger ? ledger->get("data_bytes_by_asid") : nullptr;
+    if (!by_asid)
+        return 0;   // untenanted run: section absent by design
+
+    std::printf("\n== per-tenant attribution ==\n");
+    std::uint64_t total = ledger->get("data_bytes_total")->asU64();
+    const Value *extra = root.get("stats", "extra");
+    std::uint64_t sum = 0;
+    int rc = 0;
+    for (const auto &kv : by_asid->obj) {
+        std::uint64_t b = kv.second->asU64();
+        sum += b;
+        if (kv.first == "0") {
+            std::printf("  asid %4s %12llu  (untenanted)\n",
+                        kv.first.c_str(),
+                        static_cast<unsigned long long>(b));
+            continue;
+        }
+        const std::string prefix = "tenant." + kv.first + ".";
+        const Value *sl =
+            extra ? extra->get(prefix + "store_lines") : nullptr;
+        const Value *mb =
+            extra ? extra->get(prefix + "data_bytes") : nullptr;
+        std::uint64_t store_lines = sl ? sl->asU64() : 0;
+        // Same framing as the global figure: NVM data bytes per byte
+        // the tenant logically stored (8 B patch per store).
+        double amp = store_lines
+                         ? static_cast<double>(b) /
+                               (static_cast<double>(store_lines) * 8.0)
+                         : 0.0;
+        std::printf("  asid %4s %12llu  (%s, amp %.2fx)\n",
+                    kv.first.c_str(),
+                    static_cast<unsigned long long>(b),
+                    human(static_cast<double>(b)).c_str(), amp);
+        if (mb && mb->asU64() != b) {
+            std::printf("  TENANT LEAK: asid %s ledger says %llu B "
+                        "but the tenant manager counted %llu B\n",
+                        kv.first.c_str(),
+                        static_cast<unsigned long long>(b),
+                        static_cast<unsigned long long>(mb->asU64()));
+            rc = 1;
+        }
+    }
+    if (sum != total) {
+        std::printf("  TENANT ATTRIBUTION GAP: per-ASID bytes sum to "
+                    "%llu B, device wrote %llu B of data\n",
+                    static_cast<unsigned long long>(sum),
+                    static_cast<unsigned long long>(total));
+        rc = 1;
+    } else {
+        std::printf("  attribution exact: per-ASID bytes sum to the "
+                    "device data-write total\n");
+    }
+    return rc;
+}
+
 /** (b): epoch-skew histogram from epoch_advance trace events. */
 void
 analyzeSkew(const Value &trace)
@@ -365,6 +437,7 @@ main(int argc, char **argv)
     }
 
     int rc = analyzeLedger(*root);
+    rc |= analyzeTenants(*root);
     analyzeTables(*root);
     if (!trace_path.empty())
         analyzeSkew(*parseFile(trace_path));

@@ -35,6 +35,14 @@
  *                    no direct sub-page dropHeader (route through
  *                    MnmBackend::reclaimSubPage, which only runs once
  *                    every buried version has exited the ledger).
+ *  - asid-key:       multi-tenant tagging under src/nvoverlay/:
+ *                    master-table insert/erase must take a tenant key
+ *                    (built through tenant::keyOf / tenant::tag, which
+ *                    carry the ASID in the tagged address) and
+ *                    page-pool allocLines/freeLines must pass the
+ *                    owning ASID — a mutation whose argument list
+ *                    names nothing key- or asid-like is invisible to
+ *                    per-tenant quota and write-amp accounting.
  *  - shard-confinement: code under src/par/ may only drive simulated
  *                    state (core/scheme runUntil, tag-walk and flush
  *                    entry points, the hierarchy handle) from inside
@@ -407,6 +415,32 @@ checkIncludeGuard(const std::string &display, const std::string &text,
     }
 }
 
+/** Whether the argument list opening at token @p open (a "(") names
+ *  any identifier containing "key" or "asid" — the asid-key rule's
+ *  evidence that a persistent-structure mutation is tenant-tagged. */
+bool
+argsCarryAsid(const std::vector<Token> &toks, std::size_t open)
+{
+    int pdepth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+        if (toks[j].text == "(") {
+            ++pdepth;
+        } else if (toks[j].text == ")") {
+            if (--pdepth == 0)
+                break;
+        } else if (toks[j].ident) {
+            std::string low;
+            for (char ch : toks[j].text)
+                low += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(ch)));
+            if (low.find("key") != std::string::npos ||
+                low.find("asid") != std::string::npos)
+                return true;
+        }
+    }
+    return false;
+}
+
 void
 lintTokens(const std::string &display, const std::vector<Token> &toks,
            bool is_epoch_header, bool raw_io_exempt,
@@ -545,6 +579,36 @@ lintTokens(const std::string &display, const std::vector<Token> &toks,
                  " / unref so the version ledger records the "
                  "transition)"});
         }
+        // asid-key: the same mutations must also carry tenancy. A
+        // master key built away from tenant::keyOf/tag, or a page-
+        // pool alloc/free without the owning ASID, silently exits a
+        // line from per-tenant quota and write-amp accounting.
+        if (persist_scope && t.ident && master_names.count(t.text) &&
+            i + 3 < toks.size() &&
+            (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+            master_muts.count(toks[i + 2].text) &&
+            toks[i + 3].text == "(" &&
+            !argsCarryAsid(toks, i + 3)) {
+            out.push_back(
+                {display, t.line, "asid-key",
+                 "master-table " + toks[i + 2].text + " with an "
+                 "untagged key (build it with tenant::keyOf / "
+                 "tenant::tag so the mutation carries its ASID)"});
+        }
+        static const std::set<std::string> pool_muts = {"allocLines",
+                                                        "freeLines"};
+        if (persist_scope && t.ident && pool_muts.count(t.text) &&
+            i > 0 &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+            i + 1 < toks.size() && toks[i + 1].text == "(" &&
+            !argsCarryAsid(toks, i + 1)) {
+            out.push_back(
+                {display, t.line, "asid-key",
+                 t.text + "() without an owning ASID argument "
+                 "(page-pool occupancy is accounted per tenant; "
+                 "pass the caller's asid)"});
+        }
+
         if (persist_scope && t.text == "dropHeader" && i > 0 &&
             (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
             out.push_back(
@@ -785,13 +849,13 @@ selfTest()
          "  // nvo-lint: allow(persist-domain)\n",
          nullptr},
         {"master insert flagged in nvoverlay", "nvoverlay/foo.cc",
-         "void f() { part.master->insert(a, nvm, e); }\n",
+         "void f() { part.master->insert(key, nvm, e); }\n",
          "ledger-hook"},
         {"master erase flagged in nvoverlay", "nvoverlay/foo.cc",
-         "void f() { master.erase(a); }\n",
+         "void f() { master.erase(key); }\n",
          "ledger-hook"},
         {"undo-lambda mt insert flagged", "nvoverlay/foo.cc",
-         "void f() { d.stage([mt, a] { mt->insert(a, n, e); }); }\n",
+         "void f() { d.stage([mt, k] { mt->insert(key, n, e); }); }\n",
          "ledger-hook"},
         {"dropHeader flagged in nvoverlay", "nvoverlay/foo.cc",
          "void f() { part.pool->dropHeader(pe.subPage); }\n",
@@ -809,6 +873,34 @@ selfTest()
         {"ledger-hook allow marker suppresses", "nvoverlay/foo.cc",
          "void f() { pool.dropHeader(s); }"
          "  // nvo-lint: allow(ledger-hook)\n",
+         nullptr},
+        {"untagged master insert flagged", "nvoverlay/foo.cc",
+         "void f() { master.insert(a, nvm, e); }"
+         "  // nvo-lint: allow(ledger-hook)\n",
+         "asid-key"},
+        {"keyOf-tagged master insert is clean", "nvoverlay/foo.cc",
+         "void f() { master.insert(tenant::keyOf(a), nvm, e); }"
+         "  // nvo-lint: allow(ledger-hook)\n",
+         nullptr},
+        {"asid-named erase argument is clean", "nvoverlay/foo.cc",
+         "void f() { mt->erase(asid_line); }"
+         "  // nvo-lint: allow(ledger-hook)\n",
+         nullptr},
+        {"allocLines without asid flagged", "nvoverlay/foo.cc",
+         "void f() { pool.allocLines(4); }\n",
+         "asid-key"},
+        {"allocLines with asid is clean", "nvoverlay/foo.cc",
+         "void f() { pool.allocLines(4, asid); }\n",
+         nullptr},
+        {"freeLines without asid flagged", "nvoverlay/foo.cc",
+         "void f() { part.pool->freeLines(addr, n); }\n",
+         "asid-key"},
+        {"pool mutation outside nvoverlay is clean", "baselines/foo.cc",
+         "void f() { pool.allocLines(4); }\n",
+         nullptr},
+        {"asid-key allow marker suppresses", "nvoverlay/foo.cc",
+         "void f() { pool.allocLines(4); }"
+         "  // nvo-lint: allow(asid-key)\n",
          nullptr},
         {"unguarded runUntil flagged in par", "par/foo.cc",
          "void f(Core *c) { c->runUntil(end); }\n",
