@@ -10,6 +10,7 @@
 #include "bench_common.hh"
 #include "harness/system.hh"
 #include "nvoverlay/nvoverlay_scheme.hh"
+#include "par/procpool.hh"
 #include "workload/workload.hh"
 
 using namespace nvo;
@@ -19,6 +20,7 @@ main(int argc, char **argv)
 {
     bench::JsonReport report("fig13_metadata",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     // Metadata efficiency depends on page occupancy, which grows with
     // run length; give this (cheap, NVOverlay-only) figure 2x ops and
@@ -36,17 +38,39 @@ main(int argc, char **argv)
                        12);
     table.printHeader();
 
-    for (const auto &wl : paperWorkloads()) {
-        Config wcfg = bench::forWorkload(cfg, wl);
-        System sys(wcfg, "nvoverlay", wl);
-        sys.run();
-        auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
-        auto &be = scheme.backend();
+    // One independent run per workload: fan across --jobs worker
+    // processes and merge in workload order, so the printed table and
+    // JSON rows are identical for any job count.
+    const auto &wls = paperWorkloads();
+    const unsigned numCells = static_cast<unsigned>(wls.size());
+    std::vector<std::string> payloads = par::forkMap(
+        numCells, jobs, [&](unsigned t) {
+            Config wcfg = bench::forWorkload(cfg, wls[t]);
+            System sys(wcfg, "nvoverlay", wls[t]);
+            sys.run();
+            auto &scheme =
+                dynamic_cast<NVOverlayScheme &>(sys.scheme());
+            auto &be = scheme.backend();
+            char buf[64];
+            std::snprintf(
+                buf, sizeof buf, "%llu %llu",
+                static_cast<unsigned long long>(
+                    be.masterMappedLinesTotal()),
+                static_cast<unsigned long long>(
+                    be.masterNodeBytesTotal()));
+            return std::string(buf);
+        });
+
+    for (unsigned t = 0; t < numCells; ++t) {
+        const std::string &wl = wls[t];
+        unsigned long long mapped_lines = 0, node_bytes = 0;
+        if (std::sscanf(payloads[t].c_str(), "%llu %llu",
+                        &mapped_lines, &node_bytes) != 2)
+            fatal("fig13: malformed worker payload '%s'",
+                  payloads[t].c_str());
         double mapped_bytes =
-            static_cast<double>(be.masterMappedLinesTotal()) *
-            lineBytes;
-        double table_bytes =
-            static_cast<double>(be.masterNodeBytesTotal());
+            static_cast<double>(mapped_lines) * lineBytes;
+        double table_bytes = static_cast<double>(node_bytes);
         report.add(wl, "nvoverlay", "mapped_bytes", mapped_bytes);
         report.add(wl, "nvoverlay", "master_table_bytes",
                    table_bytes);

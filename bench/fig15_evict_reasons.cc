@@ -9,23 +9,30 @@
  * capacity evictions (~90%) with the walker contributing ~10%.
  */
 
+#include <sstream>
+#include <vector>
+
 #include "bench_common.hh"
+#include "par/procpool.hh"
 
 using namespace nvo;
 
 namespace
 {
 
+constexpr std::size_t numReasons =
+    static_cast<std::size_t>(EvictReason::NumReasons);
+
 void
 printRow(TablePrinter &table, bench::JsonReport &report,
          const std::string &section, const std::string &label,
-         const RunStats &st)
+         const std::vector<std::uint64_t> &reasons)
 {
     auto reason = [&](EvictReason r) {
-        return st.evictReason[static_cast<std::size_t>(r)];
+        return reasons[static_cast<std::size_t>(r)];
     };
     double total = 0;
-    for (auto c : st.evictReason)
+    for (auto c : reasons)
         total += static_cast<double>(c);
     if (total == 0)
         total = 1;
@@ -57,9 +64,44 @@ main(int argc, char **argv)
 {
     bench::JsonReport report("fig15_evict_reasons",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "art");
+
+    // Cells 0..2: with walker; 3..5: walker disabled. Independent
+    // runs, so the matrix fans across --jobs worker processes and
+    // merges in cell order (identical output for any job count).
+    const std::vector<std::string> schemes = {"picl", "picl-l2",
+                                              "nvoverlay"};
+    const unsigned numCells =
+        static_cast<unsigned>(2 * schemes.size());
+    std::vector<std::string> payloads = par::forkMap(
+        numCells, jobs, [&](unsigned t) {
+            Config c = wcfg;
+            if (t >= schemes.size()) {
+                c.set("picl.walker_enabled", "false");
+                c.set("nvo.walker_enabled", "false");
+            }
+            auto r = runExperiment(c, schemes[t % schemes.size()],
+                                   "art");
+            std::ostringstream out;
+            for (std::size_t i = 0; i < numReasons; ++i)
+                out << (i ? " " : "") << r.stats.evictReason[i];
+            return out.str();
+        });
+
+    auto parseCell = [&](unsigned t) {
+        std::vector<std::uint64_t> reasons;
+        std::istringstream in(payloads[t]);
+        std::uint64_t v;
+        while (in >> v)
+            reasons.push_back(v);
+        if (reasons.size() != numReasons)
+            fatal("fig15: malformed worker payload '%s'",
+                  payloads[t].c_str());
+        return reasons;
+    };
 
     std::printf("Figure 15 — Evict-reason decomposition, ART "
                 "(%% of write-back triggers)\n");
@@ -69,20 +111,15 @@ main(int argc, char **argv)
 
     std::printf("\n(a) with tag walker\n");
     table.printHeader();
-    for (const char *scheme : {"picl", "picl-l2", "nvoverlay"}) {
-        auto r = runExperiment(wcfg, scheme, "art");
-        printRow(table, report, "with_walker", scheme, r.stats);
-    }
+    for (unsigned i = 0; i < schemes.size(); ++i)
+        printRow(table, report, "with_walker", schemes[i],
+                 parseCell(i));
 
     std::printf("\n(b) without tag walker\n");
     table.printHeader();
-    for (const char *scheme : {"picl", "picl-l2", "nvoverlay"}) {
-        Config c = wcfg;
-        c.set("picl.walker_enabled", "false");
-        c.set("nvo.walker_enabled", "false");
-        auto r = runExperiment(c, scheme, "art");
-        printRow(table, report, "no_walker", scheme, r.stats);
-    }
+    for (unsigned i = 0; i < schemes.size(); ++i)
+        printRow(table, report, "no_walker", schemes[i],
+                 parseCell(static_cast<unsigned>(schemes.size()) + i));
     report.write();
     return 0;
 }

@@ -10,14 +10,30 @@
  */
 
 #include "bench_common.hh"
+#include "par/procpool.hh"
 
 using namespace nvo;
+
+namespace
+{
+
+/** One measured cell shipped back from a forkMap worker. */
+struct Cell
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t nvmWriteOps = 0;
+    std::uint64_t bufferHits = 0;
+    std::uint64_t bufferMisses = 0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::JsonReport report("fig16_omc_buffer",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     // Redundant same-epoch write backs accumulate with run length;
     // give this (two-run) figure 4x ops.
@@ -39,46 +55,71 @@ main(int argc, char **argv)
                        14);
     table.printHeader();
 
-    auto no_buf = runExperiment(wcfg, "nvoverlay", "art");
+    // Cell 0: no buffer; cell 1: LLC-sized buffer. The two runs are
+    // independent, so they fan across --jobs worker processes and
+    // merge in cell order (identical output for any job count).
+    std::vector<std::string> payloads = par::forkMap(
+        2, jobs, [&](unsigned t) {
+            Config c = wcfg;
+            if (t == 1) {
+                c.set("mnm.use_buffer", "true");
+                c.set("mnm.buffer_mb",
+                      std::uint64_t(32));   // LLC-sized
+            }
+            auto r = runExperiment(c, "nvoverlay", "art");
+            char buf[128];
+            std::snprintf(
+                buf, sizeof buf, "%llu %llu %llu %llu",
+                static_cast<unsigned long long>(r.stats.cycles),
+                static_cast<unsigned long long>(r.stats.nvmWriteOps),
+                static_cast<unsigned long long>(
+                    r.stats.omcBufferHits),
+                static_cast<unsigned long long>(
+                    r.stats.omcBufferMisses));
+            return std::string(buf);
+        });
+    Cell cells[2];
+    for (unsigned t = 0; t < 2; ++t) {
+        unsigned long long cyc = 0, ops = 0, h = 0, m = 0;
+        if (std::sscanf(payloads[t].c_str(), "%llu %llu %llu %llu",
+                        &cyc, &ops, &h, &m) != 4)
+            fatal("fig16: malformed worker payload '%s'",
+                  payloads[t].c_str());
+        cells[t] = {cyc, ops, h, m};
+    }
+    const Cell &no_buf = cells[0];
+    const Cell &buf = cells[1];
+
     report.add("art", "no-buffer", "cycles",
-               static_cast<double>(no_buf.stats.cycles));
+               static_cast<double>(no_buf.cycles));
     report.add("art", "no-buffer", "nvm_write_ops",
-               static_cast<double>(no_buf.stats.nvmWriteOps));
+               static_cast<double>(no_buf.nvmWriteOps));
     table.printRow(
         {"no-buffer",
-         TablePrinter::num(static_cast<double>(no_buf.stats.cycles),
-                           0),
-         TablePrinter::num(no_buf.stats.nvmWriteOps / 1e6, 2), "-"});
+         TablePrinter::num(static_cast<double>(no_buf.cycles), 0),
+         TablePrinter::num(no_buf.nvmWriteOps / 1e6, 2), "-"});
 
-    Config bcfg = wcfg;
-    bcfg.set("mnm.use_buffer", "true");
-    bcfg.set("mnm.buffer_mb", std::uint64_t(32));   // LLC-sized
-    auto buf = runExperiment(bcfg, "nvoverlay", "art");
-    double hits = static_cast<double>(buf.stats.omcBufferHits);
-    double total = hits + buf.stats.omcBufferMisses;
+    double hits = static_cast<double>(buf.bufferHits);
+    double total = hits + static_cast<double>(buf.bufferMisses);
     report.add("art", "with-buffer", "cycles",
-               static_cast<double>(buf.stats.cycles));
+               static_cast<double>(buf.cycles));
     report.add("art", "with-buffer", "nvm_write_ops",
-               static_cast<double>(buf.stats.nvmWriteOps));
+               static_cast<double>(buf.nvmWriteOps));
     report.add("art", "with-buffer", "hit_rate_pct",
                total ? 100.0 * hits / total : 0.0);
     report.add("art", "with-buffer", "norm_cycles",
-               static_cast<double>(buf.stats.cycles) /
-                   no_buf.stats.cycles);
+               static_cast<double>(buf.cycles) / no_buf.cycles);
     table.printRow(
         {"with-buffer",
-         TablePrinter::num(static_cast<double>(buf.stats.cycles), 0),
-         TablePrinter::num(buf.stats.nvmWriteOps / 1e6, 2),
+         TablePrinter::num(static_cast<double>(buf.cycles), 0),
+         TablePrinter::num(buf.nvmWriteOps / 1e6, 2),
          TablePrinter::num(total ? 100.0 * hits / total : 0.0, 1)});
 
     std::printf("\nnormalized cycles: %.2f   write reduction: "
                 "%.1f%%\n",
-                static_cast<double>(buf.stats.cycles) /
-                    no_buf.stats.cycles,
-                100.0 *
-                    (1.0 -
-                     static_cast<double>(buf.stats.nvmWriteOps) /
-                         no_buf.stats.nvmWriteOps));
+                static_cast<double>(buf.cycles) / no_buf.cycles,
+                100.0 * (1.0 - static_cast<double>(buf.nvmWriteOps) /
+                                   no_buf.nvmWriteOps));
     report.write();
     return 0;
 }

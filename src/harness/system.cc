@@ -41,6 +41,14 @@ System::build(const std::string &scheme_name)
 
     quantum = cfg_.getU64("sys.quantum", 2000);
 
+    // The metric registry must be (re)configured before any component
+    // constructs: registration happens in constructors (master table,
+    // page pool, shard engine, ...), and configure() zeroes every
+    // value and drops stale per-build gauges. Unlike the tracer and
+    // ledger, which only export, this ordering is load-bearing.
+    obs::metricRegistry().configure(cfg_);
+    exporter_.configure(cfg_);
+
     // Device models.
     DramModel::Params dp;
     dp.channels =
@@ -156,6 +164,10 @@ System::build(const std::string &scheme_name)
         parEngine_ = std::make_unique<par::ShardEngine>(
             pp, *wl, num_vds, hp.numLlcSlices, cores_per_vd);
         hier->setTrafficSink(parEngine_.get());
+        // One metric slot per shard plus the main slot; the engine's
+        // token turns route records into their shard's slot and the
+        // coordinator folds them back at every quantum barrier.
+        obs::metricRegistry().setShards(pp.shards);
     }
 
     Core::Params cp;
@@ -269,6 +281,11 @@ System::stepQuantum()
         // Token round through the shards: same core-major order as
         // the loop below, with idle workers pre-generating batches.
         parEngine_->runQuantum(quantumEnd);
+        // Quantum barrier: fold shard-local metric slots into the
+        // main slot in shard order, so any later snapshot reads the
+        // same totals a sequential run would have produced.
+        if (obs::metricRegistry().armed())
+            obs::metricRegistry().mergeShards();
     } else {
         for (auto &core : cores)
             core->runUntil(quantumEnd);
@@ -280,12 +297,14 @@ System::stepQuantum()
         stats_.barrierStallCycles += gs;
     }
 
-    if (seriesEnabled &&
+    if ((seriesEnabled || exporter_.enabled()) &&
         scheme_->epochsCompleted() != epochsAtLastSample) {
         // Derived aggregates (table/pool sizes) are refreshed lazily;
         // pull them up to date so the sampled row is consistent.
         scheme_->updateStats();
-        series_.sample(scheme_->globalEpoch(), quantumEnd);
+        if (seriesEnabled)
+            series_.sample(scheme_->globalEpoch(), quantumEnd);
+        exporter_.onEpochBoundary(scheme_->globalEpoch(), quantumEnd);
         epochsAtLastSample = scheme_->epochsCompleted();
     }
 
@@ -371,6 +390,7 @@ System::run()
     scheme_->updateStats();
     if (seriesEnabled)
         series_.sample(scheme_->globalEpoch(), flush_done);
+    exporter_.finalExport(scheme_->globalEpoch(), flush_done);
 
     auto t2 = SteadyClock::now();
     stats_.extra["host_run_us"] = host_us(t0, t1);

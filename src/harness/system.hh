@@ -25,6 +25,7 @@
 #include "mem/nvm_model.hh"
 #include "mem/write_tracker.hh"
 #include "obs/metrics.hh"
+#include "obs/registry.hh"
 #include "par/engine.hh"
 #include "workload/workload.hh"
 
@@ -130,6 +131,8 @@ class System
     obs::EpochSeries series_;
     bool seriesEnabled = true;
     std::uint64_t epochsAtLastSample = 0;
+    /** Periodic Prometheus/JSONL metric exports (obs/registry.hh). */
+    obs::MetricExporter exporter_;
 };
 
 } // namespace nvo

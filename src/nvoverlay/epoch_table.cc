@@ -5,13 +5,16 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace nvo
 {
 
 EpochTable::EpochTable(EpochWide e, PagePool &page_pool,
                        const Params &params)
-    : epoch_(e), pool(page_pool), p(params), root(new Node)
+    : epoch_(e), pool(page_pool), p(params),
+      hWalk_(obs::metricRegistry().addHist("mnm.insert_walk_depth")),
+      root(new Node)
 {
     nvo_assert(isPow2(p.initLines) && p.initLines >= 1 &&
                p.initLines <= linesPerPage);
@@ -63,11 +66,13 @@ EpochTable::findOrCreateEntry(Addr page_addr)
 {
     cap_.assertHeld();
     Node *node = root;
+    unsigned allocated = 0;
     for (unsigned level = 0; level < 3; ++level) {
         void *&c = node->child[idxAt(page_addr, level)];
         if (!c) {
             c = new Node;
             ++nodeCount;
+            ++allocated;
         }
         node = static_cast<Node *>(c);
     }
@@ -76,7 +81,11 @@ EpochTable::findOrCreateEntry(Addr page_addr)
         entries.push_back(std::make_unique<PageEntry>());
         entries.back()->pageAddr = page_addr;
         leaf = entries.back().get();
+        ++allocated;
     }
+    // Fixed-depth radix: 4 nodes visited, plus one "cost" unit per
+    // node/leaf allocated on the way down.
+    NVO_METRIC(record(hWalk_, 4 + allocated));
     return static_cast<PageEntry *>(leaf);
 }
 

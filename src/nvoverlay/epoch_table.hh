@@ -28,6 +28,11 @@
 namespace nvo
 {
 
+namespace obs
+{
+struct HistMetric;
+} // namespace obs
+
 class EpochTable
 {
   public:
@@ -154,6 +159,10 @@ class EpochTable
     EpochWide epoch_;
     PagePool &pool;
     Params p;
+    /** Walk-depth histogram (nodes visited + nodes allocated per
+     *  findOrCreateEntry); shared across epochs via the registry's
+     *  name dedup, so per-epoch construction stays cheap. */
+    obs::HistMetric *hWalk_ = nullptr;
     /** Per-(partition, epoch) table: shards with its OMC. */
     ShardCap cap_;
     Node *root NVO_GUARDED_BY(cap_);

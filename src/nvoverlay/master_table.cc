@@ -3,6 +3,7 @@
 #include "common/audit.hh"
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace nvo
 {
@@ -14,8 +15,9 @@ constexpr std::uint64_t leafNodeBytes = 64 * 8;
 } // namespace
 
 MasterTable::MasterTable(MetaWriteFn meta_write)
-    : metaWrite(std::move(meta_write)), root(new InnerNode),
-      nodeBytes_(innerNodeBytes)
+    : metaWrite(std::move(meta_write)),
+      hWalk_(obs::metricRegistry().addHist("mnm.master_walk_depth")),
+      root(new InnerNode), nodeBytes_(innerNodeBytes)
 {
 }
 
@@ -66,12 +68,14 @@ MasterTable::insert(tenant::Key key, Addr nvm_addr, EpochWide e)
     const Addr line_addr = key.addr;
     nvo_assert(lineAlign(line_addr) == line_addr);
     InnerNode *node = root;
+    unsigned allocated = 0;
     for (unsigned level = 0; level < 3; ++level) {
         void *&c = node->child[idxAt(line_addr, level)];
         if (!c) {
             c = new InnerNode;
             nodeBytes_ += innerNodeBytes;
             emitMeta(8);   // parent pointer persist
+            ++allocated;
         }
         node = static_cast<InnerNode *>(c);
     }
@@ -80,6 +84,7 @@ MasterTable::insert(tenant::Key key, Addr nvm_addr, EpochWide e)
         lc = new LeafNode;
         nodeBytes_ += leafNodeBytes;
         emitMeta(8);
+        ++allocated;
     }
     auto *leaf = static_cast<LeafNode *>(lc);
     unsigned li = idxAt(line_addr, 4);
@@ -92,6 +97,9 @@ MasterTable::insert(tenant::Key key, Addr nvm_addr, EpochWide e)
     leaf->bitmap |= 1ull << li;
     leaf->entry[li] = Entry{nvm_addr, e};
     emitMeta(8);   // entry persist (48-bit addr + 16-bit epoch)
+    // Fixed-depth radix: 4 nodes visited, plus one "cost" unit per
+    // node allocated on the way down.
+    NVO_METRIC(record(hWalk_, 4 + allocated));
     return replaced;
 }
 

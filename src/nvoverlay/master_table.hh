@@ -26,6 +26,11 @@
 namespace nvo
 {
 
+namespace obs
+{
+struct HistMetric;
+} // namespace obs
+
 class MasterTable
 {
   public:
@@ -119,6 +124,10 @@ class MasterTable
         const;
 
     MetaWriteFn metaWrite;
+    /** Walk-depth histogram (nodes visited + nodes allocated per
+     *  insert): a p99 above the 5-level floor means inserts are
+     *  still growing the tree rather than filling existing leaves. */
+    obs::HistMetric *hWalk_ = nullptr;
     /** The master shard is per-OMC state (ROADMAP item 1). */
     ShardCap cap_;
     InnerNode *root NVO_GUARDED_BY(cap_);

@@ -9,6 +9,7 @@
 #include "fault/fault.hh"
 #include "mem/persist_domain.hh"
 #include "obs/ledger.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "tenant/tenant.hh"
 
@@ -18,6 +19,10 @@ namespace nvo
 MnmBackend::MnmBackend(const Params &params, NvmModel &nvm_model,
                        RunStats &run_stats)
     : p(params), nvm(nvm_model), stats(run_stats),
+      hInsertStall_(
+          obs::metricRegistry().addHist("mnm.insert_stall_cycles")),
+      hMergeRun_(obs::metricRegistry().addHist("mnm.merge_run_len")),
+      hBufOcc_(obs::metricRegistry().addHist("mnm.buffer_occupancy")),
       minVers(params.numVds, 0)
 {
     nvo_assert(p.numOmcs > 0 && p.numVds > 0);
@@ -232,11 +237,13 @@ MnmBackend::insertVersion(Addr line_addr, EpochWide oid, SeqNo seq,
         }
         NVO_TRACE(Omc, OmcOccupancy, obs::trackOmc(oidx), now,
                   part.buffer->occupancy(), 0);
+        NVO_METRIC(record(hBufOcc_, part.buffer->occupancy()));
     }
     if (nvm.persist().armed()) {
         EpochWide &e = acked[line_addr];
         e = std::max(e, oid);
     }
+    NVO_METRIC(record(hInsertStall_, stall));
     return stall;
 }
 
@@ -357,8 +364,10 @@ MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
             NVO_FAULT_POINT("omc.merge.table");
             NVO_TRACE(Merge, TableMerge, obs::trackOmc(oidx), now,
                       it->first, 0);
+            std::uint64_t run = 0;
             table.forEachVersion([&](Addr line_addr, Addr nvm_addr) {
                 NVO_FAULT_POINT("omc.merge.version");
+                ++run;
                 if (p.testDropMerge && (++dropMergeTick % 5) == 0)
                     return;   // seeded bug: silently skip the merge
                 auto replaced = masterInsert(part, line_addr, nvm_addr,
@@ -372,6 +381,7 @@ MnmBackend::mergeUpTo(EpochWide from, EpochWide upto, Cycle now)
                 NVO_LEDGER(merged(oidx, line_addr, table.epochId(),
                                   false, now));
             });
+            NVO_METRIC(record(hMergeRun_, run));
             ++mergeCount;
             if (p.dropMergedTables) {
                 // DRAM pages of merged per-epoch tables can be

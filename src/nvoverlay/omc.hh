@@ -307,6 +307,12 @@ class MnmBackend
     Params p;
     NvmModel &nvm;
     RunStats &stats;
+    /** Hot-path telemetry (obs/registry.hh): insert stall cycles,
+     *  versions merged per retired table, buffer occupancy after each
+     *  buffered insert. */
+    obs::HistMetric *hInsertStall_ = nullptr;
+    obs::HistMetric *hMergeRun_ = nullptr;
+    obs::HistMetric *hBufOcc_ = nullptr;
     /** The capability ROADMAP item 1's per-partition workers will
      *  take for real; today the single simulation thread holds it
      *  implicitly (see common/thread_safety.hh). */

@@ -7,13 +7,16 @@
 #include "common/log.hh"
 #include "fault/fault.hh"
 #include "mem/persist_domain.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 
 namespace nvo
 {
 
 PagePool::PagePool(Addr base_addr, std::uint64_t size_bytes)
-    : base(base_addr), numPages(size_bytes / pageBytes)
+    : base(base_addr),
+      hScan_(obs::metricRegistry().addHist("mnm.pool_scan_dist")),
+      numPages(size_bytes / pageBytes)
 {
     nvo_assert(pageAlign(base_addr) == base_addr);
     nvo_assert(numPages > 0, "pool needs at least one page");
@@ -48,6 +51,7 @@ PagePool::allocPage()
         bitmap[idx] |= 1ull << bit;
         scanHint = idx;
         ++usedPages;
+        NVO_METRIC(record(hScan_, i + 1));
         if (pd && pd->armed()) {
             pd->stage(PersistDomain::Kind::PoolBitmap,
                       [this, idx, bit] {

@@ -31,6 +31,11 @@ namespace nvo
 
 class PersistDomain;
 
+namespace obs
+{
+struct HistMetric;
+} // namespace obs
+
 class PagePool
 {
   public:
@@ -156,6 +161,10 @@ class PagePool
     Addr allocPage();
 
     Addr base;
+    /** Bitmap words probed per allocPage (scanHint effectiveness:
+     *  p99 near 1 means the rotating hint works; a drifting p99
+     *  means fragmentation is forcing long scans). */
+    obs::HistMetric *hScan_ = nullptr;
     /** Future per-partition shard capability (ROADMAP item 1): the
      *  pool is per-OMC state and moves wholesale into one shard. */
     ShardCap cap_;

@@ -1,0 +1,49 @@
+#include "obs/hist.hh"
+
+#include <cmath>
+
+namespace nvo
+{
+namespace obs
+{
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max_;
+    // Rank of the selected sample in the sorted order, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            std::uint64_t v = bucketLow(i);
+            if (v < min_)
+                v = min_;
+            if (v > max_)
+                v = max_;
+            return v;
+        }
+    }
+    return max_;
+}
+
+std::uint64_t
+Histogram::bucketOccupancySum() const
+{
+    std::uint64_t s = 0;
+    for (unsigned i = 0; i < numBuckets; ++i)
+        s += buckets_[i];
+    return s;
+}
+
+} // namespace obs
+} // namespace nvo

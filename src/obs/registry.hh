@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unified metric registry: named counters, gauges, and histograms
+ * with static registration sites and deterministic shard merging.
+ *
+ * Components register their metrics once (typically in their
+ * constructor, which runs during System::build after the registry is
+ * configured) and keep the returned handle; the hot path records
+ * through the NVO_METRIC macro below, which mirrors the tracer's and
+ * ledger's cost model exactly: compiled out under NVO_METRIC=OFF
+ * (operands type-checked, never evaluated), one load and one branch
+ * when compiled in but disarmed (`metrics.enabled` unset — the
+ * default), and a couple of stores when armed.
+ *
+ * Sharding. Under the par engine every metric holds one slot per
+ * shard plus a main slot. A worker's token turn runs inside a
+ * MetricSlotScope that routes its records into the shard's own slot
+ * (the token protocol's release/acquire hand-offs order those writes
+ * exactly as they order RunStats mutations), and the coordinator
+ * folds the shard slots into the main slot at every quantum barrier
+ * — in shard order, so the merged values are byte-identical to a
+ * sequential (`par.shards=0`) run of the same workload.
+ *
+ * Scope. Sim-scope metrics measure simulated behaviour and must be
+ * deterministic; they are the only ones embedded in stats JSON (the
+ * `metrics` section `nvo_analyze` validates). Host-scope metrics
+ * measure the host-side engine itself (ring drains, token-wait
+ * spins) and legitimately vary run to run, so they appear only in
+ * the Prometheus/JSONL exports.
+ *
+ * Registrations persist for the life of the process (handles stay
+ * valid across System rebuilds); configure() zeroes every value and
+ * drops gauges, whose closures capture per-build component state.
+ */
+
+#ifndef NVO_OBS_REGISTRY_HH
+#define NVO_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/hist.hh"
+
+namespace nvo
+{
+
+class Config;
+
+namespace obs
+{
+
+class JsonWriter;
+
+/** True when the build compiles metric hooks in. */
+#ifdef NVO_METRIC_ENABLED
+constexpr bool metricCompiled = true;
+#else
+constexpr bool metricCompiled = false;
+#endif
+
+/** What a metric measures — see the file comment. */
+enum class MetricScope : unsigned char
+{
+    Sim,    ///< simulated behaviour; deterministic; in stats JSON
+    Host,   ///< host engine behaviour; exports only
+};
+
+/** A monotonically increasing count, one slot per shard. Record
+ *  through MetricRegistry::inc (via NVO_METRIC); never construct one
+ *  directly outside the registry (the `metric-registry` lint rule). */
+struct Counter
+{
+    std::string name;
+    MetricScope scope = MetricScope::Sim;
+    std::vector<std::uint64_t> slots;
+};
+
+/** A distribution (obs/hist.hh), one slot per shard. */
+struct HistMetric
+{
+    std::string name;
+    MetricScope scope = MetricScope::Sim;
+    std::vector<Histogram> slots;
+};
+
+/** A value polled at snapshot time on the coordinator thread; no
+ *  merge semantics needed. Re-registered every build. */
+struct Gauge
+{
+    MetricScope scope = MetricScope::Sim;
+    std::function<std::uint64_t()> fn;
+};
+
+class MetricRegistry
+{
+  public:
+    /** Hot-path gate for NVO_METRIC. */
+    bool armed() const { return armed_; }
+
+    /**
+     * (Re)configure from @p cfg: `metrics.enabled` (default off; only
+     * probed when explicitly set, so untouched configs dump
+     * byte-identically). Zeroes every counter and histogram, drops
+     * all gauges, and resets the shard count to zero. Runs at the
+     * top of System::build, before components register.
+     */
+    void configure(const Config &cfg);
+
+    /** Direct runtime control (tests, replica quiesce). */
+    void setArmed(bool on);
+
+    /** Size every metric for @p shards shard slots plus the main
+     *  slot. 0 = sequential (main slot only). */
+    void setShards(unsigned shards);
+
+    /** Fold shard slots 1..N into the main slot, in shard order.
+     *  Coordinator-only, at quantum barriers. */
+    void mergeShards();
+
+    // --- Registration (build time; handles live forever) -----------
+
+    /** Register (or look up) a counter. A second registration under
+     *  the same name returns the existing handle. */
+    Counter *addCounter(const std::string &name,
+                        MetricScope scope = MetricScope::Sim);
+
+    /** Register (or look up) a histogram. */
+    HistMetric *addHist(const std::string &name,
+                        MetricScope scope = MetricScope::Sim);
+
+    /** Register a polled gauge; re-registering replaces the closure
+     *  (gauges capture per-build state). */
+    void addGauge(const std::string &name,
+                  std::function<std::uint64_t()> fn,
+                  MetricScope scope = MetricScope::Sim);
+
+    // --- Hot path (call through NVO_METRIC) ------------------------
+
+    void
+    inc(Counter *c, std::uint64_t d = 1)
+    {
+        c->slots[slotOf(c->slots.size())] += d;
+    }
+
+    void
+    record(HistMetric *h, std::uint64_t v)
+    {
+        h->slots[slotOf(h->slots.size())].record(v);
+    }
+
+    // --- Snapshots --------------------------------------------------
+
+    /** Current total of @p c across every slot (slot order, so the
+     *  reading is deterministic whether or not a merge ran). */
+    std::uint64_t total(const Counter *c) const;
+
+    /** All slots of @p h merged into one view. */
+    Histogram merged(const HistMetric *h) const;
+
+    /** Number of Sim-scope metrics (counters + gauges + histograms)
+     *  currently registered — the `registered` field nvo_analyze
+     *  checks the snapshot against. */
+    std::size_t simRegistered() const;
+
+    /** Stats-JSON `metrics` section: Sim scope only. */
+    void writeJson(JsonWriter &w) const;
+
+    /** Prometheus text exposition (all scopes; histograms as
+     *  summaries with p50/p90/p99 quantiles). */
+    void writePrometheus(std::ostream &os) const;
+
+    /** One `nvo-metrics-v1` JSONL snapshot line (all scopes). */
+    void writeJsonlLine(std::ostream &os, EpochWide epoch,
+                        Cycle now) const;
+
+  private:
+    friend class MetricSlotScope;
+
+    /** Worker-local slot, clamped so a metric registered after
+     *  setShards (or a stray thread) still lands somewhere valid. */
+    static unsigned
+    slotOf(std::size_t have)
+    {
+        unsigned s = tlsSlot_;
+        return s < have ? s : 0;
+    }
+
+    static thread_local unsigned tlsSlot_;
+
+    bool armed_ = false;
+    unsigned shards_ = 0;
+    /** Deques: handle pointers must survive later registrations. */
+    std::deque<Counter> counters_;
+    std::deque<HistMetric> hists_;
+    std::map<std::string, Counter *> counterByName_;
+    std::map<std::string, HistMetric *> histByName_;
+    std::map<std::string, Gauge> gauges_;
+};
+
+/** The process-wide registry. */
+MetricRegistry &metricRegistry();
+
+/**
+ * RAII: route this thread's metric records into shard slot
+ * @p shard + 1 for the scope's lifetime. The par engine opens one
+ * inside each token turn (engine.cc runShard); everything outside a
+ * scope records into the main slot.
+ */
+class MetricSlotScope
+{
+  public:
+    explicit MetricSlotScope(unsigned shard)
+        : prev_(MetricRegistry::tlsSlot_)
+    {
+        MetricRegistry::tlsSlot_ = shard + 1;
+    }
+    ~MetricSlotScope() { MetricRegistry::tlsSlot_ = prev_; }
+    MetricSlotScope(const MetricSlotScope &) = delete;
+    MetricSlotScope &operator=(const MetricSlotScope &) = delete;
+
+  private:
+    unsigned prev_;
+};
+
+/**
+ * Periodic exporter: rewrites a Prometheus scrape file and appends
+ * JSONL snapshots every `metrics.interval_epochs` epoch boundaries.
+ * Owned by the harness; a no-op unless the registry is armed and at
+ * least one output path is configured.
+ */
+class MetricExporter
+{
+  public:
+    /** `metrics.interval_epochs` (default 1), `metrics.prom_out`,
+     *  `metrics.jsonl_out` — all probed with has() first. */
+    void configure(const Config &cfg);
+
+    bool enabled() const;
+
+    /** Epoch-boundary hook; exports when the interval elapsed. */
+    void onEpochBoundary(EpochWide epoch, Cycle now);
+
+    /** Unconditional export after finalize (run end). */
+    void finalExport(EpochWide epoch, Cycle now);
+
+  private:
+    void exportNow(EpochWide epoch, Cycle now);
+
+    std::uint64_t intervalEpochs_ = 1;
+    std::string promPath_;
+    std::string jsonlPath_;
+    bool exportedOnce_ = false;
+    EpochWide lastEpoch_ = 0;
+};
+
+} // namespace obs
+} // namespace nvo
+
+#ifdef NVO_METRIC_ENABLED
+/** Invoke a MetricRegistry method iff the registry is armed:
+ *  NVO_METRIC(record(h_walk_, depth)). */
+#define NVO_METRIC(call)                                               \
+    do {                                                               \
+        ::nvo::obs::MetricRegistry &nm_ =                              \
+            ::nvo::obs::metricRegistry();                              \
+        if (nm_.armed())                                               \
+            nm_.call;                                                  \
+    } while (0)
+#else
+/* Compiled out: the call stays type-checked but is never evaluated. */
+#define NVO_METRIC(call)                                               \
+    do {                                                               \
+        if (false)                                                     \
+            ::nvo::obs::metricRegistry().call;                         \
+    } while (0)
+#endif
+
+#endif // NVO_OBS_REGISTRY_HH

@@ -4,6 +4,7 @@
 #include "obs/json.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
+#include "obs/registry.hh"
 
 namespace nvo
 {
@@ -133,6 +134,12 @@ writeStatsJson(std::ostream &os, const std::string &scheme,
     writeRunStats(w, stats);
     w.key("ledger");
     obs::ledger().writeJson(w);
+    // Sim-scope registry snapshot: only on armed runs, so every
+    // pre-metrics stats file (and baseline) is byte-identical.
+    if (obs::metricRegistry().armed()) {
+        w.key("metrics");
+        obs::metricRegistry().writeJson(w);
+    }
     if (series) {
         w.key("epoch_series");
         series->writeJson(w);

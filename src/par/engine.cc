@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "cpu/core.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "workload/workload.hh"
 
@@ -32,6 +33,13 @@ ShardEngine::ShardEngine(const Params &params, WorkloadBase &workload,
       map_(params.shards, num_vds, num_slices, cores_per_vd),
       slots(params.shards), doneRing(8)
 {
+    hRingDrained_ = obs::metricRegistry().addHist(
+        "par.ring_drained", obs::MetricScope::Host);
+    hRingHighWater_ = obs::metricRegistry().addHist(
+        "par.ring_high_water", obs::MetricScope::Host);
+    cTokenWait_ = obs::metricRegistry().addCounter(
+        "par.token_wait_spins", obs::MetricScope::Host);
+
     rep.shards = p.shards;
     rep.pregen = p.pregen && workload.independentGen();
 
@@ -184,6 +192,11 @@ ShardEngine::runShard(const Grant &g)
         // duration of the guard. The capability's acquire/release
         // double as the runtime-audit and TSan-visible handoff.
         ShardGuard guard(slot.cap);
+        // Sim-scope metrics recorded during this turn land in the
+        // shard's private registry slot; the coordinator folds the
+        // slots in shard order at the barrier, so the merged totals
+        // match the sequential engine exactly.
+        obs::MetricSlotScope mslot(g.shard);
         ++slot.metrics.quanta;
         try {
             for (Core *core : slot.cores) {
@@ -237,7 +250,9 @@ ShardEngine::runQuantum(Cycle quantum_end)
 
     Done d;
     unsigned spins = 0;
+    std::uint64_t waited = 0;
     while (!doneRing.tryPop(d)) {
+        ++waited;
         if (++spins >= spinLimit) {
             std::unique_lock<std::mutex> lk(wakeMutex);
             if (doneRing.empty())
@@ -245,6 +260,7 @@ ShardEngine::runQuantum(Cycle quantum_end)
             spins = 0;
         }
     }
+    NVO_METRIC(inc(cTokenWait_, waited));
     nvo_assert(d.seq == g.seq, "token barrier out of sequence");
     ++rep.quanta;
     rep.tokens += p.shards;
@@ -269,6 +285,8 @@ ShardEngine::runQuantum(Cycle quantum_end)
         if (drained)
             NVO_TRACE(Par, ParXDrain, obs::trackShard(s), quantum_end,
                       drained, hw);
+        NVO_METRIC(record(hRingDrained_, drained));
+        NVO_METRIC(record(hRingHighWater_, hw));
     }
 
     for (unsigned s = 0; s < p.shards; ++s) {

@@ -56,6 +56,12 @@ namespace nvo
 class Core;
 class WorkloadBase;
 
+namespace obs
+{
+struct Counter;
+struct HistMetric;
+} // namespace obs
+
 namespace par
 {
 
@@ -186,6 +192,15 @@ class ShardEngine : public Hierarchy::TrafficSink
      *  rings carry the data, the condvar only wakes sleepers. */
     std::mutex wakeMutex;
     std::condition_variable wakeCv;
+
+    /** Host-scope telemetry (obs/registry.hh): engine-side behaviour
+     *  that varies with the host schedule, so it is exported to
+     *  Prometheus/JSONL but — like EngineReport — never enters the
+     *  stats JSON (the determinism contract). Recorded only by the
+     *  coordinator at the quantum barrier. */
+    obs::HistMetric *hRingDrained_ = nullptr;
+    obs::HistMetric *hRingHighWater_ = nullptr;
+    obs::Counter *cTokenWait_ = nullptr;
 
     EngineReport rep;
     std::uint64_t seq = 0;

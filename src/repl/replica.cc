@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "fault/fault.hh"
 #include "obs/ledger.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -24,11 +25,17 @@ class Quiesce
   public:
     Quiesce()
         : savedMask(obs::tracer().mask()),
-          ledgerWasArmed(obs::ledger().armed())
+          ledgerWasArmed(obs::ledger().armed()),
+          metricsWereArmed(obs::metricRegistry().armed())
     {
         obs::tracer().setMask(0);
         if (ledgerWasArmed)
             obs::ledger().setArmed(false);
+        // The standby's MnmBackend shares registered metric handles
+        // with the primary's (same names); disarm so standby applies
+        // do not pollute the primary's distributions.
+        if (metricsWereArmed)
+            obs::metricRegistry().setArmed(false);
     }
 
     ~Quiesce()
@@ -36,6 +43,8 @@ class Quiesce
         obs::tracer().setMask(savedMask);
         if (ledgerWasArmed)
             obs::ledger().setArmed(true);
+        if (metricsWereArmed)
+            obs::metricRegistry().setArmed(true);
     }
 
     Quiesce(const Quiesce &) = delete;
@@ -44,6 +53,7 @@ class Quiesce
   private:
     std::uint32_t savedMask;
     bool ledgerWasArmed;
+    bool metricsWereArmed;
     fault::ScopedPause pause;
 };
 

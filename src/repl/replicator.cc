@@ -1,6 +1,7 @@
 #include "repl/replicator.hh"
 
 #include "common/log.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 
 namespace nvo
@@ -61,6 +62,18 @@ Replicator::Replicator(const Params &params, MnmBackend &backend_ref,
     });
 
     backend.setReplSink(shipper_.get());
+
+    // Live replication health, polled at snapshot time. Both values
+    // are simulated-link state (seeded RNG), so they stay Sim scope
+    // and deterministic per seed.
+    obs::metricRegistry().addGauge("repl.retransmits", [this] {
+        return link_->stats().retries;
+    });
+    obs::metricRegistry().addGauge("repl.lag_epochs", [this] {
+        std::uint64_t shipped = stats.repl.epochsShipped;
+        std::uint64_t applied = replica_->epochsApplied();
+        return shipped > applied ? shipped - applied : 0;
+    });
 }
 
 Replicator::~Replicator()

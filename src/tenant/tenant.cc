@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/config.hh"
+#include "obs/registry.hh"
 
 namespace nvo
 {
@@ -40,9 +41,12 @@ TenantManager::PerTenant &
 TenantManager::slot(Asid asid)
 {
     auto [it, created] = tenants.try_emplace(asid);
-    if (created)
+    if (created) {
         it->second.tokens =
             static_cast<std::int64_t>(p.qosBurstBytes);
+        it->second.hStall = obs::metricRegistry().addHist(
+            "tenant.qos_stall_cycles.asid" + std::to_string(asid));
+    }
     return it->second;
 }
 
@@ -141,6 +145,7 @@ TenantManager::throttleStall(Asid asid, Cycle now)
     t.lastRefill = now + stall;
     t.throttleStallCycles += stall;
     stats.extra["tenant_throttle_stalls"] += stall;
+    NVO_METRIC(record(t.hStall, stall));
     return stall;
 }
 

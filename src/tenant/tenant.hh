@@ -44,6 +44,11 @@ namespace nvo
 
 class Config;
 
+namespace obs
+{
+struct HistMetric;
+} // namespace obs
+
 namespace tenant
 {
 
@@ -79,6 +84,10 @@ class TenantManager
         std::uint64_t quotaRejections = 0;
         std::uint64_t softWarnings = 0;
         std::uint64_t peakLines = 0;
+        /** Per-ASID QoS stall distribution
+         *  (`tenant.qos_stall_cycles.asid<N>`), registered lazily
+         *  when the tenant first shows activity. */
+        obs::HistMetric *hStall = nullptr;
     };
 
     /** Current pool occupancy of one tenant, in lines (summed across

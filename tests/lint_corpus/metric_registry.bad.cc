@@ -1,0 +1,15 @@
+// lint-path: nvoverlay/fixture.cc
+// A privately owned histogram: invisible to the exporter and outside
+// the registry's shard-slot merge, so parallel runs would diverge.
+
+struct BufferStats
+{
+    Histogram occupancy;
+    Histogram stallCycles;
+};
+
+void
+recordOccupancy(BufferStats &s, std::uint64_t occ)
+{
+    s.occupancy.record(occ);
+}

@@ -1,0 +1,9 @@
+// lint-path: repl/fixture.cc
+// A by-value counter in the replication layer: retransmit tallies
+// kept here never reach the Prometheus/JSONL exporter.
+
+struct LinkStats
+{
+    Counter retransmits;
+    obs::Counter shipped;
+};

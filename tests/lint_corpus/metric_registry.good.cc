@@ -1,0 +1,29 @@
+// lint-path: nvoverlay/fixture.cc
+// The hooked shape: hold registry-owned handles (pointers), register
+// by name in the constructor, record through NVO_METRIC. Forward
+// declarations of the metric types are also fine.
+
+namespace obs
+{
+struct HistMetric;
+struct Counter;
+} // namespace obs
+
+struct Instrumented
+{
+    obs::HistMetric *hWalk_ = nullptr;
+    obs::Counter *cInserts_ = nullptr;
+
+    Instrumented()
+        : hWalk_(obs::metricRegistry().addHist("mnm.walk_depth")),
+          cInserts_(obs::metricRegistry().addCounter("mnm.inserts"))
+    {
+    }
+
+    void
+    walk(unsigned depth)
+    {
+        NVO_METRIC(record(hWalk_, depth));
+        NVO_METRIC(inc(cInserts_, 1));
+    }
+};

@@ -400,6 +400,74 @@ analyzeTables(const Value &root)
                 human(static_cast<double>(table_bytes)).c_str());
 }
 
+/**
+ * (e): telemetry self-consistency (docs/OBSERVABILITY.md). Two
+ * invariants the registry must uphold: every histogram's per-bucket
+ * occupancies sum exactly to its sample count (the merge path folds
+ * shard slots bucket-by-bucket, so any drift means a lost or
+ * double-counted sample), and the snapshot carries every registered
+ * sim-scope metric (`registered` vs. the sections actually present).
+ * Silently skipped (exit 0) for runs without a metrics section.
+ */
+int
+analyzeMetrics(const Value &root)
+{
+    const Value *metrics = root.get("metrics");
+    if (!metrics)
+        return 0;   // metrics not armed for this run
+
+    std::printf("\n== telemetry self-consistency ==\n");
+    int rc = 0;
+
+    const Value *hists = metrics->get("hists");
+    std::size_t checked = 0;
+    if (hists) {
+        for (const auto &kv : hists->obj) {
+            const Value &h = *kv.second;
+            std::uint64_t count =
+                h.get("count") ? h.get("count")->asU64() : 0;
+            const Value *buckets = h.get("buckets");
+            std::uint64_t occ = 0;
+            if (buckets)
+                for (const auto &b : buckets->obj)
+                    occ += b.second->asU64();
+            ++checked;
+            if (occ != count) {
+                std::printf("  HISTOGRAM DRIFT: %s buckets hold %llu "
+                            "sample(s) but count says %llu\n",
+                            kv.first.c_str(),
+                            static_cast<unsigned long long>(occ),
+                            static_cast<unsigned long long>(count));
+                rc = 1;
+            }
+        }
+    }
+    if (rc == 0)
+        std::printf("  %zu histogram(s): bucket occupancies sum to "
+                    "their sample counts\n",
+                    checked);
+
+    const Value *registered = metrics->get("registered");
+    const Value *counters = metrics->get("counters");
+    const Value *gauges = metrics->get("gauges");
+    std::size_t present = (counters ? counters->obj.size() : 0) +
+                          (gauges ? gauges->obj.size() : 0) +
+                          (hists ? hists->obj.size() : 0);
+    std::uint64_t expect = registered ? registered->asU64() : 0;
+    if (!registered || expect != present) {
+        std::printf("  METRIC MISSING: registry registered %llu "
+                    "sim-scope metric(s) but the snapshot carries "
+                    "%zu\n",
+                    static_cast<unsigned long long>(expect), present);
+        rc = 1;
+    } else {
+        std::printf("  snapshot complete: all %llu registered "
+                    "metric(s) present\n",
+                    static_cast<unsigned long long>(expect));
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -438,6 +506,7 @@ main(int argc, char **argv)
 
     int rc = analyzeLedger(*root);
     rc |= analyzeTenants(*root);
+    rc |= analyzeMetrics(*root);
     analyzeTables(*root);
     if (!trace_path.empty())
         analyzeSkew(*parseFile(trace_path));

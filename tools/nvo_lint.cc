@@ -444,7 +444,7 @@ argsCarryAsid(const std::vector<Token> &toks, std::size_t open)
 void
 lintTokens(const std::string &display, const std::vector<Token> &toks,
            bool is_epoch_header, bool raw_io_exempt,
-           bool persist_scope, bool par_scope,
+           bool persist_scope, bool par_scope, bool metric_scope,
            std::vector<Violation> &out)
 {
     // Brace-depth bookkeeping for shard-confinement: a ShardGuard
@@ -618,6 +618,25 @@ lintTokens(const std::string &display, const std::vector<Token> &toks,
                  "versions exit the ledger first)"});
         }
 
+        // metric-registry: instrumented subsystems must hold metric
+        // *handles* from obs::metricRegistry() (addCounter/addHist),
+        // never own a Histogram/Counter by value — a privately owned
+        // instrument is invisible to the exporter and breaks the
+        // shard-slot merge that keeps parallel runs deterministic.
+        // Pointer declarations (`HistMetric *h`) and forward
+        // declarations stay clean: the next token is not an ident.
+        static const std::set<std::string> metric_types = {
+            "Histogram", "HistMetric", "Counter"};
+        if (metric_scope && t.ident && metric_types.count(t.text) &&
+            i + 1 < toks.size() && toks[i + 1].ident) {
+            out.push_back(
+                {display, t.line, "metric-registry",
+                 "by-value " + t.text + " construction outside the "
+                 "registry (hold a handle from obs::metricRegistry()"
+                 ".addCounter/addHist so the exporter sees it and "
+                 "shard slots merge deterministically)"});
+        }
+
         if (t.text == "new") {
             out.push_back({display, t.line, "raw-new-delete",
                            "raw new expression (own memory with "
@@ -654,10 +673,13 @@ lintText(const std::string &display, const std::string &guard_path,
         guard_path.rfind("harness/table_printer", 0) == 0;
     bool persist_scope = guard_path.rfind("nvoverlay/", 0) == 0;
     bool par_scope = guard_path.rfind("par/", 0) == 0;
+    bool metric_scope = persist_scope || par_scope ||
+                        guard_path.rfind("repl/", 0) == 0 ||
+                        guard_path.rfind("tenant/", 0) == 0;
     if (is_header)
         checkIncludeGuard(display, text, guard_path, out);
     lintTokens(display, toks, is_epoch_header, raw_io_exempt,
-               persist_scope, par_scope, out);
+               persist_scope, par_scope, metric_scope, out);
 
     // Drop violations suppressed by an inline marker.
     out.erase(std::remove_if(
@@ -930,6 +952,29 @@ selfTest()
         {"shard-confinement allow marker suppresses", "par/foo.cc",
          "void f(Core *c) { c->runUntil(end); }"
          "  // nvo-lint: allow(shard-confinement)\n",
+         nullptr},
+        {"by-value Histogram flagged in nvoverlay", "nvoverlay/foo.cc",
+         "struct S { Histogram walkDepth; };\n",
+         "metric-registry"},
+        {"by-value Counter flagged in repl", "repl/foo.cc",
+         "void f() { Counter retries; }\n",
+         "metric-registry"},
+        {"by-value HistMetric flagged in tenant", "tenant/foo.cc",
+         "struct S { obs::HistMetric stall; };\n",
+         "metric-registry"},
+        {"registry handle pointer is clean", "par/foo.cc",
+         "struct S { obs::HistMetric *hRing = nullptr; };\n",
+         nullptr},
+        {"metric forward declaration is clean", "nvoverlay/foo.cc",
+         "namespace obs { struct HistMetric; struct Counter; }\n",
+         nullptr},
+        {"by-value Histogram outside the scoped dirs is clean",
+         "obs/foo.cc",
+         "struct S { Histogram h; };\n",
+         nullptr},
+        {"metric-registry allow marker suppresses", "nvoverlay/foo.cc",
+         "struct S { Histogram h; };"
+         "  // nvo-lint: allow(metric-registry)\n",
          nullptr},
     };
 

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * nvo_top: terminal live monitor for a running (or finished)
+ * simulation's metric stream.
+ *
+ * Tails the append-only JSONL file the metric exporter writes
+ * (`metrics.jsonl_out`, one `nvo-metrics-v1` snapshot per line; see
+ * docs/OBSERVABILITY.md) and renders the newest snapshot as a compact
+ * dashboard: counters with rates derived from the previous snapshot,
+ * polled gauges, and histogram percentile rows. Standalone like the
+ * other offline tools — json_mini.hh only, no simulator library.
+ *
+ * Usage:
+ *   nvo_top [--interval-ms N] [--once] <metrics.jsonl>
+ *
+ * --once renders the newest snapshot and exits (CI smoke mode);
+ * otherwise the screen refreshes every N ms (default 1000) until
+ * interrupted. Exit codes: 0 rendered, 1 no valid snapshot found
+ * (in --once mode), 2 usage/IO error.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_mini.hh"
+
+namespace
+{
+
+using jsonmini::Value;
+using jsonmini::ValuePtr;
+
+struct Snapshot
+{
+    ValuePtr root;
+    std::uint64_t epoch = 0;
+    std::uint64_t cycle = 0;
+};
+
+/** Parse one JSONL line into a snapshot; nullopt-style via root. */
+Snapshot
+parseLine(const std::string &line)
+{
+    Snapshot s;
+    ValuePtr v;
+    try {
+        v = jsonmini::parse(line);
+    } catch (const std::exception &) {
+        return s;
+    }
+    const Value *fmt = v->get("format");
+    if (!fmt || fmt->asString() != "nvo-metrics-v1")
+        return s;
+    s.root = v;
+    if (const Value *e = v->get("epoch"))
+        s.epoch = e->asU64();
+    if (const Value *c = v->get("cycle"))
+        s.cycle = c->asU64();
+    return s;
+}
+
+/**
+ * Read the newest (and second-newest, for rates) valid snapshot.
+ * A fresh read each refresh keeps the tool robust against the
+ * exporter appending mid-read: a torn last line simply fails to
+ * parse and the previous line is used.
+ */
+bool
+readTail(const std::string &path, Snapshot &latest, Snapshot &prev)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    Snapshot a, b;   // b = newest, a = one before
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Snapshot s = parseLine(line);
+        if (!s.root)
+            continue;
+        a = b;
+        b = s;
+    }
+    latest = b;
+    prev = a;
+    return static_cast<bool>(latest.root);
+}
+
+void
+renderCounters(const Snapshot &s, const Snapshot &prev)
+{
+    const Value *cs = s.root->get("counters");
+    if (!cs || cs->obj.empty())
+        return;
+    const Value *ps = prev.root ? prev.root->get("counters") : nullptr;
+    double dcyc = (prev.root && s.cycle > prev.cycle)
+                      ? static_cast<double>(s.cycle - prev.cycle)
+                      : 0.0;
+    std::printf("  %-36s %14s %14s\n", "counter", "total",
+                "per-kcycle");
+    for (const auto &kv : cs->obj) {
+        std::uint64_t cur = kv.second->asU64();
+        std::string rate = "-";
+        if (dcyc > 0.0) {
+            const Value *p = ps ? ps->get(kv.first) : nullptr;
+            std::uint64_t old = p ? p->asU64() : 0;
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.2f",
+                          static_cast<double>(cur - old) * 1000.0 /
+                              dcyc);
+            rate = buf;
+        }
+        std::printf("  %-36s %14llu %14s\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(cur),
+                    rate.c_str());
+    }
+    std::printf("\n");
+}
+
+void
+renderGauges(const Snapshot &s)
+{
+    const Value *gs = s.root->get("gauges");
+    if (!gs || gs->obj.empty())
+        return;
+    std::printf("  %-36s %14s\n", "gauge", "value");
+    for (const auto &kv : gs->obj)
+        std::printf("  %-36s %14llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(
+                        kv.second->asU64()));
+    std::printf("\n");
+}
+
+void
+renderHists(const Snapshot &s)
+{
+    const Value *hs = s.root->get("hists");
+    if (!hs || hs->obj.empty())
+        return;
+    std::printf("  %-32s %12s %8s %8s %8s %10s\n", "histogram",
+                "count", "p50", "p90", "p99", "max");
+    for (const auto &kv : hs->obj) {
+        const Value &h = *kv.second;
+        std::printf(
+            "  %-32s %12llu %8llu %8llu %8llu %10llu\n",
+            kv.first.c_str(),
+            static_cast<unsigned long long>(
+                h.get("count") ? h.get("count")->asU64() : 0),
+            static_cast<unsigned long long>(
+                h.get("p50") ? h.get("p50")->asU64() : 0),
+            static_cast<unsigned long long>(
+                h.get("p90") ? h.get("p90")->asU64() : 0),
+            static_cast<unsigned long long>(
+                h.get("p99") ? h.get("p99")->asU64() : 0),
+            static_cast<unsigned long long>(
+                h.get("max") ? h.get("max")->asU64() : 0));
+    }
+    std::printf("\n");
+}
+
+void
+render(const std::string &path, const Snapshot &s, const Snapshot &prev,
+       bool clear)
+{
+    if (clear)
+        std::printf("\x1b[H\x1b[2J");   // home + clear screen
+    std::printf("nvo_top — %s\n", path.c_str());
+    std::printf("epoch %llu   cycle %llu\n\n",
+                static_cast<unsigned long long>(s.epoch),
+                static_cast<unsigned long long>(s.cycle));
+    renderCounters(s, prev);
+    renderGauges(s);
+    renderHists(s);
+    std::fflush(stdout);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: nvo_top [--interval-ms N] [--once] <metrics.jsonl>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool once = false;
+    long interval_ms = 1000;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--once") {
+            once = true;
+        } else if (arg == "--interval-ms") {
+            if (++i >= argc)
+                return usage();
+            interval_ms = std::atol(argv[i]);
+            if (interval_ms <= 0)
+                return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    if (once) {
+        Snapshot latest, prev;
+        if (!readTail(path, latest, prev)) {
+            std::fprintf(stderr,
+                         "nvo_top: no valid nvo-metrics-v1 snapshot "
+                         "in %s\n",
+                         path.c_str());
+            return 1;
+        }
+        render(path, latest, prev, false);
+        return 0;
+    }
+
+    std::uint64_t shownEpoch = ~0ull;
+    std::uint64_t shownCycle = ~0ull;
+    for (;;) {
+        Snapshot latest, prev;
+        if (readTail(path, latest, prev) &&
+            (latest.epoch != shownEpoch ||
+             latest.cycle != shownCycle)) {
+            render(path, latest, prev, true);
+            shownEpoch = latest.epoch;
+            shownCycle = latest.cycle;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+}
