@@ -8,19 +8,69 @@
  * extra Lamport advances.
  */
 
+#include <array>
+
 #include "bench_common.hh"
 #include "harness/system.hh"
+#include "par/procpool.hh"
 
 using namespace nvo;
+
+namespace
+{
+
+/** One measured cell shipped back from a forkMap worker. */
+struct Cell
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t advances = 0;
+    std::uint64_t lamport = 0;
+    std::uint64_t nvmWriteBytes = 0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::JsonReport report("ablation_oid_granularity",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "btree");
+    const std::array<unsigned, 3> grans = {1u, 4u, 16u};
+
+    // Each granularity is an independent simulation, so the sweep
+    // fans across --jobs worker processes and merges in cell order:
+    // same table and JSON rows for any job count.
+    std::vector<std::string> payloads = par::forkMap(
+        static_cast<unsigned>(grans.size()), jobs, [&](unsigned t) {
+            Config c = wcfg;
+            c.set("sim.oid_granularity", std::uint64_t(grans[t]));
+            System sys(c, "nvoverlay", "btree");
+            sys.run();
+            char buf[128];
+            std::snprintf(
+                buf, sizeof buf, "%llu %llu %llu %llu",
+                static_cast<unsigned long long>(sys.stats().cycles),
+                static_cast<unsigned long long>(
+                    sys.stats().epochAdvances),
+                static_cast<unsigned long long>(
+                    sys.stats().lamportAdvances),
+                static_cast<unsigned long long>(
+                    sys.stats().totalNvmWriteBytes()));
+            return std::string(buf);
+        });
+    std::array<Cell, 3> cells;
+    for (unsigned t = 0; t < grans.size(); ++t) {
+        unsigned long long cyc = 0, adv = 0, lam = 0, wr = 0;
+        if (std::sscanf(payloads[t].c_str(), "%llu %llu %llu %llu",
+                        &cyc, &adv, &lam, &wr) != 4)
+            fatal("ablation_oid: malformed worker payload '%s'",
+                  payloads[t].c_str());
+        cells[t] = {cyc, adv, lam, wr};
+    }
 
     std::printf("Ablation — DRAM OID tracking granularity "
                 "(btree)\n");
@@ -29,29 +79,25 @@ main(int argc, char **argv)
                        11);
     table.printHeader();
 
-    for (unsigned gran : {1u, 4u, 16u}) {
-        Config c = wcfg;
-        c.set("sim.oid_granularity", std::uint64_t(gran));
-        System sys(c, "nvoverlay", "btree");
-        sys.run();
+    for (unsigned t = 0; t < grans.size(); ++t) {
+        unsigned gran = grans[t];
+        const Cell &c = cells[t];
         std::string cell = std::to_string(gran) + "-lines";
         report.add(cell, "nvoverlay", "cycles",
-                   static_cast<double>(sys.stats().cycles));
+                   static_cast<double>(c.cycles));
         report.add(cell, "nvoverlay", "epoch_advances",
-                   static_cast<double>(sys.stats().epochAdvances));
+                   static_cast<double>(c.advances));
         report.add(cell, "nvoverlay", "lamport_advances",
-                   static_cast<double>(sys.stats().lamportAdvances));
+                   static_cast<double>(c.lamport));
         report.add(cell, "nvoverlay", "nvm_write_bytes",
-                   static_cast<double>(
-                       sys.stats().totalNvmWriteBytes()));
+                   static_cast<double>(c.nvmWriteBytes));
         table.printRow(
             {std::to_string(gran),
              TablePrinter::num(100.0 * 2 / (64.0 * gran), 2),
-             std::to_string(sys.stats().cycles),
-             std::to_string(sys.stats().epochAdvances),
-             std::to_string(sys.stats().lamportAdvances),
-             TablePrinter::num(
-                 sys.stats().totalNvmWriteBytes() / 1e6, 1)});
+             std::to_string(c.cycles),
+             std::to_string(c.advances),
+             std::to_string(c.lamport),
+             TablePrinter::num(c.nvmWriteBytes / 1e6, 1)});
     }
     report.write();
     return 0;

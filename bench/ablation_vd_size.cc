@@ -8,20 +8,77 @@
  * heavier, less local event and track versions at coarser grain.
  */
 
+#include <array>
+
 #include "bench_common.hh"
 #include "harness/system.hh"
 #include "nvoverlay/nvoverlay_scheme.hh"
+#include "par/procpool.hh"
 
 using namespace nvo;
+
+namespace
+{
+
+/** One measured cell shipped back from a forkMap worker. */
+struct Cell
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t advances = 0;
+    std::uint64_t lamport = 0;
+    std::uint64_t nvmWriteBytes = 0;
+    std::uint64_t recEpoch = 0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::JsonReport report("ablation_vd_size",
                              bench::extractJsonPath(argc, argv));
+    unsigned jobs = bench::extractJobs(argc, argv);
     Config cfg = bench::benchConfig(argc, argv);
     report.setConfig(cfg);
     Config wcfg = bench::forWorkload(cfg, "vacation");
+    const std::array<unsigned, 4> widths = {1u, 2u, 4u, 8u};
+
+    // Each VD width is an independent simulation, so the sweep fans
+    // across --jobs worker processes and merges in cell order: same
+    // table and JSON rows for any job count.
+    std::vector<std::string> payloads = par::forkMap(
+        static_cast<unsigned>(widths.size()), jobs, [&](unsigned t) {
+            Config c = wcfg;
+            c.set("sys.cores_per_vd", std::uint64_t(widths[t]));
+            System sys(c, "nvoverlay", "vacation");
+            sys.run();
+            auto &scheme =
+                dynamic_cast<NVOverlayScheme &>(sys.scheme());
+            char buf[160];
+            std::snprintf(
+                buf, sizeof buf, "%llu %llu %llu %llu %llu",
+                static_cast<unsigned long long>(sys.stats().cycles),
+                static_cast<unsigned long long>(
+                    sys.stats().epochAdvances),
+                static_cast<unsigned long long>(
+                    sys.stats().lamportAdvances),
+                static_cast<unsigned long long>(
+                    sys.stats().totalNvmWriteBytes()),
+                static_cast<unsigned long long>(
+                    scheme.backend().recEpoch()));
+            return std::string(buf);
+        });
+    std::array<Cell, 4> cells;
+    for (unsigned t = 0; t < widths.size(); ++t) {
+        unsigned long long cyc = 0, adv = 0, lam = 0, wr = 0,
+                           rec = 0;
+        if (std::sscanf(payloads[t].c_str(),
+                        "%llu %llu %llu %llu %llu", &cyc, &adv, &lam,
+                        &wr, &rec) != 5)
+            fatal("ablation_vd: malformed worker payload '%s'",
+                  payloads[t].c_str());
+        cells[t] = {cyc, adv, lam, wr, rec};
+    }
 
     std::printf("Ablation — cores per versioned domain (vacation)\n");
     TablePrinter table({"cores/VD", "cycles", "advances", "lamport",
@@ -29,32 +86,24 @@ main(int argc, char **argv)
                        11);
     table.printHeader();
 
-    for (unsigned width : {1u, 2u, 4u, 8u}) {
-        Config c = wcfg;
-        c.set("sys.cores_per_vd", std::uint64_t(width));
-        System sys(c, "nvoverlay", "vacation");
-        sys.run();
-        auto &scheme = dynamic_cast<NVOverlayScheme &>(sys.scheme());
-        std::string cell = std::to_string(width) + "-cores";
+    for (unsigned t = 0; t < widths.size(); ++t) {
+        const Cell &c = cells[t];
+        std::string cell = std::to_string(widths[t]) + "-cores";
         report.add(cell, "nvoverlay", "cycles",
-                   static_cast<double>(sys.stats().cycles));
+                   static_cast<double>(c.cycles));
         report.add(cell, "nvoverlay", "epoch_advances",
-                   static_cast<double>(sys.stats().epochAdvances));
+                   static_cast<double>(c.advances));
         report.add(cell, "nvoverlay", "lamport_advances",
-                   static_cast<double>(sys.stats().lamportAdvances));
+                   static_cast<double>(c.lamport));
         report.add(cell, "nvoverlay", "nvm_write_bytes",
-                   static_cast<double>(
-                       sys.stats().totalNvmWriteBytes()));
+                   static_cast<double>(c.nvmWriteBytes));
         report.add(cell, "nvoverlay", "rec_epoch",
-                   static_cast<double>(scheme.backend().recEpoch()));
+                   static_cast<double>(c.recEpoch));
         table.printRow(
-            {std::to_string(width),
-             std::to_string(sys.stats().cycles),
-             std::to_string(sys.stats().epochAdvances),
-             std::to_string(sys.stats().lamportAdvances),
-             TablePrinter::num(
-                 sys.stats().totalNvmWriteBytes() / 1e6, 1),
-             std::to_string(scheme.backend().recEpoch())});
+            {std::to_string(widths[t]), std::to_string(c.cycles),
+             std::to_string(c.advances), std::to_string(c.lamport),
+             TablePrinter::num(c.nvmWriteBytes / 1e6, 1),
+             std::to_string(c.recEpoch)});
     }
     report.write();
     return 0;

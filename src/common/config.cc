@@ -128,6 +128,20 @@ Config::setDerived(const std::string &key, std::uint64_t value)
 }
 
 std::vector<std::string>
+Config::keysWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (auto it = values.lower_bound(prefix);
+         it != values.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+        accessed.insert(it->first);
+        out.push_back(it->first);
+    }
+    return out;
+}
+
+std::vector<std::string>
 Config::unreadKeys() const
 {
     std::vector<std::string> out;

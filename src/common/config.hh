@@ -68,6 +68,15 @@ class Config
      */
     std::vector<std::string> unreadKeys() const;
 
+    /**
+     * Explicitly set keys starting with @p prefix, in sorted order,
+     * marked as accessed (the caller is consuming them wholesale —
+     * e.g., the phased workload forwarding `wl.phase<i>.*` overrides
+     * into an inner workload's config).
+     */
+    std::vector<std::string>
+    keysWithPrefix(const std::string &prefix) const;
+
   private:
     std::map<std::string, std::string> values;
     /** Resolved view, including defaults observed on access. */

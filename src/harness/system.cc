@@ -5,8 +5,10 @@
 
 #include "common/log.hh"
 #include "mem/persist_domain.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
 #include "obs/ledger.hh"
 #include "obs/trace.hh"
+#include "policy/engine.hh"
 
 namespace nvo
 {
@@ -27,6 +29,8 @@ System::System(const Config &cfg, const std::string &scheme_name,
 {
     build(scheme_name);
 }
+
+System::~System() = default;
 
 void
 System::build(const std::string &scheme_name)
@@ -61,6 +65,15 @@ System::build(const std::string &scheme_name)
     np.writeOccupancy = cfg_.getU64("nvm.write_occupancy", 400);
     np.readLatency = cfg_.getU64("nvm.read_lat", 510);
     np.bufferBytes = cfg_.getU64("nvm.buffer_mb", 32) * 1024 * 1024;
+    // Endurance model: has()-gated like par.shards so runs without
+    // the key keep their resolved-config dump (and stats JSON)
+    // byte-identical to before the wear model existed.
+    if (cfg_.has("nvm.wear.enabled") &&
+        cfg_.getBool("nvm.wear.enabled", false)) {
+        np.wearEnabled = true;
+        np.wearRegionBytes =
+            cfg_.getU64("nvm.wear.region_kb", 4) * 1024;
+    }
     nvm_ = std::make_unique<NvmModel>(np, &stats_);
     // Crash campaigns arm the persist domain so durable mutations
     // journal undo records until the next barrier; plain performance
@@ -259,6 +272,25 @@ System::build(const std::string &scheme_name)
                 return it == s->extra.end() ? 0 : it->second;
             });
         }
+        // Soak runs cap the series memory; the exporter notes the
+        // decimation factor (has()-gated: unset keeps the series —
+        // and its JSON — exactly as before the cap existed).
+        if (cfg_.has("stats.series_max"))
+            series_.setMaxRows(static_cast<std::size_t>(
+                cfg_.getU64("stats.series_max", 0)));
+    }
+
+    // Adaptive policy engine (ROADMAP item 5). has()-gated like
+    // par.shards: runs without the key resolve no policy.* defaults,
+    // so their config dump and stats JSON stay byte-identical.
+    if (cfg_.has("policy.enabled") &&
+        cfg_.getBool("policy.enabled", false)) {
+        auto *nvo_scheme =
+            dynamic_cast<NVOverlayScheme *>(scheme_.get());
+        if (nvo_scheme)
+            policy_ = std::make_unique<policy::PolicyEngine>(
+                *nvo_scheme, stats_,
+                policy::Params::fromConfig(cfg_));
     }
 }
 
@@ -297,7 +329,7 @@ System::stepQuantum()
         stats_.barrierStallCycles += gs;
     }
 
-    if ((seriesEnabled || exporter_.enabled()) &&
+    if ((seriesEnabled || exporter_.enabled() || policy_) &&
         scheme_->epochsCompleted() != epochsAtLastSample) {
         // Derived aggregates (table/pool sizes) are refreshed lazily;
         // pull them up to date so the sampled row is consistent.
@@ -305,6 +337,13 @@ System::stepQuantum()
         if (seriesEnabled)
             series_.sample(scheme_->globalEpoch(), quantumEnd);
         exporter_.onEpochBoundary(scheme_->globalEpoch(), quantumEnd);
+        // Policy evaluation runs after the sample/export, so the
+        // recorded row reflects the epoch as it actually ran and the
+        // actuation applies from the next epoch on. Decisions read
+        // only coordinator-side simulated state (quiescent at the
+        // quantum barrier), keeping shard runs byte-identical.
+        if (policy_)
+            policy_->onEpochBoundary(quantumEnd);
         epochsAtLastSample = scheme_->epochsCompleted();
     }
 
@@ -386,11 +425,15 @@ System::run()
               0);
 
     // Close the metric series with a post-finalize row: the final
-    // epoch's evictions and the shutdown flush land here.
+    // epoch's evictions and the shutdown flush land here (forced
+    // past any decimation cap so the closing row always exists).
     scheme_->updateStats();
     if (seriesEnabled)
-        series_.sample(scheme_->globalEpoch(), flush_done);
+        series_.sampleForced(scheme_->globalEpoch(), flush_done);
     exporter_.finalExport(scheme_->globalEpoch(), flush_done);
+    if (policy_)
+        policy_->exportStats(stats_);
+    nvm_->exportWear(stats_);
 
     auto t2 = SteadyClock::now();
     stats_.extra["host_run_us"] = host_us(t0, t1);

@@ -32,6 +32,11 @@
 namespace nvo
 {
 
+namespace policy
+{
+class PolicyEngine;
+} // namespace policy
+
 class System
 {
   public:
@@ -66,6 +71,8 @@ class System
     /** Variant with an injected workload (tests). */
     System(const Config &cfg, const std::string &scheme_name,
            std::unique_ptr<WorkloadBase> workload);
+
+    ~System();
 
     /** Run to completion and finalize the scheme. */
     void run();
@@ -102,6 +109,14 @@ class System
     /** The shard engine, or nullptr when running sequentially. */
     par::ShardEngine *parEngine() { return parEngine_.get(); }
 
+    /** The adaptive policy engine, or nullptr unless
+     *  `policy.enabled=1` and the scheme is nvoverlay. */
+    policy::PolicyEngine *policyEngine() { return policy_.get(); }
+    const policy::PolicyEngine *policyEngine() const
+    {
+        return policy_.get();
+    }
+
   private:
     void build(const std::string &scheme_name);
     void stepQuantum();
@@ -133,6 +148,8 @@ class System
     std::uint64_t epochsAtLastSample = 0;
     /** Periodic Prometheus/JSONL metric exports (obs/registry.hh). */
     obs::MetricExporter exporter_;
+    /** Adaptive policy engine (src/policy); null unless enabled. */
+    std::unique_ptr<policy::PolicyEngine> policy_;
 };
 
 } // namespace nvo

@@ -86,6 +86,8 @@ NvmModel::write(Addr addr, std::uint32_t bytes, Cycle now,
         bankFree[bank] = done;
         if (done > completion)
             completion = done;
+        if (p.wearEnabled)
+            ++wear_[(addr + i * lineBytes) / p.wearRegionBytes];
     }
 
     writeBytes += bytes;
@@ -108,6 +110,30 @@ NvmModel::read(Addr addr, std::uint32_t bytes, Cycle now)
     if (stats)
         stats->nvmReadBytes += bytes;
     return done - now;
+}
+
+void
+NvmModel::exportWear(RunStats &run_stats) const
+{
+    if (!p.wearEnabled || wear_.empty())
+        return;
+    std::uint64_t maxWrites = 0;
+    std::uint64_t totalWrites = 0;
+    for (const auto &kv : wear_) {
+        maxWrites = std::max(maxWrites, kv.second);
+        totalWrites += kv.second;
+    }
+    std::uint64_t regions = wear_.size();
+    // Mean scaled x1000 so the skew stays meaningful in integer
+    // stats; ratio = max/mean x1000 (1000 = perfectly level wear).
+    std::uint64_t meanX1000 = totalWrites * 1000 / regions;
+    run_stats.extra["nvm_wear_regions"] = regions;
+    run_stats.extra["nvm_wear_region_bytes"] = p.wearRegionBytes;
+    run_stats.extra["nvm_wear_line_writes"] = totalWrites;
+    run_stats.extra["nvm_wear_max_writes"] = maxWrites;
+    run_stats.extra["nvm_wear_mean_writes_x1000"] = meanX1000;
+    run_stats.extra["nvm_wear_ratio_x1000"] =
+        meanX1000 ? maxWrites * 1000 * 1000 / meanX1000 : 0;
 }
 
 Cycle

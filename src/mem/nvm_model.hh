@@ -21,6 +21,7 @@
 #define NVO_MEM_NVM_MODEL_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,13 @@ class NvmModel
         Cycle readLatency = 510;   // ~170 ns
         /** Write-back DRAM buffer in front of the device. */
         std::uint64_t bufferBytes = 32ull * 1024 * 1024;
+        /** Endurance model: count per-region write traffic so wear
+         *  skew (max/mean region writes) is observable. Off by
+         *  default — the counters are the only effect, but keeping
+         *  the flag off leaves write() at one extra branch. */
+        bool wearEnabled = false;
+        /** Wear-accounting region size in bytes. */
+        std::uint64_t wearRegionBytes = 4096;
     };
 
     NvmModel(const Params &params, RunStats *run_stats);
@@ -80,6 +88,17 @@ class NvmModel
     std::uint64_t totalStallCycles() const { return stallCycles; }
 
     /**
+     * Export wear-leveling statistics into `stats.extra` as
+     * `nvm_wear_*` keys (region count, max and mean line writes per
+     * region, and the max/mean skew ratio x1000). No-op when the
+     * wear model is off, so existing stats output is byte-unchanged.
+     */
+    void exportWear(RunStats &run_stats) const;
+
+    /** Touched wear regions (tests). */
+    std::size_t wearRegions() const { return wear_.size(); }
+
+    /**
      * The persist boundary: durable structures stage undo records and
      * fence through this domain (see mem/persist_domain.hh).
      */
@@ -101,6 +120,9 @@ class NvmModel
     std::uint64_t writeBytes = 0;
     std::uint64_t readBytes = 0;
     std::uint64_t stallCycles = 0;
+    /** Per-region line-write counts (ordered so the export and any
+     *  iteration stay deterministic). Keyed by addr/wearRegionBytes. */
+    std::map<std::uint64_t, std::uint64_t> wear_;
     std::unique_ptr<PersistDomain> persist_;
 };
 

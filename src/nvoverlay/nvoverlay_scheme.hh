@@ -91,6 +91,14 @@ class NVOverlayScheme : public Scheme, public VersionCtrl
         return vds[vd];
     }
     TagWalker &walker(unsigned vd) { return *walkers[vd]; }
+    unsigned numVds() const
+    {
+        return static_cast<unsigned>(vds.size());
+    }
+    const tenant::TenantManager *tenantManager() const
+    {
+        return tm_.get();
+    }
     const EpochSenseTracker &senseTracker() const { return *sense; }
 
   private:

@@ -872,6 +872,27 @@ MnmBackend::poolPagesInUseTotal() const
 }
 
 std::uint64_t
+MnmBackend::poolPagesTotal() const
+{
+    cap_.assertHeld();
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        total += part.pool->totalPages();
+    return total;
+}
+
+std::uint64_t
+MnmBackend::bufferOccupancyTotal() const
+{
+    cap_.assertHeld();
+    std::uint64_t total = 0;
+    for (const auto &part : parts)
+        if (part.buffer)
+            total += part.buffer->occupancy();
+    return total;
+}
+
+std::uint64_t
 MnmBackend::poolLinesOf(tenant::Asid asid) const
 {
     cap_.assertHeld();

@@ -255,6 +255,10 @@ class MnmBackend
     std::uint64_t masterMappedLinesTotal() const;
     std::uint64_t epochTableBytesTotal() const;
     std::uint64_t poolPagesInUseTotal() const;
+    std::uint64_t poolPagesTotal() const;
+    /** Buffered pending writes across partitions (0 when the OMC
+     *  write buffer is disabled). */
+    std::uint64_t bufferOccupancyTotal() const;
 
   private:
     struct Part

@@ -41,8 +41,27 @@ class EpochSeries
     void addProbe(std::string name,
                   std::function<std::uint64_t()> fn);
 
-    /** Append one row: epoch, cycle, then every probe reading. */
+    /** Append one row: epoch, cycle, then every probe reading.
+     *  Under a row cap (setMaxRows) only every decimation()-th call
+     *  records; when the cap fills, every other held row is dropped
+     *  and the decimation factor doubles, so memory stays bounded on
+     *  soak runs of arbitrary length while the kept rows remain
+     *  evenly spaced. */
     void sample(EpochWide epoch, Cycle now);
+
+    /** Record unconditionally (the post-finalize closing row). */
+    void sampleForced(EpochWide epoch, Cycle now);
+
+    /**
+     * Bound the series at @p max_rows held samples (`stats.series_max`;
+     * 0 = unbounded, the default). Must be set before sampling
+     * starts. The JSON export notes the final decimation factor so
+     * consumers know the inter-row spacing.
+     */
+    void setMaxRows(std::size_t max_rows);
+
+    /** Current decimation factor (1 = every boundary recorded). */
+    std::uint64_t decimation() const;
 
     std::size_t
     numProbes() const
@@ -79,11 +98,17 @@ class EpochSeries
     /** Sampling is a cross-shard rendezvous point: once shards run in
      *  parallel (ROADMAP item 1), probes read other shards' counters
      *  and must quiesce behind this capability. */
+    void record(EpochWide epoch, Cycle now) NVO_REQUIRES(cap_);
+
     ShardCap cap_;
     std::vector<Probe> probes NVO_GUARDED_BY(cap_);
     /** Row-major samples, stride = numProbes() + 2. */
     std::vector<std::uint64_t> data NVO_GUARDED_BY(cap_);
     std::size_t rows NVO_GUARDED_BY(cap_) = 0;
+    /** Row cap (0 = unbounded) and decimation state. */
+    std::size_t maxRows_ NVO_GUARDED_BY(cap_) = 0;
+    std::uint64_t decim_ NVO_GUARDED_BY(cap_) = 1;
+    std::uint64_t sampleCalls_ NVO_GUARDED_BY(cap_) = 0;
 };
 
 } // namespace obs

@@ -120,7 +120,8 @@ void
 writeStatsJson(std::ostream &os, const std::string &scheme,
                const std::string &workload, const Config &cfg,
                const RunStats &stats, const EpochSeries *series,
-               double host_seconds)
+               double host_seconds,
+               const std::function<void(JsonWriter &)> &policy_section)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -143,6 +144,10 @@ writeStatsJson(std::ostream &os, const std::string &scheme,
     if (series) {
         w.key("epoch_series");
         series->writeJson(w);
+    }
+    if (policy_section) {
+        w.key("policy");
+        policy_section(w);
     }
     w.endObject();
     os << "\n";

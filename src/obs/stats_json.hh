@@ -10,6 +10,7 @@
 #ifndef NVO_OBS_STATS_JSON_HH
 #define NVO_OBS_STATS_JSON_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
 
@@ -32,13 +33,19 @@ void writeConfig(JsonWriter &w, const Config &cfg);
 
 /**
  * The complete run report: scheme/workload labels, resolved config,
- * RunStats, and (when non-null) the per-epoch series.
+ * RunStats, and (when non-null) the per-epoch series. A non-null
+ * @p policy_section callback contributes the `policy` object (the
+ * harness passes PolicyEngine::writeJson when the adaptive policy
+ * engine ran; a callback rather than a type keeps obs/ independent
+ * of src/policy). Only set keys/sections appear, so runs without the
+ * corresponding feature emit byte-identical files.
  */
-void writeStatsJson(std::ostream &os, const std::string &scheme,
-                    const std::string &workload, const Config &cfg,
-                    const RunStats &stats,
-                    const EpochSeries *series = nullptr,
-                    double host_seconds = 0.0);
+void writeStatsJson(
+    std::ostream &os, const std::string &scheme,
+    const std::string &workload, const Config &cfg,
+    const RunStats &stats, const EpochSeries *series = nullptr,
+    double host_seconds = 0.0,
+    const std::function<void(JsonWriter &)> &policy_section = {});
 
 } // namespace obs
 } // namespace nvo

@@ -69,6 +69,8 @@ constexpr std::array<EvInfo, numEvents> evTable = {{
     {"repl_resume", Cat::Repl, "cursor", "rec_epoch", false},
     {"par_token", Cat::Par, "seq", "poisoned", false},
     {"par_xdrain", Cat::Par, "msgs", "high_water", false},
+    {"policy_decision", Cat::Policy, "controller", "output", false},
+    {"policy_actuate", Cat::Policy, "knob", "value", false},
 }};
 
 } // namespace
@@ -97,6 +99,7 @@ toString(Cat c)
       case Cat::Ledger: return "ledger";
       case Cat::Repl: return "repl";
       case Cat::Par: return "par";
+      case Cat::Policy: return "policy";
       default: return "?";
     }
 }

@@ -71,9 +71,10 @@ enum class Cat : std::uint32_t
     Ledger = 1u << 9,    ///< version-lifecycle provenance transitions
     Repl = 1u << 10,     ///< epoch-delta shipping to the standby
     Par = 1u << 11,      ///< shard engine: token barriers, ring drains
+    Policy = 1u << 12,   ///< adaptive policy engine decisions/actuations
 };
 
-constexpr std::uint32_t allCats = 0xfffu;
+constexpr std::uint32_t allCats = 0x1fffu;
 
 /** Typed events. Metadata (name, category, arg names) in info(). */
 enum class Ev : std::uint16_t
@@ -136,6 +137,10 @@ enum class Ev : std::uint16_t
     // the quantum barrier — the Tracer is not thread-safe.
     ParToken,        ///< a0 = barrier seq, a1 = 1 when poisoned
     ParXDrain,       ///< a0 = msgs drained, a1 = ring high water
+    // Adaptive policy engine (src/policy). Coordinator-only, at
+    // epoch boundaries observed from quantum barriers.
+    PolicyDecision,  ///< a0 = controller id, a1 = controller output
+    PolicyActuate,   ///< a0 = knob id, a1 = value applied
     NumEvents
 };
 

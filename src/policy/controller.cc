@@ -1,0 +1,37 @@
+#include "policy/controller.hh"
+
+#include <algorithm>
+
+namespace nvo
+{
+namespace policy
+{
+
+std::int64_t
+PidController::step(std::int64_t measured)
+{
+    std::int64_t err = p.setpoint - measured;
+    integ_ = std::clamp(integ_ + err, p.integMin, p.integMax);
+    std::int64_t out = (p.kpNum * err + p.kiNum * integ_) / kGainDen;
+    out = std::clamp(out, p.outMin, p.outMax);
+    lastErr_ = err;
+    lastOut_ = out;
+    return out;
+}
+
+bool
+HysteresisController::step(std::int64_t measured)
+{
+    bool next = state_;
+    if (!state_ && measured >= p.hi)
+        next = true;
+    else if (state_ && measured <= p.lo)
+        next = false;
+    if (next != state_)
+        ++transitions_;
+    state_ = next;
+    return state_;
+}
+
+} // namespace policy
+} // namespace nvo

@@ -1,0 +1,326 @@
+#include "policy/engine.hh"
+
+#include <algorithm>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "nvoverlay/nvoverlay_scheme.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "tenant/tenant.hh"
+
+namespace nvo
+{
+namespace policy
+{
+
+const char *
+toString(Ctrl c)
+{
+    switch (c) {
+      case Ctrl::Epoch: return "epoch";
+      case Ctrl::Walker: return "walker";
+      case Ctrl::Compact: return "compact";
+      case Ctrl::Tenant: return "tenant";
+      default: return "?";
+    }
+}
+
+Params
+Params::fromConfig(const Config &cfg)
+{
+    Params p;
+    p.bwBudget = cfg.getU64("nvm.write_bw_budget", 0);
+    p.epochKp = static_cast<std::int64_t>(
+        cfg.getU64("policy.epoch.kp", 8));
+    p.epochKi = static_cast<std::int64_t>(
+        cfg.getU64("policy.epoch.ki", 1));
+    p.epochMin = cfg.getU64("policy.epoch.min", 16);
+    p.epochMax = cfg.getU64("policy.epoch.max", 1024);
+    p.walkerHi = static_cast<std::int64_t>(
+        cfg.getU64("policy.walker.hi", 0));
+    p.walkerLo = static_cast<std::int64_t>(
+        cfg.getU64("policy.walker.lo", 1));
+    p.walkerBoost = static_cast<unsigned>(
+        cfg.getU64("policy.walker.boost_lines", 256));
+    p.compactHi = static_cast<std::int64_t>(
+        cfg.getU64("policy.compact.hi", 0));
+    p.compactLo = static_cast<std::int64_t>(
+        cfg.getU64("policy.compact.lo", 0));
+    p.compactSlopeW = static_cast<std::int64_t>(
+        cfg.getU64("policy.compact.slope_w", 4));
+    p.tenantPace = cfg.getBool("policy.tenant.pace", false);
+    p.tenantMinRate = cfg.getU64("policy.tenant.min_rate", 4096);
+    return p;
+}
+
+namespace
+{
+
+PidParams
+epochPidParams(const Params &p)
+{
+    PidParams pp;
+    pp.setpoint = static_cast<std::int64_t>(p.bwBudget);
+    pp.kpNum = p.epochKp;
+    pp.kiNum = p.epochKi;
+    // The output is a *relative* adjustment in 1/1024ths of the
+    // current length (the plant's bandwidth response is roughly
+    // exponential in epoch length, so a multiplicative step keeps
+    // the loop gain flat across the operating range). One step never
+    // moves the length by more than half, and the integrator is
+    // bounded so a saturated stretch (e.g., a phase whose demand
+    // cannot reach the budget) unwinds in a bounded number of epochs.
+    pp.outMax = 512;
+    pp.outMin = -pp.outMax;
+    pp.integMax = p.epochKi > 0
+                      ? (pp.outMax * kGainDen) / p.epochKi
+                      : INT64_MAX;
+    pp.integMin = -pp.integMax;
+    return pp;
+}
+
+} // namespace
+
+PolicyEngine::PolicyEngine(NVOverlayScheme &scheme,
+                           const RunStats &stats, const Params &params)
+    : scheme_(scheme), p_(params), bus_(scheme, stats), act_(scheme),
+      epochPid_(epochPidParams(params)),
+      walkerHys_({params.walkerHi, params.walkerLo, false}),
+      compactHys_({params.compactHi, params.compactLo, false}),
+      tenantHys_({static_cast<std::int64_t>(params.bwBudget),
+                  static_cast<std::int64_t>(params.bwBudget -
+                                            params.bwBudget / 8),
+                  false})
+{
+    walkerNormal_ =
+        scheme_.numVds() ? scheme_.walker(0).linesPerTick() : 0;
+    g_[static_cast<std::size_t>(Ctrl::Epoch)].setpoint = p_.bwBudget;
+    g_[static_cast<std::size_t>(Ctrl::Epoch)].output =
+        scheme_.storesPerEpochVdValue();
+    g_[static_cast<std::size_t>(Ctrl::Walker)].setpoint =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            p_.walkerHi, 0));
+    g_[static_cast<std::size_t>(Ctrl::Walker)].output = walkerNormal_;
+    g_[static_cast<std::size_t>(Ctrl::Compact)].setpoint =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            p_.compactHi, 0));
+    g_[static_cast<std::size_t>(Ctrl::Tenant)].setpoint = p_.bwBudget;
+    registerGauges();
+}
+
+void
+PolicyEngine::registerGauges()
+{
+    auto &reg = obs::metricRegistry();
+    struct Row
+    {
+        Ctrl c;
+        bool enabled;
+    };
+    const Row rows[] = {
+        {Ctrl::Epoch, p_.bwBudget > 0},
+        {Ctrl::Walker, p_.walkerHi > 0},
+        {Ctrl::Compact, p_.compactHi > 0},
+        {Ctrl::Tenant, p_.tenantPace && p_.bwBudget > 0},
+    };
+    for (const Row &r : rows) {
+        if (!r.enabled)
+            continue;
+        const std::string base =
+            std::string("policy.") + toString(r.c);
+        const GaugeSet *g = &g_[static_cast<std::size_t>(r.c)];
+        reg.addGauge(base + ".setpoint",
+                     [g] { return g->setpoint; });
+        reg.addGauge(base + ".measured",
+                     [g] { return g->measured; });
+        reg.addGauge(base + ".output", [g] { return g->output; });
+    }
+}
+
+void
+PolicyEngine::onEpochBoundary(Cycle now)
+{
+    ++evals_;
+    Signals s = bus_.sample(now);
+    if (!s.valid)
+        return;   // first boundary primes the frame history
+    if (p_.bwBudget)
+        stepEpochPacer(now, s);
+    if (p_.walkerHi > 0)
+        stepWalker(now, s);
+    if (p_.compactHi > 0)
+        stepCompact(now, s);
+    if (p_.tenantPace && p_.bwBudget)
+        stepTenantPacer(now, s);
+}
+
+void
+PolicyEngine::stepEpochPacer(Cycle now, const Signals &s)
+{
+    // err = budget - measured. Over budget (err < 0) the output goes
+    // negative and the subtraction below *lengthens* the epoch:
+    // fewer advances per cycle means fewer context dumps, merges and
+    // repeat walk write-backs, i.e., less metadata bandwidth. Under
+    // budget the epoch shrinks, spending the headroom on snapshot
+    // freshness.
+    // Cycle-weighted EMA (window ~1M cycles): each boundary's sample
+    // is weighted by the span it covers, so the filtered signal
+    // tracks the time-mean bandwidth the budget is stated over —
+    // boundary-equal weighting would overweight the dense short-epoch
+    // samples and bias the loop.
+    constexpr std::int64_t kEmaWindow = 1 << 20;
+    if (bwEma_ < 0) {
+        bwEma_ = s.bwBytesPerKCycle;
+    } else {
+        std::int64_t dc = std::min<std::int64_t>(
+            static_cast<std::int64_t>(s.deltaCycles), kEmaWindow);
+        bwEma_ += dc * (s.bwBytesPerKCycle - bwEma_) / kEmaWindow;
+    }
+    std::int64_t out = epochPid_.step(bwEma_);
+    std::int64_t cur = static_cast<std::int64_t>(
+        scheme_.storesPerEpochVdValue());
+    // Multiplicative actuation: the step is out/1024 of the current
+    // length, floored at one store so the loop cannot wedge at short
+    // lengths where the integer product truncates to zero.
+    std::int64_t delta = (out * cur) / 1024;
+    if (delta == 0 && out != 0)
+        delta = out > 0 ? 1 : -1;
+    std::int64_t next = cur - delta;
+    if (next < 0)
+        next = 0;   // actuator clamps up to epochMin
+    std::uint64_t applied = act_.setEpochLength(
+        now, static_cast<std::uint64_t>(next), p_.epochMin,
+        p_.epochMax);
+    NVO_TRACE(Policy, PolicyDecision, obs::trackSim, now,
+              static_cast<std::uint64_t>(Ctrl::Epoch), applied);
+    GaugeSet &g = g_[static_cast<std::size_t>(Ctrl::Epoch)];
+    g.measured =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(bwEma_, 0));
+    g.output = applied;
+}
+
+void
+PolicyEngine::stepWalker(Cycle now, const Signals &s)
+{
+    bool hot = walkerHys_.step(s.mergeBacklog);
+    unsigned lines = hot ? p_.walkerBoost : walkerNormal_;
+    act_.setWalkerLinesPerTick(now, lines);
+    NVO_TRACE(Policy, PolicyDecision, obs::trackSim, now,
+              static_cast<std::uint64_t>(Ctrl::Walker), lines);
+    GaugeSet &g = g_[static_cast<std::size_t>(Ctrl::Walker)];
+    g.measured = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(s.mergeBacklog, 0));
+    g.output = lines;
+}
+
+void
+PolicyEngine::stepCompact(Cycle now, const Signals &s)
+{
+    // Projected occupancy: where the pool is heading, not just where
+    // it is — a fast-rising pool triggers compaction before the
+    // threshold itself is crossed.
+    std::int64_t projected =
+        s.occPermille + p_.compactSlopeW * s.occSlopePermille;
+    bool hot = compactHys_.step(projected);
+    if (hot)
+        act_.triggerCompaction(now);
+    NVO_TRACE(Policy, PolicyDecision, obs::trackSim, now,
+              static_cast<std::uint64_t>(Ctrl::Compact),
+              hot ? 1u : 0u);
+    GaugeSet &g = g_[static_cast<std::size_t>(Ctrl::Compact)];
+    g.measured = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(projected, 0));
+    g.output = hot ? 1 : 0;
+}
+
+void
+PolicyEngine::stepTenantPacer(Cycle now, const Signals &s)
+{
+    tenant::TenantManager *tm = scheme_.tenantManager();
+    if (!tm)
+        return;
+    bool over = tenantHys_.step(s.bwBytesPerKCycle);
+    if (over) {
+        std::uint64_t total = 0;
+        for (const auto &kv : s.tenantDeltaBytes)
+            total += kv.second;
+        if (total) {
+            // Demand-proportional split of the budget (JASS-style
+            // pacing): each tenant keeps its share of the recent
+            // traffic mix, floored so a quiet tenant is never
+            // starved outright.
+            for (const auto &kv : s.tenantDeltaBytes) {
+                std::uint64_t rate =
+                    p_.bwBudget * kv.second / total;
+                act_.setTenantRate(
+                    now, kv.first,
+                    std::max(rate, p_.tenantMinRate));
+            }
+            tenantPaced_ = true;
+        }
+    } else if (tenantPaced_) {
+        tm->forEachTenant(
+            [this, now](tenant::Asid asid,
+                        const tenant::TenantManager::PerTenant &) {
+                act_.setTenantRate(now, asid, 0);
+            });
+        tenantPaced_ = false;
+    }
+    NVO_TRACE(Policy, PolicyDecision, obs::trackSim, now,
+              static_cast<std::uint64_t>(Ctrl::Tenant),
+              tenantPaced_ ? 1u : 0u);
+    GaugeSet &g = g_[static_cast<std::size_t>(Ctrl::Tenant)];
+    g.measured = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(s.bwBytesPerKCycle, 0));
+    g.output = tenantPaced_ ? 1 : 0;
+}
+
+void
+PolicyEngine::exportStats(RunStats &stats) const
+{
+    stats.extra["policy_evals"] = evals_;
+    stats.extra["policy_epoch_sets"] = act_.epochSets();
+    stats.extra["policy_epoch_len"] =
+        scheme_.storesPerEpochVdValue();
+    stats.extra["policy_walker_sets"] = act_.walkerSets();
+    stats.extra["policy_compactions"] = act_.compactions();
+    stats.extra["policy_tenant_sets"] = act_.tenantSets();
+}
+
+void
+PolicyEngine::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("evals", evals_);
+    w.key("controllers").beginObject();
+    struct Row
+    {
+        Ctrl c;
+        bool enabled;
+        std::uint64_t actuations;
+    };
+    const Row rows[] = {
+        {Ctrl::Epoch, p_.bwBudget > 0, act_.epochSets()},
+        {Ctrl::Walker, p_.walkerHi > 0, act_.walkerSets()},
+        {Ctrl::Compact, p_.compactHi > 0, act_.compactions()},
+        {Ctrl::Tenant, p_.tenantPace && p_.bwBudget > 0,
+         act_.tenantSets()},
+    };
+    for (const Row &r : rows) {
+        const GaugeSet &g = g_[static_cast<std::size_t>(r.c)];
+        w.key(toString(r.c)).beginObject();
+        w.kv("enabled", r.enabled);
+        w.kv("setpoint", g.setpoint);
+        w.kv("measured", g.measured);
+        w.kv("output", g.output);
+        w.kv("actuations", r.actuations);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace policy
+} // namespace nvo

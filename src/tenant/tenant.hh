@@ -84,6 +84,12 @@ class TenantManager
         std::uint64_t quotaRejections = 0;
         std::uint64_t softWarnings = 0;
         std::uint64_t peakLines = 0;
+        /** Per-tenant QoS rate override in bytes per 1024 cycles,
+         *  set by the adaptive policy engine (JASS-style pacing).
+         *  0 = no override: the global Params rate applies. */
+        std::uint64_t qosRateOverride = 0;
+        /** Times the policy engine (re)paced this tenant. */
+        std::uint64_t paceChanges = 0;
         /** Per-ASID QoS stall distribution
          *  (`tenant.qos_stall_cycles.asid<N>`), registered lazily
          *  when the tenant first shows activity. */
@@ -124,6 +130,20 @@ class TenantManager
      */
     void orderForCompaction(std::vector<Addr> &lines);
 
+    /**
+     * Policy-engine actuation (per-tenant epoch pacing): cap
+     * @p asid's insert bandwidth at @p bytes_per_kcycle, overriding
+     * the global `tenant.qos_bytes_per_kcycle` for this tenant only.
+     * 0 clears the override. QoS becomes active for the tenant even
+     * when the global rate is 0, so the policy engine can pace
+     * tenants in deployments that never configured static QoS.
+     */
+    void setQosRate(Asid asid, std::uint64_t bytes_per_kcycle);
+
+    /** Visit tenants in ascending-ASID (deterministic) order. */
+    void forEachTenant(
+        const std::function<void(Asid, const PerTenant &)> &fn) const;
+
     /** Export per-tenant counters into RunStats::extra. */
     void exportStats();
 
@@ -136,6 +156,14 @@ class TenantManager
   private:
     PerTenant &slot(Asid asid);
     void refill(PerTenant &t, Cycle now);
+    /** Effective QoS rate: the policy override when set, else the
+     *  global configured rate (0 = QoS off for this tenant). */
+    std::uint64_t
+    rateOf(const PerTenant &t) const
+    {
+        return t.qosRateOverride ? t.qosRateOverride
+                                 : p.qosBytesPerKCycle;
+    }
 
     Params p;
     RunStats &stats;

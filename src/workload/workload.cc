@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "workload/phase_shift.hh"
 #include "workload/trace.hh"
 #include "workload/workloads.hh"
 
@@ -119,6 +120,8 @@ makeWorkload(const std::string &name, const Config &cfg)
         return std::make_unique<Ssca2Workload>(p, cfg);
     if (name == "kv_service")
         return std::make_unique<KvServiceWorkload>(p, cfg);
+    if (name == "phased")
+        return std::make_unique<PhaseShiftWorkload>(p, cfg);
     if (name == "trace")
         return std::make_unique<TraceWorkload>(
             p, cfg.getStr("wl.trace.path", "trace.nvot"));

@@ -106,7 +106,7 @@ class WorkloadBase : public RefSource
 /**
  * Factory. Valid names: hashtable, btree, art, rbtree, labyrinth,
  * bayes, yada, intruder, vacation, kmeans, genome, ssca2,
- * kv_service.
+ * kv_service, phased (phase-shift wrapper, workload/phase_shift.hh).
  * Reads sizing knobs from @p cfg ("wl.threads", "wl.ops", "wl.seed",
  * plus per-workload keys documented in each implementation).
  */

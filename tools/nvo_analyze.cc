@@ -19,15 +19,24 @@
  *       tallies checked to sum exactly to the device data total and
  *       cross-checked against the tenant manager's own counters.
  *
- * Exit status: 0 clean, 1 a lifecycle/attribution violation (leaked
- * versions, or per-cause bytes diverging from the device total), 2
- * bad usage or unreadable input. Run the simulator with
- * `ledger.enabled=1` (and a build with NVO_TRACE=ON) to populate the
- * ledger section; without it the tool reports what it can and exits 0.
+ * With `--steady` it additionally asserts the run reached steady
+ * state (docs/POLICY.md soak recipe): the last quarter of the epoch
+ * series must agree with the quarter before it on mean mapping-pool
+ * occupancy and on interval write amplification, within 20%. A soak
+ * whose pool keeps growing or whose amplification keeps climbing has
+ * not converged and the check exits nonzero.
  *
- * Usage: nvo_analyze --stats run.json [--trace trace.json]
+ * Exit status: 0 clean, 1 a lifecycle/attribution violation (leaked
+ * versions, or per-cause bytes diverging from the device total) or a
+ * failed --steady assertion, 2 bad usage or unreadable input. Run the
+ * simulator with `ledger.enabled=1` (and a build with NVO_TRACE=ON)
+ * to populate the ledger section; without it the tool reports what it
+ * can and exits 0.
+ *
+ * Usage: nvo_analyze --stats run.json [--trace trace.json] [--steady]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -358,6 +367,11 @@ analyzeTables(const Value &root)
 
     const Value *data = root.get("stats", "nvm_write_bytes", "data");
     std::uint64_t data_bytes = data ? data->asU64() : 0;
+    // Threshold-triggered passes land in gc_compactions; passes the
+    // policy engine forces are tallied separately in the extras.
+    const Value *pol =
+        root.get("stats", "extra", "policy_compactions");
+    compactions += pol ? pol->asU64() : 0;
     if (compactions == 0) {
         std::printf("  compaction never triggered\n");
     } else {
@@ -398,6 +412,94 @@ analyzeTables(const Value &root)
                 "(final %s)\n",
                 human(static_cast<double>(peak)).c_str(),
                 human(static_cast<double>(table_bytes)).c_str());
+}
+
+/**
+ * --steady: convergence assertion for soak runs (docs/POLICY.md).
+ *
+ * Splits the epoch series into quarters by row and compares the last
+ * quarter (Q4) against the one before it (Q3):
+ *
+ *   - mean `pool_pages_in_use` (a gauge): a structure still filling
+ *     up shows Q4 well above Q3;
+ *   - interval write amplification (delta data bytes per delta
+ *     stored byte, cumulative columns differenced over the window):
+ *     background costs still ramping (walks, compaction churn) show
+ *     up here even when occupancy looks flat.
+ *
+ * Both must agree within 20% relative. Returns 1 on divergence.
+ */
+int
+analyzeSteady(const Value &root)
+{
+    std::printf("\n== steady-state check ==\n");
+    const Value *series = root.get("epoch_series");
+    const Value *cols = series ? series->get("columns") : nullptr;
+    const Value *rows = series ? series->get("rows") : nullptr;
+    if (!cols || !rows || rows->arr.size() < 8) {
+        std::printf("  NOT STEADY: epoch series absent or shorter "
+                    "than 8 rows; nothing to assert on\n");
+        return 1;
+    }
+
+    auto colIdx = [&](const char *name) -> std::ptrdiff_t {
+        for (std::size_t i = 0; i < cols->arr.size(); ++i)
+            if (cols->arr[i]->asString() == name)
+                return static_cast<std::ptrdiff_t>(i);
+        return -1;
+    };
+    std::ptrdiff_t c_pool = colIdx("pool_pages_in_use");
+    std::ptrdiff_t c_data = colIdx("nvm_write_bytes_data");
+    std::ptrdiff_t c_stores = colIdx("stores");
+    if (c_pool < 0 || c_data < 0 || c_stores < 0) {
+        std::printf("  NOT STEADY: series lacks pool/data/stores "
+                    "columns\n");
+        return 1;
+    }
+    auto cell = [&](std::size_t r, std::ptrdiff_t c) {
+        return rows->arr[r]->arr[static_cast<std::size_t>(c)]->asU64();
+    };
+
+    std::size_t n = rows->arr.size();
+    std::size_t q3 = n / 2, q4 = (3 * n) / 4;
+    auto poolMean = [&](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t r = lo; r < hi; ++r)
+            sum += static_cast<double>(cell(r, c_pool));
+        return sum / static_cast<double>(hi - lo);
+    };
+    // Interval amplification over [lo, hi): cumulative columns
+    // differenced across the window, stores at 8 B each (same
+    // framing as the global figure).
+    auto ampOver = [&](std::size_t lo, std::size_t hi) {
+        double d_data = static_cast<double>(cell(hi - 1, c_data) -
+                                            cell(lo, c_data));
+        double d_app = 8.0 * static_cast<double>(
+                                 cell(hi - 1, c_stores) -
+                                 cell(lo, c_stores));
+        return d_app > 0.0 ? d_data / d_app : 0.0;
+    };
+
+    int rc = 0;
+    auto judge = [&](const char *what, double prev, double last) {
+        double base = std::max(prev, last);
+        double rel = base > 0.0 ? (last > prev ? last - prev
+                                               : prev - last) /
+                                      base
+                                : 0.0;
+        bool ok = rel <= 0.20;
+        std::printf("  %-22s Q3 %10.2f  Q4 %10.2f  drift %5.1f%% "
+                    "%s\n",
+                    what, prev, last, 100.0 * rel,
+                    ok ? "ok" : "DIVERGING");
+        if (!ok)
+            rc = 1;
+    };
+    judge("pool pages in use", poolMean(q3, q4), poolMean(q4, n));
+    judge("write amplification", ampOver(q3, q4), ampOver(q4, n));
+    if (rc == 0)
+        std::printf("  steady: last two quarters agree within 20%%\n");
+    return rc;
 }
 
 /**
@@ -474,23 +576,26 @@ int
 main(int argc, char **argv)
 {
     std::string stats_path, trace_path;
+    bool steady = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
             stats_path = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--steady") == 0) {
+            steady = true;
         } else {
             std::fprintf(stderr,
                          "usage: nvo_analyze --stats run.json "
-                         "[--trace trace.json]\n");
+                         "[--trace trace.json] [--steady]\n");
             return 2;
         }
     }
     if (stats_path.empty()) {
         std::fprintf(stderr,
                      "usage: nvo_analyze --stats run.json "
-                     "[--trace trace.json]\n");
+                     "[--trace trace.json] [--steady]\n");
         return 2;
     }
 
@@ -508,6 +613,8 @@ main(int argc, char **argv)
     rc |= analyzeTenants(*root);
     rc |= analyzeMetrics(*root);
     analyzeTables(*root);
+    if (steady)
+        rc |= analyzeSteady(*root);
     if (!trace_path.empty())
         analyzeSkew(*parseFile(trace_path));
     return rc;

@@ -33,6 +33,7 @@
 #include "obs/stats_json.hh"
 #include "obs/trace.hh"
 #include "par/engine.hh"
+#include "policy/engine.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -300,9 +301,14 @@ main(int argc, char **argv)
         if (!out)
             fatal("cannot open stats_json file '%s'",
                   stats_json_path.c_str());
+        std::function<void(obs::JsonWriter &)> policy_section;
+        if (const policy::PolicyEngine *pe = sys.policyEngine())
+            policy_section = [pe](obs::JsonWriter &w) {
+                pe->writeJson(w);
+            };
         obs::writeStatsJson(out, scheme, workload, sys.config(),
                             sys.stats(), &sys.epochSeries(),
-                            host_seconds);
+                            host_seconds, policy_section);
         std::printf("stats json -> %s\n", stats_json_path.c_str());
     }
 

@@ -19,10 +19,12 @@
  * (in --once mode), 2 usage/IO error.
  */
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -123,17 +125,73 @@ renderCounters(const Snapshot &s, const Snapshot &prev)
     std::printf("\n");
 }
 
+/**
+ * Policy panel: the engine publishes one gauge triple per active
+ * controller — `policy.<ctrl>.setpoint/.measured/.output`
+ * (docs/POLICY.md) — rendered here as one row per controller so the
+ * loop's tracking error is visible at a glance. Gauges under the
+ * `policy.` prefix are claimed by this panel and skipped by the
+ * generic gauge table. No-op when the run has no policy gauges.
+ */
+void
+renderPolicy(const Snapshot &s)
+{
+    const Value *gs = s.root->get("gauges");
+    if (!gs)
+        return;
+    // controller -> (setpoint, measured, output); map keeps the
+    // panel ordering stable across refreshes.
+    std::map<std::string, std::array<std::uint64_t, 3>> ctrls;
+    for (const auto &kv : gs->obj) {
+        if (kv.first.rfind("policy.", 0) != 0)
+            continue;
+        std::string rest = kv.first.substr(7);
+        std::size_t dot = rest.rfind('.');
+        if (dot == std::string::npos)
+            continue;
+        std::string leaf = rest.substr(dot + 1);
+        int slot = leaf == "setpoint" ? 0
+                   : leaf == "measured" ? 1
+                   : leaf == "output" ? 2
+                                      : -1;
+        if (slot < 0)
+            continue;
+        ctrls[rest.substr(0, dot)][static_cast<std::size_t>(slot)] =
+            kv.second->asU64();
+    }
+    if (ctrls.empty())
+        return;
+    std::printf("  %-16s %14s %14s %14s\n", "controller",
+                "setpoint", "measured", "output");
+    for (const auto &kv : ctrls)
+        std::printf("  %-16s %14llu %14llu %14llu\n",
+                    kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second[0]),
+                    static_cast<unsigned long long>(kv.second[1]),
+                    static_cast<unsigned long long>(kv.second[2]));
+    std::printf("\n");
+}
+
 void
 renderGauges(const Snapshot &s)
 {
     const Value *gs = s.root->get("gauges");
-    if (!gs || gs->obj.empty())
+    if (!gs)
+        return;
+    bool any = false;
+    for (const auto &kv : gs->obj)
+        if (kv.first.rfind("policy.", 0) != 0)
+            any = true;
+    if (!any)
         return;
     std::printf("  %-36s %14s\n", "gauge", "value");
-    for (const auto &kv : gs->obj)
+    for (const auto &kv : gs->obj) {
+        if (kv.first.rfind("policy.", 0) == 0)
+            continue;   // rendered by the policy panel
         std::printf("  %-36s %14llu\n", kv.first.c_str(),
                     static_cast<unsigned long long>(
                         kv.second->asU64()));
+    }
     std::printf("\n");
 }
 
@@ -175,6 +233,7 @@ render(const std::string &path, const Snapshot &s, const Snapshot &prev,
                 static_cast<unsigned long long>(s.epoch),
                 static_cast<unsigned long long>(s.cycle));
     renderCounters(s, prev);
+    renderPolicy(s);
     renderGauges(s);
     renderHists(s);
     std::fflush(stdout);
